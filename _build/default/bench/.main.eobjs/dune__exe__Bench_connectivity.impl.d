@@ -1,0 +1,1 @@
+bench/bench_connectivity.ml: Csap Csap_graph Float Format List Report

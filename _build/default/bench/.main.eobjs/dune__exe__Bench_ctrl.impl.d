@@ -1,0 +1,1 @@
+bench/bench_ctrl.ml: Array Csap Csap_dsim Csap_graph Format Fun List Report

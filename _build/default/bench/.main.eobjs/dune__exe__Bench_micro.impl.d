@@ -1,0 +1,1 @@
+bench/bench_micro.ml: Analyze Bechamel Benchmark Csap Csap_cover Csap_graph Fun Hashtbl Lazy List Measure Report Staged Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/bench_mst.ml: Csap Csap_graph Float Format Report

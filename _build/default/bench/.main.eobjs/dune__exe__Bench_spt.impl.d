@@ -1,0 +1,1 @@
+bench/bench_spt.ml: Csap Csap_dsim Csap_graph Format List Report

@@ -1,0 +1,1 @@
+bench/bench_sync.ml: Array Csap Csap_dsim Csap_graph Format List Report

@@ -1,0 +1,1 @@
+bench/bench_trees.ml: Array Csap Csap_graph Format List Report

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bench_connectivity Bench_ctrl Bench_micro Bench_mst Bench_spt Bench_sync Bench_trees Format List String Sys

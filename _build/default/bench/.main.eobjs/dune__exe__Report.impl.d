@@ -1,0 +1,1 @@
+bench/report.ml: Float Format List Printf String

@@ -1,0 +1,71 @@
+(* Bechamel micro-benchmarks: per-operation cost (with OLS fit) of the
+   sequential kernels behind each figure — one Test.make per table. *)
+
+open Bechamel
+
+module Gen = Csap_graph.Generators
+
+let graph =
+  lazy
+    (Gen.random_connected (Csap_graph.Rng.create 77) 64 ~extra_edges:128
+       ~wmax:32)
+
+let bkj = lazy (Gen.bkj_star_cycle 48 ~heavy:200)
+
+let tests =
+  [
+    (* F1/F5: the SLT construction. *)
+    Test.make ~name:"f5: slt-build"
+      (Staged.stage (fun () ->
+           ignore (Csap.Slt.build ~q:2.0 (Lazy.force bkj) ~root:0)));
+    (* F3: the sequential MST reference. *)
+    Test.make ~name:"f3: mst-prim"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Mst.prim (Lazy.force graph) ~root:0)));
+    (* F4: the sequential SPT reference. *)
+    Test.make ~name:"f4: dijkstra"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Paths.dijkstra (Lazy.force graph) ~src:0)));
+    (* F2/F7: the lower-bound family generator. *)
+    Test.make ~name:"f7: gn-generator"
+      (Staged.stage (fun () ->
+           ignore (Gen.lower_bound_gn 32 ~x:8)));
+    (* CS: the tree edge-cover preprocessing of gamma*. *)
+    Test.make ~name:"cs: tree-edge-cover"
+      (Staged.stage (fun () ->
+           ignore (Csap_cover.Tree_cover.build (Gen.chorded_cycle 16 ~chord_w:64))));
+    (* SY: the per-level cluster partition of gamma_w. *)
+    Test.make ~name:"sy: partition"
+      (Staged.stage (fun () ->
+           let g = Lazy.force graph in
+           let edges = List.init (Csap_graph.Graph.m g) Fun.id in
+           ignore (Csap.Synchronizer.Partition.build g ~edges ~k:2)));
+    (* CT: one controlled-flood event loop (end to end, small). *)
+    Test.make ~name:"ct: flood-run"
+      (Staged.stage (fun () ->
+           ignore (Csap.Flood.run (Lazy.force graph) ~source:0)));
+  ]
+
+let run () =
+  Report.heading "MICRO" "bechamel micro-benchmarks (sequential kernels)";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+  let test = Test.make_grouped ~name:"csap" tests in
+  let raw = Benchmark.all cfg [ instance ] test in
+  let results = Analyze.all ols instance raw in
+  let rows = ref [] in
+  Hashtbl.iter
+    (fun name ols_result ->
+      let ns =
+        match Analyze.OLS.estimates ols_result with
+        | Some (x :: _) -> x
+        | _ -> nan
+      in
+      rows := (name, ns) :: !rows)
+    results;
+  let rows = List.sort compare !rows in
+  Report.table ~columns:[ "kernel"; "ns/run" ]
+    (List.map (fun (name, ns) -> [ Report.Str name; Report.Float ns ]) rows)

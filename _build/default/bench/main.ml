@@ -1,0 +1,52 @@
+(* Benchmark harness regenerating every table and figure of the paper's
+   evaluation (see DESIGN.md section 3 for the index).
+
+   Usage:
+     dune exec bench/main.exe            # all figures
+     dune exec bench/main.exe f3 cs      # selected figures
+     dune exec bench/main.exe micro      # bechamel micro-benchmarks *)
+
+let benches =
+  [
+    ("f1", Bench_trees.f1);
+    ("f2", Bench_connectivity.f2);
+    ("f3", Bench_mst.f3);
+    ("f4", Bench_spt.f4);
+    ("f5", Bench_trees.f5);
+    ("f6", Bench_trees.f6);
+    ("f7", Bench_connectivity.f7);
+    ("f8", Bench_connectivity.f8);
+    ("f9", Bench_spt.f9);
+    ("cs", Bench_sync.cs);
+    ("sy", Bench_sync.sy);
+    ("ct", Bench_ctrl.ct);
+  ]
+
+let () =
+  let args =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> List.map String.lowercase_ascii rest
+    | [] -> []
+  in
+  let run_micro = List.mem "micro" args in
+  let selected = List.filter (fun a -> a <> "micro") args in
+  let to_run =
+    if selected = [] && not run_micro then benches
+    else
+      List.filter_map
+        (fun id ->
+          match List.assoc_opt id benches with
+          | Some f -> Some (id, f)
+          | None ->
+            Format.eprintf "unknown bench id: %s@." id;
+            exit 1)
+        selected
+  in
+  Format.printf
+    "cost-sensitive analysis of communication protocols -- benchmark \
+     harness@.";
+  Format.printf
+    "(paper: Awerbuch, Baratz, Peleg, PODC 1990 / MIT-LCS-TM-453)@.";
+  List.iter (fun (_, f) -> f ()) to_run;
+  if run_micro then Bench_micro.run ();
+  Format.printf "@.done.@."

@@ -1,0 +1,48 @@
+(* Table-printing helpers shared by the per-figure benchmarks. Each bench
+   regenerates one of the paper's figures: it prints the same rows the
+   figure states, with measured weighted costs next to the bound evaluated
+   on the instance, so the *shape* (who wins, by what factor, where the
+   crossovers fall) can be read off directly. *)
+
+let heading id title = Format.printf "@.==== %s: %s ====@." id title
+
+let subheading text = Format.printf "-- %s@." text
+
+type cell =
+  | Int of int
+  | Float of float
+  | Str of string
+
+let cell_to_string = function
+  | Int i -> string_of_int i
+  | Float f ->
+    if Float.is_nan f then "-"
+    else if Float.abs f >= 100.0 then Printf.sprintf "%.0f" f
+    else Printf.sprintf "%.2f" f
+  | Str s -> s
+
+let table ~columns rows =
+  let widths =
+    List.mapi
+      (fun i name ->
+        List.fold_left
+          (fun acc row ->
+            max acc (String.length (cell_to_string (List.nth row i))))
+          (String.length name) rows)
+      columns
+  in
+  let print_row cells =
+    List.iteri
+      (fun i cell ->
+        Format.printf "%*s  " (List.nth widths i) (cell_to_string cell))
+      cells;
+    Format.printf "@."
+  in
+  print_row (List.map (fun name -> Str name) columns);
+  List.iter print_row rows
+
+(* Ratio of a measurement against a bound: the headline number for shape
+   checks ("stays flat across the sweep" = matching asymptotics). *)
+let ratio measured bound = if bound <= 0.0 then nan else measured /. bound
+
+let log2 x = log x /. log 2.0

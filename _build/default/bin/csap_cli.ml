@@ -1,0 +1,148 @@
+(* Command-line driver: generate a graph family, run one of the paper's
+   algorithms on it, print the weighted complexity measures.
+
+   Examples:
+     csap_cli --algo mst-ghs --family complete -n 16 -w 5
+     csap_cli --algo clock-gamma --family chorded -n 20 -w 100
+     csap_cli --algo spt-recur --family grid -n 25 --strip 4 *)
+
+let make_graph family n w seed =
+  let rng = Csap_graph.Rng.create seed in
+  match family with
+  | "path" -> Csap_graph.Generators.path n ~w
+  | "cycle" -> Csap_graph.Generators.cycle n ~w
+  | "star" -> Csap_graph.Generators.star n ~w
+  | "complete" -> Csap_graph.Generators.complete n ~w
+  | "grid" ->
+    let side = max 2 (int_of_float (sqrt (float_of_int n))) in
+    Csap_graph.Generators.grid side side ~w
+  | "random" ->
+    Csap_graph.Generators.random_connected rng n ~extra_edges:(2 * n) ~wmax:w
+  | "geometric" ->
+    Csap_graph.Generators.random_geometric rng n ~degree:4
+      ~scale:(float_of_int (10 * w))
+  | "gn" -> Csap_graph.Generators.lower_bound_gn n ~x:(max 2 w)
+  | "chorded" -> Csap_graph.Generators.chorded_cycle n ~chord_w:w
+  | "bkj" -> Csap_graph.Generators.bkj_star_cycle n ~heavy:w
+  | _ -> invalid_arg ("unknown family: " ^ family)
+
+let print_measures name (m : Csap.Measures.t) =
+  Format.printf "%-12s %a@." name Csap.Measures.pp m
+
+let run_algo algo g strip pulses =
+  match algo with
+  | "params" -> ()
+  | "flood" ->
+    print_measures algo (Csap.Flood.run g ~source:0).Csap.Flood.measures
+  | "dfs" ->
+    print_measures algo (Csap.Dfs_token.run g ~root:0).Csap.Dfs_token.measures
+  | "con-hybrid" ->
+    let r = Csap.Con_hybrid.run g ~root:0 in
+    print_measures algo r.Csap.Con_hybrid.measures;
+    Format.printf "winner: %s@."
+      (match r.Csap.Con_hybrid.winner with
+      | Csap.Con_hybrid.Dfs -> "dfs"
+      | Csap.Con_hybrid.Mst_centr -> "mst-centr")
+  | "mst-centr" ->
+    print_measures algo
+      (Csap.Centr_growth.run_mst g ~root:0).Csap.Centr_growth.measures
+  | "spt-centr" ->
+    print_measures algo
+      (Csap.Centr_growth.run_spt g ~root:0).Csap.Centr_growth.measures
+  | "mst-ghs" ->
+    print_measures algo (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures
+  | "mst-fast" ->
+    print_measures algo (Csap.Mst_fast.run g).Csap.Mst_fast.measures
+  | "mst-hybrid" ->
+    let r = Csap.Mst_hybrid.run g ~root:0 in
+    print_measures algo r.Csap.Mst_hybrid.measures;
+    Format.printf "winner: %s@."
+      (match r.Csap.Mst_hybrid.winner with
+      | Csap.Mst_hybrid.Ghs -> "ghs"
+      | Csap.Mst_hybrid.Mst_centr -> "mst-centr")
+  | "spt-synch" ->
+    print_measures algo (Csap.Spt_synch.run g ~source:0).Csap.Spt_synch.measures
+  | "spt-recur" ->
+    let strip =
+      match strip with Some s -> s | None -> Csap.Spt_recur.default_strip g
+    in
+    let r = Csap.Spt_recur.run g ~source:0 ~strip in
+    print_measures algo r.Csap.Spt_recur.measures;
+    Format.printf "strips: %d, offers: %d, sync: %d@." r.Csap.Spt_recur.strips
+      r.Csap.Spt_recur.offer_comm r.Csap.Spt_recur.sync_comm
+  | "spt-hybrid" ->
+    let r = Csap.Spt_hybrid.run g ~source:0 in
+    Format.printf "%-12s total comm=%d epochs=%d winner=%s@." algo
+      r.Csap.Spt_hybrid.total_comm r.Csap.Spt_hybrid.epochs
+      (match r.Csap.Spt_hybrid.winner with
+      | Csap.Spt_hybrid.Synch -> "synch"
+      | Csap.Spt_hybrid.Recur -> "recur")
+  | "slt" ->
+    let r = Csap.Slt.build g ~root:0 in
+    Format.printf "%-12s w(T)=%d height=%d diam=%d breakpoints=%d@." algo
+      (Csap_graph.Tree.total_weight r.Csap.Slt.tree)
+      (Csap_graph.Tree.height r.Csap.Slt.tree)
+      (Csap_graph.Tree.diameter r.Csap.Slt.tree)
+      (List.length r.Csap.Slt.breakpoints)
+  | "slt-dist" ->
+    let r = Csap.Slt_distributed.run g ~root:0 in
+    print_measures algo r.Csap.Slt_distributed.measures
+  | "global-sum" ->
+    let values = Array.init (Csap_graph.Graph.n g) (fun i -> i) in
+    print_measures algo
+      (Csap.Global_func.run_optimal g ~root:0 ~values Csap.Global_func.sum)
+        .Csap.Global_func.measures
+  | "clock-alpha" | "clock-beta" | "clock-gamma" ->
+    let run =
+      match algo with
+      | "clock-alpha" -> Csap.Clock_sync.run_alpha ?delay:None
+      | "clock-beta" -> Csap.Clock_sync.run_beta ?delay:None ?tree:None
+      | _ -> Csap.Clock_sync.run_gamma ?delay:None ?cover:None ?neighbor_phase:None
+    in
+    let r = run g ~pulses in
+    Format.printf
+      "%-12s max pulse delay=%.1f avg=%.1f comm/pulse=%.1f@." algo
+      r.Csap.Clock_sync.max_pulse_delay r.Csap.Clock_sync.avg_pulse_delay
+      r.Csap.Clock_sync.comm_per_pulse
+  | _ -> invalid_arg ("unknown algorithm: " ^ algo)
+
+let main algo family n w seed strip pulses =
+  let g = make_graph family n w seed in
+  Format.printf "graph: %a@." Csap_graph.Params.pp
+    (Csap_graph.Params.compute g);
+  run_algo algo g strip pulses
+
+open Cmdliner
+
+let algo =
+  let doc =
+    "Algorithm: params, flood, dfs, con-hybrid, mst-centr, spt-centr, \
+     mst-ghs, mst-fast, mst-hybrid, spt-synch, spt-recur, spt-hybrid, slt, \
+     slt-dist, global-sum, clock-alpha, clock-beta, clock-gamma."
+  in
+  Arg.(value & opt string "params" & info [ "algo"; "a" ] ~doc)
+
+let family =
+  let doc =
+    "Graph family: path, cycle, star, complete, grid, random, geometric, \
+     gn, chorded, bkj."
+  in
+  Arg.(value & opt string "random" & info [ "family"; "f" ] ~doc)
+
+let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Number of vertices.")
+let w = Arg.(value & opt int 8 & info [ "w" ] ~doc:"Weight parameter.")
+let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
+
+let strip =
+  Arg.(value & opt (some int) None & info [ "strip" ] ~doc:"Strip depth.")
+
+let pulses =
+  Arg.(value & opt int 10 & info [ "pulses" ] ~doc:"Clock pulses to run.")
+
+let cmd =
+  let doc = "cost-sensitive communication protocols (Awerbuch-Baratz-Peleg)" in
+  Cmd.v
+    (Cmd.info "csap_cli" ~doc)
+    Term.(const main $ algo $ family $ n $ w $ seed $ strip $ pulses)
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Csap Csap_graph Format

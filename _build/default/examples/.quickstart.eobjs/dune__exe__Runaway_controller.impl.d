@@ -1,0 +1,1 @@
+examples/runaway_controller.ml: Array Csap Csap_dsim Csap_graph Format Fun

@@ -1,0 +1,1 @@
+examples/runaway_controller.mli:

@@ -1,0 +1,1 @@
+examples/synchronizer_demo.ml: Array Csap Csap_dsim Csap_graph Format List

@@ -1,0 +1,1 @@
+examples/synchronizer_demo.mli:

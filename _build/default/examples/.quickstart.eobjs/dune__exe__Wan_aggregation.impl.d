@@ -1,0 +1,1 @@
+examples/wan_aggregation.ml: Array Csap Csap_graph Format List

@@ -1,0 +1,36 @@
+(* Quickstart: build a weighted network, compute a global function over a
+   shallow-light tree, and compare the measured cost with the paper's
+   optimal bounds (communication Theta(V), time Theta(D)).
+
+   Run with: dune exec examples/quickstart.exe *)
+
+let () =
+  (* A 6x6 mesh with weight-3 links: 36 routers, uniform latency. *)
+  let g = Csap_graph.Generators.grid 6 6 ~w:3 in
+  let params = Csap_graph.Params.compute g in
+  Format.printf "network: %a@." Csap_graph.Params.pp params;
+
+  (* Every vertex holds a local reading; we want the global maximum known
+     at every vertex. *)
+  let values =
+    Array.init (Csap_graph.Graph.n g) (fun v -> (v * 7919) mod 101)
+  in
+  let expected = Array.fold_left max min_int values in
+
+  (* The paper's recipe (Corollary 2.3): build a shallow-light tree, then
+     convergecast + broadcast on it. *)
+  let result =
+    Csap.Global_func.run_optimal g ~root:0 ~values Csap.Global_func.max_value
+  in
+  assert (Array.for_all (fun x -> x = expected) result.Csap.Global_func.outputs);
+  Format.printf "global max = %d, known at every vertex@." expected;
+  Format.printf "measured:   %a@." Csap.Measures.pp
+    result.Csap.Global_func.measures;
+  Format.printf "bounds:     comm >= V = %d (Thm 2.1), comm <= 2(1+2/q)V = %.0f@."
+    params.Csap_graph.Params.script_v
+    (2.0 *. Csap.Slt.weight_bound ~q:2.0
+       ~script_v:params.Csap_graph.Params.script_v);
+  Format.printf "            time >= D = %d, time <= 2(2q+1)D = %.0f@."
+    params.Csap_graph.Params.script_d
+    (2.0 *. Csap.Slt.depth_bound ~q:2.0
+       ~script_d:params.Csap_graph.Params.script_d)

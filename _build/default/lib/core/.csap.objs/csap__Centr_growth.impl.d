@@ -1,0 +1,1 @@
+lib/core/centr_growth.ml: Array Csap_dsim Csap_graph Fun List Measures Option

@@ -1,0 +1,1 @@
+lib/core/centr_growth.mli: Csap_dsim Csap_graph Measures

@@ -1,0 +1,1 @@
+lib/core/clock_sync.ml: Array Csap_cover Csap_dsim Csap_graph Float Hashtbl List Measures Slt

@@ -1,0 +1,1 @@
+lib/core/clock_sync.mli: Csap_cover Csap_dsim Csap_graph Measures

@@ -1,0 +1,1 @@
+lib/core/con_hybrid.ml: Centr_growth Csap_dsim Csap_graph Dfs_token Measures

@@ -1,0 +1,1 @@
+lib/core/controller.ml: Array Csap_dsim Csap_graph List Queue

@@ -1,0 +1,1 @@
+lib/core/controller.mli: Csap_dsim

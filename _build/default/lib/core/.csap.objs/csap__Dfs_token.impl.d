@@ -1,0 +1,1 @@
+lib/core/dfs_token.ml: Array Csap_dsim Csap_graph Fun Measures

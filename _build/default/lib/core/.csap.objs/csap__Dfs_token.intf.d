@@ -1,0 +1,1 @@
+lib/core/dfs_token.mli: Csap_dsim Csap_graph Measures

@@ -1,0 +1,1 @@
+lib/core/flood.ml: Array Csap_dsim Csap_graph Float Fun Measures

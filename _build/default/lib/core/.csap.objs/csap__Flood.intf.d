@@ -1,0 +1,1 @@
+lib/core/flood.mli: Csap_dsim Csap_graph Measures

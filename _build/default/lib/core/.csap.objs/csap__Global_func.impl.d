@@ -1,0 +1,1 @@
+lib/core/global_func.ml: Array Csap_dsim Csap_graph Fun List Measures Slt

@@ -1,0 +1,1 @@
+lib/core/global_func.mli: Csap_dsim Csap_graph Measures

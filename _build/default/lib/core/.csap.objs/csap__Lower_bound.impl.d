@@ -1,0 +1,1 @@
+lib/core/lower_bound.ml: Array Con_hybrid Csap_graph Dfs_token Flood List Measures

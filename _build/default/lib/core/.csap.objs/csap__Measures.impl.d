@@ -1,0 +1,1 @@
+lib/core/measures.ml: Csap_dsim Format

@@ -1,0 +1,1 @@
+lib/core/measures.mli: Csap_dsim Format

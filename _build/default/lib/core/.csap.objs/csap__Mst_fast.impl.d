@@ -1,0 +1,1 @@
+lib/core/mst_fast.ml: Array Csap_dsim Csap_graph Fun Hashtbl List Measures Slt

@@ -1,0 +1,1 @@
+lib/core/mst_fast.mli: Csap_dsim Csap_graph Measures

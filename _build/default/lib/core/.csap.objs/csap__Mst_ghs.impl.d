@@ -1,0 +1,1 @@
+lib/core/mst_ghs.ml: Array Csap_dsim Csap_graph Fun Hashtbl Measures Queue

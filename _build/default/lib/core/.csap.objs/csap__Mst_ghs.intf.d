@@ -1,0 +1,1 @@
+lib/core/mst_ghs.mli: Csap_dsim Csap_graph Measures

@@ -1,0 +1,1 @@
+lib/core/mst_hybrid.ml: Centr_growth Controller Csap_dsim Csap_graph Measures Mst_ghs

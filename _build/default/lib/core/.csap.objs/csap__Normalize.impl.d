@@ -1,0 +1,1 @@
+lib/core/normalize.ml: Array Csap_dsim Csap_graph Hashtbl List

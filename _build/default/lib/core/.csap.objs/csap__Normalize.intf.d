@@ -1,0 +1,1 @@
+lib/core/normalize.mli: Csap_dsim Csap_graph

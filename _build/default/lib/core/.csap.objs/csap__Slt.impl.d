@@ -1,0 +1,1 @@
+lib/core/slt.ml: Array Csap_graph Hashtbl List

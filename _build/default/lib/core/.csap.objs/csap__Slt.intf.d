@@ -1,0 +1,1 @@
+lib/core/slt.mli: Csap_graph

@@ -1,0 +1,1 @@
+lib/core/slt_distributed.ml: Array Centr_growth Csap_dsim Csap_graph Hashtbl List Measures

@@ -1,0 +1,1 @@
+lib/core/slt_distributed.mli: Csap_dsim Csap_graph Measures

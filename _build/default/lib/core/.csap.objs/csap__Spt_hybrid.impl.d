@@ -1,0 +1,1 @@
+lib/core/spt_hybrid.ml: Csap_graph Measures Spt_recur Spt_synch

@@ -1,0 +1,1 @@
+lib/core/spt_hybrid.mli: Csap_dsim Csap_graph Measures

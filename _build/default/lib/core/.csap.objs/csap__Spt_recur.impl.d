@@ -1,0 +1,1 @@
+lib/core/spt_recur.ml: Array Csap_dsim Csap_graph List Measures

@@ -1,0 +1,1 @@
+lib/core/spt_recur.mli: Csap_dsim Csap_graph Measures

@@ -1,0 +1,1 @@
+lib/core/spt_synch.ml: Array Csap_dsim Csap_graph List Measures Synchronizer

@@ -1,0 +1,1 @@
+lib/core/spt_synch.mli: Csap_dsim Csap_graph Measures

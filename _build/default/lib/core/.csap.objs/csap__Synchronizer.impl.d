@@ -1,0 +1,1 @@
+lib/core/synchronizer.ml: Array Csap_dsim Csap_graph Hashtbl List Measures Normalize Slt

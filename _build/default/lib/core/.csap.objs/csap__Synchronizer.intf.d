@@ -1,0 +1,1 @@
+lib/core/synchronizer.mli: Csap_dsim Csap_graph Measures Normalize

@@ -1,0 +1,52 @@
+module Engine = Csap_dsim.Engine
+module G = Csap_graph.Graph
+
+type result = {
+  tree : Csap_graph.Tree.t;
+  arrival : float array;
+  measures : Measures.t;
+}
+
+type msg = Wave
+
+let run ?delay g ~source =
+  let n = G.n g in
+  let eng = Engine.create ?delay g in
+  let parent = Array.make n (-1) in
+  let parent_w = Array.make n 0 in
+  let reached = Array.make n false in
+  let arrival = Array.make n infinity in
+  let forward v ~except =
+    Array.iter
+      (fun (u, _, _) -> if u <> except then Engine.send eng ~src:v ~dst:u Wave)
+      (G.neighbors g v)
+  in
+  for v = 0 to n - 1 do
+    Engine.set_handler eng v (fun ~src Wave ->
+        if not reached.(v) then begin
+          reached.(v) <- true;
+          arrival.(v) <- Engine.now eng;
+          parent.(v) <- src;
+          (match G.edge_between g v src with
+          | Some (w, _) -> parent_w.(v) <- w
+          | None -> assert false);
+          forward v ~except:src
+        end)
+  done;
+  Engine.schedule eng ~delay:0.0 (fun () ->
+      reached.(source) <- true;
+      arrival.(source) <- 0.0;
+      forward source ~except:(-1));
+  ignore (Engine.run eng);
+  if not (Array.for_all Fun.id reached) then
+    invalid_arg "Flood.run: graph is disconnected";
+  let tree =
+    Csap_graph.Tree.of_parents ~root:source ~parents:parent ~weights:parent_w
+  in
+  (* The broadcast completes when the last vertex is reached; duplicate
+     copies still in flight afterwards cost communication but not time. *)
+  let completion = Array.fold_left Float.max 0.0 arrival in
+  let measures =
+    { (Measures.of_metrics (Engine.metrics eng)) with Measures.time = completion }
+  in
+  { tree; arrival; measures }

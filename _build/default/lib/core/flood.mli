@@ -1,0 +1,18 @@
+(** The flooding algorithm CON_flood (Section 6.1).
+
+    Broadcasts a message from a source: each vertex forwards the first copy
+    it receives to all its other neighbours. Communication [O(script-E)]
+    (every edge carries at most two copies), time [O(script-D)] (the wave
+    follows shortest paths). The first-contact edges form a spanning tree,
+    which solves connected components / spanning tree (Section 7), at the
+    [O(script-E)] end of the trade-off. *)
+
+type result = {
+  tree : Csap_graph.Tree.t;  (** the spanning tree of first contacts *)
+  arrival : float array;  (** time the wave reached each vertex *)
+  measures : Measures.t;
+}
+
+(** [run ?delay g ~source] floods from [source]; requires a connected
+    graph. *)
+val run : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> source:int -> result

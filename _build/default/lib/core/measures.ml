@@ -1,0 +1,26 @@
+type t = {
+  comm : int;
+  time : float;
+  messages : int;
+}
+
+let zero = { comm = 0; time = 0.0; messages = 0 }
+
+let of_metrics (m : Csap_dsim.Metrics.t) =
+  {
+    comm = m.Csap_dsim.Metrics.weighted_comm;
+    time = m.Csap_dsim.Metrics.completion_time;
+    messages = m.Csap_dsim.Metrics.messages;
+  }
+
+let add a b =
+  {
+    comm = a.comm + b.comm;
+    time = a.time +. b.time;
+    messages = a.messages + b.messages;
+  }
+
+let ratio ~measured ~bound = if bound = 0.0 then nan else measured /. bound
+
+let pp ppf t =
+  Format.fprintf ppf "comm=%d time=%.1f msgs=%d" t.comm t.time t.messages

@@ -1,0 +1,24 @@
+(** Cost-sensitive complexity measures (Section 1.3).
+
+    The communication complexity of an execution is the sum of [w(e)] over
+    all messages sent; the time complexity is the physical completion time
+    under delays bounded by the edge weights. *)
+
+type t = {
+  comm : int;  (** weighted communication: sum of w(e) per message *)
+  time : float;  (** physical completion time *)
+  messages : int;  (** raw message count *)
+}
+
+val zero : t
+
+val of_metrics : Csap_dsim.Metrics.t -> t
+
+(** Pointwise sum (for protocols composed of stages). *)
+val add : t -> t -> t
+
+(** [ratio ~measured ~bound] is measured/bound, with 0 bounds mapped to
+    [nan]. Used by the benchmark tables. *)
+val ratio : measured:float -> bound:float -> float
+
+val pp : Format.formatter -> t -> unit

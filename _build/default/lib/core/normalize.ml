@@ -1,0 +1,104 @@
+module SP = Csap_dsim.Sync_protocol
+module G = Csap_graph.Graph
+
+let power w =
+  assert (w >= 1);
+  let rec up p = if p >= w then p else up (2 * p) in
+  up 1
+
+let next_mult ~w t =
+  assert (w >= 1 && t >= 0);
+  let r = t mod w in
+  if r = 0 then t else t + (w - r)
+
+let is_normalized g =
+  Array.for_all (fun (e : G.edge) -> power e.w = e.w) (G.edges g)
+
+let graph g = G.map_weights g (fun e -> power e.w)
+
+type 'm envelope = {
+  sent_at : int;
+  payload : 'm;
+}
+
+type ('s, 'm) state = {
+  mutable inner : 's;
+  (* Messages waiting for their processing pulse: processing -> (src, m). *)
+  in_buffer : (int, (int * 'm) list) Hashtbl.t;
+  (* Transmissions waiting for their rounded send pulse: pulse -> sends. *)
+  out_buffer : (int, (int * 'm envelope) list) Hashtbl.t;
+}
+
+let inner_state s = s.inner
+
+let push tbl key v =
+  let old = try Hashtbl.find tbl key with Not_found -> [] in
+  Hashtbl.replace tbl key (v :: old)
+
+let pop tbl key =
+  match Hashtbl.find_opt tbl key with
+  | None -> []
+  | Some xs ->
+    Hashtbl.remove tbl key;
+    List.rev xs
+
+let protocol ~original (p : ('s, 'm) SP.t) =
+  let original_weight ~u ~v =
+    match G.edge_between original u v with
+    | Some (w, _) -> w
+    | None -> invalid_arg "Normalize: edge not in the original graph"
+  in
+  {
+    SP.init =
+      (fun _g ~me ->
+        {
+          inner = p.SP.init original ~me;
+          in_buffer = Hashtbl.create 8;
+          out_buffer = Hashtbl.create 8;
+        });
+    on_pulse =
+      (fun g ~me ~pulse ~inbox state ->
+        (* Buffer arrivals until their processing pulse 4 (S_M + w). *)
+        List.iter
+          (fun (src, { sent_at; payload }) ->
+            (* Recover the inner send pulse S_M from the rounded send time:
+               sent_at = next_mult (4 S_M), so S_M = ceil to the inner
+               grid is not needed — we carry S_M itself scaled by 4 below.
+               sent_at is in transformed pulses; inner send pulse is
+               sent_at' / 4 where sent_at' was 4 S_M before rounding. The
+               envelope stores the *pre-rounding* value, see below. *)
+            let w = original_weight ~u:src ~v:me in
+            let processing = sent_at + (4 * w) in
+            push state.in_buffer processing (src, payload))
+          inbox;
+        (* Run an inner pulse only on multiples of 4. *)
+        if pulse mod 4 = 0 then begin
+          let inner_pulse = pulse / 4 in
+          let inner_inbox =
+            pop state.in_buffer pulse
+            |> List.sort (fun (a, _) (b, _) -> compare a b)
+          in
+          let inner', sends =
+            p.SP.on_pulse original ~me ~pulse:inner_pulse ~inbox:inner_inbox
+              state.inner
+          in
+          state.inner <- inner';
+          List.iter
+            (fun (dst, payload) ->
+              let w_hat =
+                match G.edge_between g me dst with
+                | Some (w, _) -> w
+                | None -> invalid_arg "Normalize: send to non-neighbour"
+              in
+              let send_pulse = next_mult ~w:w_hat pulse in
+              push state.out_buffer send_pulse
+                (dst, { sent_at = pulse; payload }))
+            sends
+        end;
+        (* Flush transmissions scheduled for this pulse. *)
+        let outgoing = pop state.out_buffer pulse in
+        (state, outgoing))
+  }
+
+let pulses_needed ~original_pulses ~w_max =
+  (4 * original_pulses) + (4 * power w_max)

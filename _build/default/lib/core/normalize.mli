@@ -1,0 +1,56 @@
+(** The protocol transformation of Lemma 4.5 (Section 4.3).
+
+    Synchronizer gamma_w assumes a {e normalized} network (all weights are
+    powers of two, Definition 4.3) and a protocol {e in synch} with it
+    (transmissions on [e] only at pulses divisible by [w(e)], Definition
+    4.2). This module turns an arbitrary synchronous protocol [pi] on
+    [G(V,E,w)] into a protocol [pi''] on [G(V,E,power(w))] with both
+    properties, identical outputs, and at most twice the communication and
+    ~four times the time:
+
+    + slow [pi] down by 4: its pulse [t] events happen at pulse [4t];
+    + round weights up to [power(w)], the least power of two [>= w]
+      (so [w <= power(w) < 2w]);
+    + delay each transmission to the next multiple of the edge weight
+      ([next_mult]), and have the receiver buffer the message until its
+      original processing pulse [4 (S_M + w)] — always after its arrival.
+
+    Each transformed message carries its original send pulse so the
+    receiver can compute the processing pulse; this adds O(log) bits to a
+    message, not extra messages. *)
+
+(** [power w] is the smallest power of two [>= w]; [w <= power w < 2 w]. *)
+val power : int -> int
+
+(** [next_mult ~w t] is the smallest multiple of [w] that is [>= t]
+    (Definition 4.7). *)
+val next_mult : w:int -> int -> int
+
+(** True when every edge weight is a power of two (Definition 4.3). *)
+val is_normalized : Csap_graph.Graph.t -> bool
+
+(** [graph g] rounds all weights up to powers of two. *)
+val graph : Csap_graph.Graph.t -> Csap_graph.Graph.t
+
+(** Wrapper state: the inner protocol state plus in/out buffers. *)
+type ('s, 'm) state
+
+val inner_state : ('s, 'm) state -> 's
+
+(** Transformed messages carry the original send pulse. *)
+type 'm envelope = {
+  sent_at : int;  (** pulse of the transformed network *)
+  payload : 'm;
+}
+
+(** [protocol ~original p] is the transformed protocol, to be run on
+    [graph original]. It is in synch with the normalized network (checked
+    by {!Csap_dsim.Sync_runner.run} with [~check_in_synch:true]). *)
+val protocol :
+  original:Csap_graph.Graph.t ->
+  ('s, 'm) Csap_dsim.Sync_protocol.t ->
+  (('s, 'm) state, 'm envelope) Csap_dsim.Sync_protocol.t
+
+(** [pulses_needed ~original_pulses ~w_max] is a safe number of transformed
+    pulses to simulate [original_pulses] inner pulses: [4 p + 4 W]. *)
+val pulses_needed : original_pulses:int -> w_max:int -> int

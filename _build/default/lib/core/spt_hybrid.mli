@@ -1,0 +1,33 @@
+(** Algorithm SPT_hybrid (Section 9.3).
+
+    Combines SPT_synch ([O(script-E + script-D k n log n)] communication)
+    and SPT_recur ([O(script-E^(1+eps))]) so the result is as cheap as the
+    cheaper of the two, in the manner of the hybrids of Sections 7-8. Our
+    two SPT constructions have no single centre of activity to suspend, so
+    the combination is realised with budgeted restarts (the classical
+    dovetailing argument behind such minimum-combinations): run one
+    algorithm under a communication budget [B], on failure run the other
+    under [B], double [B] and repeat. The total spend is at most a constant
+    factor above [min] of the two standalone costs. *)
+
+type winner =
+  | Synch
+  | Recur
+
+type result = {
+  tree : Csap_graph.Tree.t;
+  winner : winner;
+  total_comm : int;  (** across all budget epochs *)
+  winning_measures : Measures.t;  (** the successful run's own measures *)
+  epochs : int;
+}
+
+(** [run ?delay ?k ?strip g ~source]; [k] is gamma_w's parameter, [strip]
+    SPT_recur's strip depth (defaults as in the component algorithms). *)
+val run :
+  ?delay:Csap_dsim.Delay.t ->
+  ?k:int ->
+  ?strip:int ->
+  Csap_graph.Graph.t ->
+  source:int ->
+  result

@@ -1,0 +1,1 @@
+lib/cover/cluster.ml: Array Csap_graph Fun Hashtbl Int List Set

@@ -1,0 +1,1 @@
+lib/cover/cluster.mli: Csap_graph Set

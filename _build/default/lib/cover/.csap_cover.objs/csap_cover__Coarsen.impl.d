@@ -1,0 +1,1 @@
+lib/cover/coarsen.ml: Cluster Hashtbl List

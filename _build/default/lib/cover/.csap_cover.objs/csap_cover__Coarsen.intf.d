@@ -1,0 +1,1 @@
+lib/cover/coarsen.mli: Cluster Csap_graph

@@ -1,0 +1,1 @@
+lib/cover/tree_cover.ml: Array Cluster Coarsen Csap_graph Hashtbl List

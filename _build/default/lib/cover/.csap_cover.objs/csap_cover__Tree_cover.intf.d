@@ -1,0 +1,1 @@
+lib/cover/tree_cover.mli: Cluster Csap_graph Hashtbl

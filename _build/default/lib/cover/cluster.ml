@@ -1,0 +1,94 @@
+module Vset = Set.Make (Int)
+
+type t = Vset.t
+
+let of_list = Vset.of_list
+
+let is_connected g s =
+  match Vset.choose_opt s with
+  | None -> false
+  | Some start ->
+    let visited = Hashtbl.create (Vset.cardinal s) in
+    Hashtbl.replace visited start ();
+    let stack = ref [ start ] in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        Array.iter
+          (fun (u, _, _) ->
+            if Vset.mem u s && not (Hashtbl.mem visited u) then begin
+              Hashtbl.replace visited u ();
+              stack := u :: !stack
+            end)
+          (Csap_graph.Graph.neighbors g v);
+        loop ()
+    in
+    loop ();
+    Hashtbl.length visited = Vset.cardinal s
+
+let dijkstra_within g s ~src =
+  if not (Vset.mem src s) then
+    invalid_arg "Cluster.dijkstra_within: src outside cluster";
+  let n = Csap_graph.Graph.n g in
+  let dist = Array.make n max_int in
+  let settled = Array.make n false in
+  let heap = Csap_graph.Heap.create ~cmp:compare in
+  dist.(src) <- 0;
+  Csap_graph.Heap.add heap (0, src);
+  let rec loop () =
+    match Csap_graph.Heap.pop_min heap with
+    | None -> ()
+    | Some (du, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Array.iter
+          (fun (v, w, _) ->
+            if Vset.mem v s && (not settled.(v)) && du + w < dist.(v) then begin
+              dist.(v) <- du + w;
+              Csap_graph.Heap.add heap (du + w, v)
+            end)
+          (Csap_graph.Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  dist
+
+let eccentricity_within g s v =
+  let dist = dijkstra_within g s ~src:v in
+  Vset.fold (fun u acc -> max acc dist.(u)) s 0
+
+let radius_and_center g s =
+  if Vset.is_empty s then invalid_arg "Cluster.radius_and_center: empty";
+  if not (is_connected g s) then
+    invalid_arg "Cluster.radius_and_center: cluster not connected";
+  Vset.fold
+    (fun v ((best, _) as acc) ->
+      let e = eccentricity_within g s v in
+      if e < best then (e, v) else acc)
+    s (max_int, -1)
+
+let radius g s = fst (radius_and_center g s)
+
+let is_cover g clusters =
+  let n = Csap_graph.Graph.n g in
+  let covered = Array.make n false in
+  List.iter (fun s -> Vset.iter (fun v -> covered.(v) <- true) s) clusters;
+  Array.for_all Fun.id covered
+
+let max_degree n clusters =
+  let deg = Array.make n 0 in
+  List.iter
+    (fun s -> Vset.iter (fun v -> deg.(v) <- deg.(v) + 1) s)
+    clusters;
+  Array.fold_left max 0 deg
+
+let max_radius g clusters =
+  List.fold_left (fun acc s -> max acc (radius g s)) 0 clusters
+
+let subsumes ~coarse ~fine =
+  List.for_all
+    (fun s -> List.exists (fun t -> Vset.subset s t) coarse)
+    fine

@@ -1,0 +1,45 @@
+(** Clusters and covers (Section 1.2).
+
+    A {e cluster} is a set of vertices [S] whose induced subgraph [G(S)] is
+    connected. A {e cover} is a collection of clusters whose union is [V].
+    Radii are weighted and measured inside the induced subgraph. *)
+
+module Vset : Set.S with type elt = int
+
+type t = Vset.t
+
+val of_list : int list -> t
+
+(** Whether [G(S)] is connected ([false] for the empty set). *)
+val is_connected : Csap_graph.Graph.t -> t -> bool
+
+(** [dijkstra_within g s ~src] is the array of weighted distances from [src]
+    using only vertices of [s] ([max_int] outside or unreachable).
+    Requires [src] to be in [s]. *)
+val dijkstra_within : Csap_graph.Graph.t -> t -> src:int -> int array
+
+(** [eccentricity_within g s v] is [max_{u in s} dist(v, u, G(S))]. *)
+val eccentricity_within : Csap_graph.Graph.t -> t -> int -> int
+
+(** [radius_and_center g s] minimises eccentricity over members of [s];
+    requires [G(S)] connected and non-empty. *)
+val radius_and_center : Csap_graph.Graph.t -> t -> int * int
+
+(** [Rad(S)] as defined in the paper. *)
+val radius : Csap_graph.Graph.t -> t -> int
+
+(** {2 Covers} *)
+
+(** Union of the clusters equals the whole vertex set. *)
+val is_cover : Csap_graph.Graph.t -> t list -> bool
+
+(** [max_degree n cover] is [A(S)]: the max, over vertices, of the number of
+    clusters containing it. *)
+val max_degree : int -> t list -> int
+
+(** [max_radius g cover] is [Rad(S) = max_i Rad(S_i)]. *)
+val max_radius : Csap_graph.Graph.t -> t list -> int
+
+(** [subsumes ~coarse ~fine]: every cluster of [fine] is contained in some
+    cluster of [coarse]. *)
+val subsumes : coarse:t list -> fine:t list -> bool

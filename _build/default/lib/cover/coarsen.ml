@@ -1,0 +1,81 @@
+let degree_bound ~num_clusters ~k =
+  let s = float_of_int num_clusters in
+  let f = s ** (1.0 /. float_of_int k) in
+  int_of_float (ceil (f *. (1.0 +. log s)))
+
+(* One phase of the greedy construction. [pool] is an array of
+   (original_index, cluster) pairs still to be processed this phase. Returns
+   the kernels output this phase and the clusters deferred to the next
+   phase. Kernels within a phase are vertex-disjoint by construction. *)
+let run_phase growth_factor pool =
+  let alive = Hashtbl.create (List.length pool) in
+  List.iter (fun (id, c) -> Hashtbl.replace alive id c) pool;
+  let outputs = ref [] in
+  let deferred = ref [] in
+  let intersecting kernel_vertices =
+    Hashtbl.fold
+      (fun id c acc ->
+        if Cluster.Vset.exists (fun v -> Cluster.Vset.mem v kernel_vertices) c
+        then (id, c) :: acc
+        else acc)
+      alive []
+  in
+  let rec next_seed () =
+    match Hashtbl.fold (fun id c acc ->
+              match acc with
+              | Some (best_id, _) when best_id <= id -> acc
+              | _ -> Some (id, c))
+            alive None
+    with
+    | None -> ()
+    | Some (seed_id, seed) ->
+      (* Grow the kernel while the intersecting set multiplies fast. *)
+      let rec grow members count =
+        let hits = intersecting members in
+        let hit_count = List.length hits in
+        if float_of_int hit_count > growth_factor *. float_of_int count then
+          grow
+            (List.fold_left
+               (fun acc (_, c) -> Cluster.Vset.union acc c)
+               members hits)
+            hit_count
+        else (members, hits)
+      in
+      let members, hits = grow seed 1 in
+      (* Clusters inside the kernel are subsumed; the rest of the hits merely
+         collide with it and are deferred to the next phase. *)
+      List.iter
+        (fun (id, c) ->
+          Hashtbl.remove alive id;
+          if not (Cluster.Vset.subset c members) then deferred := (id, c) :: !deferred)
+        hits;
+      (* The seed itself is always part of the kernel. *)
+      Hashtbl.remove alive seed_id;
+      outputs := members :: !outputs;
+      next_seed ()
+  in
+  next_seed ();
+  (!outputs, !deferred)
+
+let coarsen g ~clusters ~k =
+  if k < 1 then invalid_arg "Coarsen.coarsen: k >= 1 required";
+  if clusters = [] then invalid_arg "Coarsen.coarsen: empty cover";
+  List.iter
+    (fun c ->
+      if Cluster.Vset.is_empty c then
+        invalid_arg "Coarsen.coarsen: empty cluster";
+      if not (Cluster.is_connected g c) then
+        invalid_arg "Coarsen.coarsen: cluster not connected")
+    clusters;
+  let total = List.length clusters in
+  let growth_factor =
+    float_of_int total ** (1.0 /. float_of_int k)
+  in
+  let rec phases pool acc =
+    match pool with
+    | [] -> acc
+    | _ ->
+      let outputs, deferred = run_phase growth_factor pool in
+      phases deferred (List.rev_append outputs acc)
+  in
+  phases (List.mapi (fun i c -> (i, c)) clusters) []

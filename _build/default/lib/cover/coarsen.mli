@@ -1,0 +1,30 @@
+(** Cover coarsening — Theorem 1.1 of the paper ([AP91]).
+
+    Given an initial cover [S] and a parameter [k >= 1], builds a cover [T]
+    such that:
+
+    + [T] subsumes [S];
+    + [Rad(T) <= (2k - 1) * Rad(S)];
+    + the maximum degree [A(T)] is low: this implementation uses the
+      phase-disjoint greedy variant, giving
+      [A(T) <= |S|^(1/k) * (1 + ln |S|)] — which matches the theorem's
+      [O(k |S|^(1/k))] at the operating point [k = log n] used by the tree
+      edge-cover of Section 3.
+
+    The construction is the classical kernel-growing procedure: pick a seed
+    cluster, repeatedly merge every remaining cluster that intersects the
+    kernel while the merge multiplies the kernel's cluster count by more than
+    [|S|^(1/k)], and output the kernel. Kernels formed within one phase are
+    vertex-disjoint, so each phase adds at most one to any vertex's degree. *)
+
+(** [coarsen g ~clusters ~k] returns the coarsened cover.
+
+    Raises [Invalid_argument] when [k < 1], [clusters] is empty, or some
+    input cluster is empty or not connected in [g]. *)
+val coarsen :
+  Csap_graph.Graph.t -> clusters:Cluster.t list -> k:int -> Cluster.t list
+
+(** Upper bound on the output degree guaranteed by this implementation:
+    [ceil (|S|^(1/k) * (1 + ln |S|))]. Exposed so tests and callers can
+    assert against the actual contract. *)
+val degree_bound : num_clusters:int -> k:int -> int

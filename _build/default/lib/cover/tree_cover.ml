@@ -1,0 +1,135 @@
+type cluster_tree = {
+  tree_id : int;
+  root : int;
+  members : int list;
+  parent : int array;
+  parent_weight : int array;
+  depth : int array;
+  height : int;
+}
+
+let members_set t = Cluster.of_list t.members
+
+let children t =
+  let tbl = Hashtbl.create (List.length t.members) in
+  List.iter (fun v -> Hashtbl.replace tbl v []) t.members;
+  List.iter
+    (fun v ->
+      let p = t.parent.(v) in
+      if p >= 0 then Hashtbl.replace tbl p (v :: Hashtbl.find tbl p))
+    t.members;
+  (* Deterministic child order. *)
+  Hashtbl.iter (fun v cs -> Hashtbl.replace tbl v (List.sort compare cs)) tbl;
+  tbl
+
+let spt_of_cluster g ~tree_id c ~center =
+  let n = Csap_graph.Graph.n g in
+  if not (Cluster.Vset.mem center c) then
+    invalid_arg "Tree_cover.spt_of_cluster: center outside cluster";
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-2) in
+  let parent_weight = Array.make n 0 in
+  let settled = Array.make n false in
+  let heap = Csap_graph.Heap.create ~cmp:compare in
+  dist.(center) <- 0;
+  parent.(center) <- -1;
+  Csap_graph.Heap.add heap (0, center);
+  let rec loop () =
+    match Csap_graph.Heap.pop_min heap with
+    | None -> ()
+    | Some (du, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        Array.iter
+          (fun (v, w, _) ->
+            if Cluster.Vset.mem v c && not settled.(v) then begin
+              let dv = du + w in
+              if
+                dv < dist.(v)
+                || (dv = dist.(v) && parent.(v) >= 0 && u < parent.(v))
+              then begin
+                dist.(v) <- dv;
+                parent.(v) <- u;
+                parent_weight.(v) <- w;
+                Csap_graph.Heap.add heap (dv, v)
+              end
+            end)
+          (Csap_graph.Graph.neighbors g u)
+      end;
+      loop ()
+  in
+  loop ();
+  Cluster.Vset.iter
+    (fun v ->
+      if dist.(v) = max_int then
+        invalid_arg "Tree_cover.spt_of_cluster: cluster not connected")
+    c;
+  let members = Cluster.Vset.elements c in
+  let depth = Array.make n (-1) in
+  List.iter (fun v -> depth.(v) <- dist.(v)) members;
+  let height = List.fold_left (fun acc v -> max acc dist.(v)) 0 members in
+  { tree_id; root = center; members; parent; parent_weight; depth; height }
+
+type t = {
+  trees : cluster_tree list;
+  k : int;
+  d : int;
+}
+
+let build g =
+  let n = Csap_graph.Graph.n g in
+  if n < 2 then invalid_arg "Tree_cover.build: graph too small";
+  let d = Csap_graph.Paths.max_neighbor_distance g in
+  (* Initial cover: one cluster per edge, holding a shortest u-v path. *)
+  let path_cluster (e : Csap_graph.Graph.edge) =
+    let { Csap_graph.Paths.dist = _; parent; _ } =
+      Csap_graph.Paths.dijkstra g ~src:e.u
+    in
+    let rec walk v acc =
+      if v = e.u then v :: acc else walk parent.(v) (v :: acc)
+    in
+    Cluster.of_list (walk e.v [])
+  in
+  let clusters =
+    Array.to_list (Csap_graph.Graph.edges g) |> List.map path_cluster
+  in
+  let k =
+    max 1 (int_of_float (ceil (log (float_of_int n) /. log 2.0)))
+  in
+  let coarse = Coarsen.coarsen g ~clusters ~k in
+  let trees =
+    List.mapi
+      (fun i c ->
+        let _, center = Cluster.radius_and_center g c in
+        spt_of_cluster g ~tree_id:i c ~center)
+      coarse
+  in
+  { trees; k; d }
+
+let trees_at t v =
+  List.filter_map
+    (fun tr -> if tr.depth.(v) >= 0 then Some tr.tree_id else None)
+    t.trees
+
+let covering_tree t ~u ~v =
+  let rec scan = function
+    | [] -> failwith "Tree_cover.covering_tree: property 3 violated"
+    | tr :: rest ->
+      if tr.depth.(u) >= 0 && tr.depth.(v) >= 0 then tr.tree_id else scan rest
+  in
+  scan t.trees
+
+let max_edge_sharing g t =
+  Array.fold_left
+    (fun acc (e : Csap_graph.Graph.edge) ->
+      let count =
+        List.length
+          (List.filter
+             (fun tr -> tr.depth.(e.u) >= 0 && tr.depth.(e.v) >= 0)
+             t.trees)
+      in
+      max acc count)
+    0 (Csap_graph.Graph.edges g)
+
+let max_height t =
+  List.fold_left (fun acc tr -> max acc tr.height) 0 t.trees

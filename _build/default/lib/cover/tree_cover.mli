@@ -1,0 +1,60 @@
+(** Tree edge-covers (Definition 3.1, Lemma 3.2) — the preprocessing
+    structure of clock synchronizer gamma*.
+
+    A tree edge-cover for [G(V,E,w)] is a collection [M] of (cluster
+    spanning) trees such that
+
+    + every edge of [G] is shared by [O(log n)] trees,
+    + each tree's weighted depth is [O(d log n)], where
+      [d = max_(u,v) dist(u,v)], and
+    + for each edge, some tree contains both endpoints.
+
+    Built per Lemma 3.2: coarsen the cover [{Path(u,v,G) : (u,v) in E}]
+    with [k = ceil(log2 n)], then take a shortest-path tree of each output
+    cluster from its centre. *)
+
+(** A rooted tree spanning a cluster of vertices. Arrays are indexed by
+    vertex id; non-members hold [-2] in [parent]. *)
+type cluster_tree = {
+  tree_id : int;
+  root : int;
+  members : int list;  (** ascending *)
+  parent : int array;  (** [-1] at the root, [-2] outside the cluster *)
+  parent_weight : int array;
+  depth : int array;  (** weighted depth; [-1] outside *)
+  height : int;  (** max weighted depth *)
+}
+
+(** [members_set t] as a cluster. *)
+val members_set : cluster_tree -> Cluster.t
+
+(** [children t] lists each member's children in [t]. *)
+val children : cluster_tree -> (int, int list) Hashtbl.t
+
+(** [spt_of_cluster g ~tree_id c ~center] builds the shortest-path tree of
+    the induced subgraph [G(c)] rooted at [center]. *)
+val spt_of_cluster :
+  Csap_graph.Graph.t -> tree_id:int -> Cluster.t -> center:int -> cluster_tree
+
+type t = {
+  trees : cluster_tree list;
+  k : int;  (** coarsening parameter used *)
+  d : int;  (** the graph's max neighbour distance *)
+}
+
+(** [build g] constructs the tree edge-cover of Lemma 3.2. *)
+val build : Csap_graph.Graph.t -> t
+
+(** [covering_tree t ~u ~v] is (the id of) a tree containing both endpoints
+    of the edge [{u,v}]; guaranteed to exist (property 3). *)
+val covering_tree : t -> u:int -> v:int -> int
+
+(** [trees_at t v] lists the ids of trees whose cluster contains [v]. *)
+val trees_at : t -> int -> int list
+
+(** Maximum, over edges of [G], of the number of trees containing both
+    endpoints — the "sharing" of property 1. *)
+val max_edge_sharing : Csap_graph.Graph.t -> t -> int
+
+(** Maximum weighted tree depth — property 2's left-hand side. *)
+val max_height : t -> int

@@ -1,0 +1,1 @@
+lib/dsim/delay.ml: Csap_graph Format

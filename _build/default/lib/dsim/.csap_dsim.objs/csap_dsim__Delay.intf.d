@@ -1,0 +1,1 @@
+lib/dsim/delay.mli: Csap_graph Format

@@ -1,0 +1,1 @@
+lib/dsim/engine.ml: Array Csap_graph Delay Float Metrics Printf

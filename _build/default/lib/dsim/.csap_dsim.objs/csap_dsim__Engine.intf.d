@@ -1,0 +1,1 @@
+lib/dsim/engine.mli: Csap_graph Delay Metrics

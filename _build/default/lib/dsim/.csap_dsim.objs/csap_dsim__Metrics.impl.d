@@ -1,0 +1,1 @@
+lib/dsim/metrics.ml: Format

@@ -1,0 +1,1 @@
+lib/dsim/metrics.mli: Format

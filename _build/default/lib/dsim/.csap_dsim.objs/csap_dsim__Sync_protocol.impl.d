@@ -1,0 +1,1 @@
+lib/dsim/sync_protocol.ml: Csap_graph

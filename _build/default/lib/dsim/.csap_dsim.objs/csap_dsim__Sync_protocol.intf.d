@@ -1,0 +1,1 @@
+lib/dsim/sync_protocol.mli: Csap_graph

@@ -1,0 +1,1 @@
+lib/dsim/sync_runner.ml: Array Csap_graph List Printf Sync_protocol

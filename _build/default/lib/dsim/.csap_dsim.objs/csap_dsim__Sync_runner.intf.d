@@ -1,0 +1,1 @@
+lib/dsim/sync_runner.mli: Csap_graph Sync_protocol

@@ -1,0 +1,32 @@
+type t =
+  | Exact
+  | Uniform of Csap_graph.Rng.t
+  | Scaled of float
+  | Near_zero
+  | Jitter of Csap_graph.Rng.t
+
+let epsilon = 1e-6
+
+let sample t ~w =
+  assert (w >= 1);
+  let fw = float_of_int w in
+  match t with
+  | Exact -> fw
+  | Uniform rng ->
+    let u = Csap_graph.Rng.float rng in
+    (* (0, w]: map [0,1) to (0, w] by flipping the interval. *)
+    (1.0 -. u) *. fw
+  | Scaled c ->
+    assert (c > 0.0 && c <= 1.0);
+    c *. fw
+  | Near_zero -> epsilon
+  | Jitter rng ->
+    let u = Csap_graph.Rng.float rng in
+    (0.5 +. (0.5 *. (1.0 -. u))) *. fw
+
+let pp ppf = function
+  | Exact -> Format.fprintf ppf "exact"
+  | Uniform _ -> Format.fprintf ppf "uniform(0,w]"
+  | Scaled c -> Format.fprintf ppf "scaled(%g)" c
+  | Near_zero -> Format.fprintf ppf "near-zero"
+  | Jitter _ -> Format.fprintf ppf "jitter[w/2,w]"

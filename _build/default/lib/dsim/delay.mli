@@ -1,0 +1,24 @@
+(** Delay models for asynchronous links.
+
+    The paper's model lets the delay of a message on edge [e] vary in
+    [(0, w(e)]]. Every model below respects those bounds; protocols must be
+    correct under all of them, while complexity measurements use [Exact]
+    (the [w(e)]-normalised execution the paper's time bounds refer to). *)
+
+type t =
+  | Exact  (** delay is exactly [w(e)] — the normalised schedule *)
+  | Uniform of Csap_graph.Rng.t
+      (** delay uniform in [(0, w(e)]], independently per message *)
+  | Scaled of float
+      (** delay is [c * w(e)] for a fixed [0 < c <= 1] — a uniformly
+          fast network *)
+  | Near_zero
+      (** a tiny positive delay regardless of weight — the adversary that
+          exposes algorithms relying on weights for timing *)
+  | Jitter of Csap_graph.Rng.t
+      (** delay in [[w(e)/2, w(e)]] — bounded jitter around the weight *)
+
+(** [sample t ~w] draws a delay in [(0, w]]; [w >= 1] required. *)
+val sample : t -> w:int -> float
+
+val pp : Format.formatter -> t -> unit

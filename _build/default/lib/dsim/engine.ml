@@ -1,0 +1,106 @@
+type 'msg event = {
+  time : float;
+  seq : int;
+  action : 'msg action;
+}
+
+and 'msg action =
+  | Deliver of { src : int; dst : int; payload : 'msg }
+  | Local of (unit -> unit)
+
+type 'msg t = {
+  g : Csap_graph.Graph.t;
+  delay : Delay.t;
+  queue : 'msg event Csap_graph.Heap.t;
+  handlers : (src:int -> 'msg -> unit) option array;
+  metrics : Metrics.t;
+  traffic : int array;
+  (* Last scheduled delivery time per directed edge, to keep links FIFO.
+     Index: 2 * edge_id + direction (0 when src = edge.u). *)
+  last_delivery : float array;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let compare_events a b =
+  let c = compare a.time b.time in
+  if c <> 0 then c else compare a.seq b.seq
+
+let create ?(delay = Delay.Exact) g =
+  {
+    g;
+    delay;
+    queue = Csap_graph.Heap.create ~cmp:compare_events;
+    handlers = Array.make (Csap_graph.Graph.n g) None;
+    metrics = Metrics.create ();
+    traffic = Array.make (Csap_graph.Graph.m g) 0;
+    last_delivery = Array.make (2 * Csap_graph.Graph.m g) 0.0;
+    clock = 0.0;
+    seq = 0;
+  }
+
+let graph t = t.g
+let now t = t.clock
+
+let set_handler t v f = t.handlers.(v) <- Some f
+
+let push t time action =
+  Csap_graph.Heap.add t.queue { time; seq = t.seq; action };
+  t.seq <- t.seq + 1
+
+let send t ~src ~dst payload =
+  match Csap_graph.Graph.edge_between t.g src dst with
+  | None -> invalid_arg "Engine.send: no such edge"
+  | Some (w, id) ->
+    Metrics.add_send t.metrics ~w;
+    t.traffic.(id) <- t.traffic.(id) + 1;
+    let e = Csap_graph.Graph.edge t.g id in
+    let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
+    let slot = (2 * id) + dir in
+    let arrival = t.clock +. Delay.sample t.delay ~w in
+    let arrival = Float.max arrival t.last_delivery.(slot) in
+    t.last_delivery.(slot) <- arrival;
+    push t arrival (Deliver { src; dst; payload })
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  push t (t.clock +. delay) (Local f)
+
+let quiescent t = Csap_graph.Heap.is_empty t.queue
+
+let dispatch t = function
+  | Local f -> f ()
+  | Deliver { src; dst; payload } -> (
+    match t.handlers.(dst) with
+    | Some f -> f ~src payload
+    | None -> failwith (Printf.sprintf "Engine: no handler at vertex %d" dst))
+
+let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
+  let processed = ref 0 in
+  let continue = ref true in
+  while
+    !continue && !processed < max_events
+    && t.metrics.Metrics.weighted_comm < comm_budget
+  do
+    match Csap_graph.Heap.peek_min t.queue with
+    | None -> continue := false
+    | Some ev ->
+      (match until with
+      | Some limit when ev.time > limit ->
+        t.clock <- limit;
+        continue := false
+      | _ ->
+        ignore (Csap_graph.Heap.pop_min t.queue);
+        t.clock <- Float.max t.clock ev.time;
+        dispatch t ev.action;
+        incr processed;
+        t.metrics.Metrics.events <- t.metrics.Metrics.events + 1;
+        t.metrics.Metrics.completion_time <- t.clock)
+  done;
+  !processed
+
+let metrics t = t.metrics
+
+let edge_traffic t = Array.copy t.traffic
+
+let send_count t = t.metrics.Metrics.messages

@@ -1,0 +1,55 @@
+(** Deterministic discrete-event simulator for asynchronous message passing.
+
+    A protocol installs one handler per vertex; [send] enqueues a message on
+    an incident edge with a delay drawn from the engine's {!Delay.t} model.
+    Links are FIFO per direction (delivery order matches send order), local
+    computation is instantaneous, and ties are broken by send order, so every
+    execution is reproducible.
+
+    Costs are accounted per the paper: each send adds [w(e)] communication.
+    Per-edge traffic counters support congestion assertions (e.g. the
+    controller's per-edge [O(log^2 c)] overhead). *)
+
+type 'msg t
+
+(** [create ?delay g] builds an idle engine over the network [g]; the default
+    delay model is {!Delay.Exact}. *)
+val create : ?delay:Delay.t -> Csap_graph.Graph.t -> 'msg t
+
+val graph : 'msg t -> Csap_graph.Graph.t
+
+(** Current simulated time. *)
+val now : 'msg t -> float
+
+(** [set_handler t v f] installs [v]'s message handler. Messages delivered to
+    a vertex without a handler raise [Failure]. *)
+val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
+
+(** [send t ~src ~dst msg] transmits over the edge [{src, dst}]; raises
+    [Invalid_argument] when that edge does not exist. *)
+val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
+
+(** [schedule t ~delay f] runs the local event [f] after [delay >= 0] time;
+    used to bootstrap protocols and for local timeouts. Local events cost no
+    communication. *)
+val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
+
+(** [run t] processes events until quiescence. [~until] stops the clock at a
+    given time (events beyond it stay queued); [~max_events] guards against
+    runaway protocols; [~comm_budget] stops once the weighted communication
+    reaches the budget (used by the budgeted-restart hybrids). Returns the
+    number of events processed. *)
+val run :
+  ?until:float -> ?max_events:int -> ?comm_budget:int -> 'msg t -> int
+
+(** True when no events are pending. *)
+val quiescent : 'msg t -> bool
+
+val metrics : 'msg t -> Metrics.t
+
+(** [edge_traffic t] maps edge id to the number of messages that crossed it
+    (in either direction) so far. The returned array is a snapshot. *)
+val edge_traffic : 'msg t -> int array
+
+(** [send_count t] is the number of sends so far (= metrics messages). *)
+val send_count : 'msg t -> int

@@ -1,0 +1,20 @@
+(** Weighted cost accounting for protocol executions (Section 1.3).
+
+    [weighted_comm] is the paper's communication complexity: the sum of
+    [w(e)] over every message sent. [completion_time] is the physical time of
+    the last event processed. *)
+
+type t = {
+  mutable messages : int;  (** number of messages sent *)
+  mutable weighted_comm : int;  (** sum of w(e) over messages *)
+  mutable completion_time : float;
+  mutable events : int;  (** events processed by the engine *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+
+(** [add_send t ~w] accounts for one message on an edge of weight [w]. *)
+val add_send : t -> w:int -> unit
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,21 @@
+type ('state, 'msg) t = {
+  init : Csap_graph.Graph.t -> me:int -> 'state;
+  on_pulse :
+    Csap_graph.Graph.t ->
+    me:int ->
+    pulse:int ->
+    inbox:(int * 'msg) list ->
+    'state ->
+    'state * (int * 'msg) list;
+}
+
+type 'msg delivery = {
+  pulse : int;
+  src : int;
+  dst : int;
+  payload : 'msg;
+}
+
+let compare_delivery ~cmp_payload a b =
+  let c = compare (a.pulse, a.src, a.dst) (b.pulse, b.src, b.dst) in
+  if c <> 0 then c else cmp_payload a.payload b.payload

@@ -1,0 +1,40 @@
+(** Weighted synchronous protocols (Section 4).
+
+    A synchronous protocol runs on the weighted synchronous network
+    [G(V,E,w)] where a message sent on edge [e] at pulse [p] arrives exactly
+    at pulse [p + w(e)]. A protocol is {e in synch} with [G] (Definition 4.2)
+    when it transmits on [e] only at pulses divisible by [w(e)].
+
+    The same value is executed by {!Sync_runner} (the reference executor) and
+    wrapped by the synchronizers of the core library, which is what makes the
+    "synchronizer simulation is exact" property testable. *)
+
+type ('state, 'msg) t = {
+  init : Csap_graph.Graph.t -> me:int -> 'state;
+      (** Per-vertex initial state, computed before pulse 0. *)
+  on_pulse :
+    Csap_graph.Graph.t ->
+    me:int ->
+    pulse:int ->
+    inbox:(int * 'msg) list ->
+    'state ->
+    'state * (int * 'msg) list;
+      (** Executed at every pulse. [inbox] lists [(src, payload)] for the
+          messages arriving exactly at this pulse, in ascending [src] order.
+          The result lists [(dst, payload)] transmissions to neighbours. *)
+}
+
+(** One delivery record, used for execution-equivalence checks. *)
+type 'msg delivery = {
+  pulse : int;  (** arrival pulse *)
+  src : int;
+  dst : int;
+  payload : 'msg;
+}
+
+(** Canonical sort order for delivery logs. *)
+val compare_delivery :
+  cmp_payload:('msg -> 'msg -> int) ->
+  'msg delivery ->
+  'msg delivery ->
+  int

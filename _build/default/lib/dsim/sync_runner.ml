@@ -1,0 +1,70 @@
+type ('state, 'msg) outcome = {
+  states : 'state array;
+  deliveries : 'msg Sync_protocol.delivery list;
+  weighted_comm : int;
+  messages : int;
+  pulses_run : int;
+}
+
+let run ?(check_in_synch = false) g protocol ~pulses =
+  let n = Csap_graph.Graph.n g in
+  let states = Array.init n (fun v -> protocol.Sync_protocol.init g ~me:v) in
+  (* in_flight.(p mod horizon) holds messages arriving at pulse p as
+     (src, dst, payload); horizon covers the maximal weight. *)
+  let horizon = Csap_graph.Graph.max_weight g + 1 in
+  let in_flight = Array.make horizon [] in
+  let deliveries = ref [] in
+  let weighted_comm = ref 0 in
+  let messages = ref 0 in
+  for pulse = 0 to pulses do
+    let slot = pulse mod horizon in
+    let arriving = List.rev in_flight.(slot) in
+    in_flight.(slot) <- [];
+    (* Stable per-destination inboxes, sorted by source. *)
+    let inboxes = Array.make n [] in
+    List.iter
+      (fun (src, dst, payload) ->
+        inboxes.(dst) <- (src, payload) :: inboxes.(dst);
+        deliveries := { Sync_protocol.pulse; src; dst; payload } :: !deliveries)
+      arriving;
+    for v = 0 to n - 1 do
+      let inbox =
+        List.sort (fun (a, _) (b, _) -> compare a b) inboxes.(v)
+      in
+      let state, sends =
+        protocol.Sync_protocol.on_pulse g ~me:v ~pulse ~inbox states.(v)
+      in
+      states.(v) <- state;
+      List.iter
+        (fun (dst, payload) ->
+          match Csap_graph.Graph.edge_between g v dst with
+          | None -> invalid_arg "Sync_runner: send to non-neighbour"
+          | Some (w, _) ->
+            if check_in_synch && pulse mod w <> 0 then
+              invalid_arg
+                (Printf.sprintf
+                   "Sync_runner: protocol not in synch (edge weight %d, \
+                    pulse %d)"
+                   w pulse);
+            incr messages;
+            weighted_comm := !weighted_comm + w;
+            let arrival = pulse + w in
+            if arrival <= pulses then
+              in_flight.(arrival mod horizon) <-
+                (v, dst, payload) :: in_flight.(arrival mod horizon)
+            else
+              (* Still record late deliveries so equivalence checks can
+                 compare complete logs. *)
+              deliveries :=
+                { Sync_protocol.pulse = arrival; src = v; dst; payload }
+                :: !deliveries)
+        sends
+    done
+  done;
+  {
+    states;
+    deliveries = List.rev !deliveries;
+    weighted_comm = !weighted_comm;
+    messages = !messages;
+    pulses_run = pulses + 1;
+  }

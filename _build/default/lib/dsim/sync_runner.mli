@@ -1,0 +1,29 @@
+(** Reference executor for weighted synchronous protocols.
+
+    Runs a {!Sync_protocol.t} for a fixed number of pulses on the weighted
+    synchronous network: a message sent on [e] at pulse [p] is delivered at
+    pulse [p + w(e)]. This is the ground truth that synchronizer executions
+    are compared against, and also the executor for the synchronous halves of
+    SPT_synch. *)
+
+(** Outcome of a run. *)
+type ('state, 'msg) outcome = {
+  states : 'state array;  (** per-vertex states after the last pulse *)
+  deliveries : 'msg Sync_protocol.delivery list;
+      (** every delivery, in execution order *)
+  weighted_comm : int;  (** sum of w(e) over all sends *)
+  messages : int;
+  pulses_run : int;
+}
+
+(** [run ?check_in_synch g p ~pulses] executes pulses [0 .. pulses]
+    inclusive. With [check_in_synch] (default [false]), raises
+    [Invalid_argument] if the protocol transmits on an edge [e] at a pulse
+    not divisible by [w(e)] (Definition 4.2). Sends to non-neighbours raise
+    [Invalid_argument]. *)
+val run :
+  ?check_in_synch:bool ->
+  Csap_graph.Graph.t ->
+  ('state, 'msg) Sync_protocol.t ->
+  pulses:int ->
+  ('state, 'msg) outcome

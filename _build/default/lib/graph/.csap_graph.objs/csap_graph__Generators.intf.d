@@ -1,0 +1,1 @@
+lib/graph/generators.mli: Graph Rng

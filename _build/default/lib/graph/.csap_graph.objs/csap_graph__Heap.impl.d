@@ -1,0 +1,1 @@
+lib/graph/heap.ml: Array List

@@ -1,0 +1,1 @@
+lib/graph/mst.ml: Array Graph Heap List Tree Union_find

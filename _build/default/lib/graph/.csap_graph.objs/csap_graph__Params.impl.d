@@ -1,0 +1,1 @@
+lib/graph/params.ml: Format Graph Mst Paths

@@ -1,0 +1,1 @@
+lib/graph/params.mli: Format Graph

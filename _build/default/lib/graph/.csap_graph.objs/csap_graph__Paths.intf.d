@@ -1,0 +1,1 @@
+lib/graph/paths.mli: Graph Tree

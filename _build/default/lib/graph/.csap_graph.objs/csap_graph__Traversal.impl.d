@@ -1,0 +1,1 @@
+lib/graph/traversal.ml: Array Graph List Queue Tree

@@ -1,0 +1,1 @@
+lib/graph/tree.ml: Array Format Graph Hashtbl List

@@ -1,0 +1,215 @@
+let path n ~w =
+  if n < 1 then invalid_arg "Generators.path: n >= 1 required";
+  Graph.create ~n (List.init (n - 1) (fun i -> (i, i + 1, w)))
+
+let cycle n ~w =
+  if n < 3 then invalid_arg "Generators.cycle: n >= 3 required";
+  Graph.create ~n (List.init n (fun i -> (i, (i + 1) mod n, w)))
+
+let star n ~w =
+  if n < 2 then invalid_arg "Generators.star: n >= 2 required";
+  Graph.create ~n (List.init (n - 1) (fun i -> (0, i + 1, w)))
+
+let complete n ~w =
+  if n < 2 then invalid_arg "Generators.complete: n >= 2 required";
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := (u, v, w) :: !edges
+    done
+  done;
+  Graph.create ~n !edges
+
+let grid rows cols ~w =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid: empty grid";
+  let id r c = (r * cols) + c in
+  let edges = ref [] in
+  for r = 0 to rows - 1 do
+    for c = 0 to cols - 1 do
+      if c + 1 < cols then edges := (id r c, id r (c + 1), w) :: !edges;
+      if r + 1 < rows then edges := (id r c, id (r + 1) c, w) :: !edges
+    done
+  done;
+  Graph.create ~n:(rows * cols) !edges
+
+let binary_tree n ~w =
+  if n < 1 then invalid_arg "Generators.binary_tree: n >= 1 required";
+  Graph.create ~n (List.init (n - 1) (fun i -> (i + 1, i / 2, w)))
+
+let random_tree rng n ~wmax =
+  if n < 1 then invalid_arg "Generators.random_tree: n >= 1 required";
+  if wmax < 1 then invalid_arg "Generators.random_tree: wmax >= 1 required";
+  (* Random attachment: vertex i > 0 hangs off a uniform earlier vertex,
+     after a random relabelling so the shape is not biased toward low ids. *)
+  let label = Array.init n (fun i -> i) in
+  Rng.shuffle rng label;
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    let p = Rng.int rng i in
+    edges := (label.(i), label.(p), Rng.int_in rng 1 wmax) :: !edges
+  done;
+  Graph.create ~n !edges
+
+let random_connected rng n ~extra_edges ~wmax =
+  let tree = random_tree rng n ~wmax in
+  let existing = Hashtbl.create (n + extra_edges) in
+  Array.iter
+    (fun (e : Graph.edge) -> Hashtbl.replace existing (e.u, e.v) ())
+    (Graph.edges tree);
+  let extras = ref [] in
+  let added = ref 0 in
+  let attempts = ref 0 in
+  let max_possible = (n * (n - 1) / 2) - (n - 1) in
+  let budget = min extra_edges max_possible in
+  while !added < budget && !attempts < 100 * (budget + 1) do
+    incr attempts;
+    let u = Rng.int rng n and v = Rng.int rng n in
+    let u, v = if u < v then (u, v) else (v, u) in
+    if u <> v && not (Hashtbl.mem existing (u, v)) then begin
+      Hashtbl.replace existing (u, v) ();
+      extras := (u, v, Rng.int_in rng 1 wmax) :: !extras;
+      incr added
+    end
+  done;
+  let tree_edges =
+    Array.to_list (Graph.edges tree)
+    |> List.map (fun (e : Graph.edge) -> (e.u, e.v, e.w))
+  in
+  Graph.create ~n (tree_edges @ !extras)
+
+let random_geometric rng n ~degree ~scale =
+  if n < 2 then invalid_arg "Generators.random_geometric: n >= 2 required";
+  let xs = Array.init n (fun _ -> Rng.float rng) in
+  let ys = Array.init n (fun _ -> Rng.float rng) in
+  let dist2 i j =
+    let dx = xs.(i) -. xs.(j) and dy = ys.(i) -. ys.(j) in
+    (dx *. dx) +. (dy *. dy)
+  in
+  let weight i j =
+    max 1 (int_of_float (Float.round (scale *. sqrt (dist2 i j))))
+  in
+  let existing = Hashtbl.create (n * degree) in
+  let edges = ref [] in
+  let add i j =
+    let u, v = if i < j then (i, j) else (j, i) in
+    if u <> v && not (Hashtbl.mem existing (u, v)) then begin
+      Hashtbl.replace existing (u, v) ();
+      edges := (u, v, weight u v) :: !edges
+    end
+  in
+  (* Connectivity backbone: Euclidean MST via Prim on the complete graph. *)
+  let in_tree = Array.make n false in
+  let best = Array.make n infinity in
+  let best_to = Array.make n (-1) in
+  in_tree.(0) <- true;
+  for j = 1 to n - 1 do
+    best.(j) <- dist2 0 j;
+    best_to.(j) <- 0
+  done;
+  for _ = 1 to n - 1 do
+    let pick = ref (-1) in
+    for j = 0 to n - 1 do
+      if (not in_tree.(j)) && (!pick < 0 || best.(j) < best.(!pick)) then
+        pick := j
+    done;
+    let j = !pick in
+    in_tree.(j) <- true;
+    add j best_to.(j);
+    for k = 0 to n - 1 do
+      if (not in_tree.(k)) && dist2 j k < best.(k) then begin
+        best.(k) <- dist2 j k;
+        best_to.(k) <- j
+      end
+    done
+  done;
+  (* Local links: each vertex connects to its nearest neighbours until the
+     requested average degree is reached. *)
+  let target_edges = max (n - 1) (n * degree / 2) in
+  let k = ref 1 in
+  while List.length !edges < target_edges && !k < n - 1 do
+    for i = 0 to n - 1 do
+      let order = Array.init n (fun j -> j) in
+      Array.sort (fun a b -> compare (dist2 i a) (dist2 i b)) order;
+      (* order.(0) = i itself; link to the !k-th nearest neighbour. *)
+      if !k < n then add i order.(!k)
+    done;
+    incr k
+  done;
+  Graph.create ~n !edges
+
+let lollipop clique_n path_n ~w =
+  if clique_n < 2 then invalid_arg "Generators.lollipop: clique too small";
+  let n = clique_n + path_n in
+  let edges = ref [] in
+  for u = 0 to clique_n - 2 do
+    for v = u + 1 to clique_n - 1 do
+      edges := (u, v, w) :: !edges
+    done
+  done;
+  for i = 0 to path_n - 1 do
+    let prev = if i = 0 then clique_n - 1 else clique_n + i - 1 in
+    edges := (prev, clique_n + i, w) :: !edges
+  done;
+  Graph.create ~n !edges
+
+let pow4 x = x * x * x * x
+
+let lower_bound_gn n ~x =
+  if n < 4 then invalid_arg "Generators.lower_bound_gn: n >= 4 required";
+  if x < 2 then invalid_arg "Generators.lower_bound_gn: x >= 2 required";
+  let heavy = pow4 x in
+  let path_edges = List.init (n - 1) (fun i -> (i, i + 1, x)) in
+  let bypass =
+    List.init (n / 2) (fun i -> (i, n - 1 - i, heavy))
+    |> List.filter (fun (u, v, _) -> u < v && v - u > 1)
+  in
+  Graph.create ~n (path_edges @ bypass)
+
+let lower_bound_gn_i n ~i ~x =
+  if i < 0 || i >= n / 2 then
+    invalid_arg "Generators.lower_bound_gn_i: i out of range";
+  let heavy = pow4 x in
+  let base = lower_bound_gn n ~x in
+  let partner = n - 1 - i in
+  let kept =
+    Array.to_list (Graph.edges base)
+    |> List.filter (fun (e : Graph.edge) -> not (e.u = i && e.v = partner))
+    |> List.map (fun (e : Graph.edge) -> (e.u, e.v, e.w))
+  in
+  (* Fresh pendant vertices n and n+1 replace the bypass edge. *)
+  Graph.create ~n:(n + 2) (((i, n, heavy)) :: ((partner, n + 1, heavy)) :: kept)
+
+let chorded_cycle n ~chord_w =
+  if n < 5 then invalid_arg "Generators.chorded_cycle: n >= 5 required";
+  if chord_w < 1 then invalid_arg "Generators.chorded_cycle: bad weight";
+  let ring = List.init n (fun i -> (i, (i + 1) mod n, 1)) in
+  let chords = List.init n (fun i -> (i, (i + 2) mod n, chord_w)) in
+  let chords =
+    List.filter
+      (fun (u, v, _) ->
+        let u, v = if u < v then (u, v) else (v, u) in
+        v - u = 2 || (u = 0 && v = n - 2) || (u = 1 && v = n - 1))
+      chords
+  in
+  (* Deduplicate: normalise and drop duplicates defensively. *)
+  let seen = Hashtbl.create n in
+  let uniq =
+    List.filter
+      (fun (u, v, _) ->
+        let key = if u < v then (u, v) else (v, u) in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.replace seen key ();
+          true
+        end)
+      (ring @ chords)
+  in
+  Graph.create ~n uniq
+
+let bkj_star_cycle k ~heavy =
+  if k < 3 then invalid_arg "Generators.bkj_star_cycle: k >= 3 required";
+  if heavy < 1 then invalid_arg "Generators.bkj_star_cycle: bad weight";
+  let n = k + 1 in
+  let spokes = List.init k (fun i -> (0, i + 1, heavy)) in
+  let rim = List.init (k - 1) (fun i -> (i + 1, i + 2, 1)) in
+  Graph.create ~n (spokes @ rim)

@@ -1,0 +1,119 @@
+type edge = { u : int; v : int; w : int }
+
+type t = {
+  n : int;
+  edges : edge array;
+  adj : (int * int * int) array array;
+}
+
+let normalise_edge n (u, v, w) =
+  if u = v then invalid_arg "Graph.create: self-loop";
+  if u < 0 || u >= n || v < 0 || v >= n then
+    invalid_arg "Graph.create: endpoint out of range";
+  if w < 1 then invalid_arg "Graph.create: weight must be >= 1";
+  if u < v then { u; v; w } else { u = v; v = u; w }
+
+let create ~n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let edges = Array.of_list (List.map (normalise_edge n) edge_list) in
+  let seen = Hashtbl.create (Array.length edges) in
+  Array.iter
+    (fun e ->
+      if Hashtbl.mem seen (e.u, e.v) then
+        invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen (e.u, e.v) ())
+    edges;
+  let deg = Array.make n 0 in
+  Array.iter
+    (fun e ->
+      deg.(e.u) <- deg.(e.u) + 1;
+      deg.(e.v) <- deg.(e.v) + 1)
+    edges;
+  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0, 0)) in
+  let fill = Array.make n 0 in
+  Array.iteri
+    (fun id e ->
+      adj.(e.u).(fill.(e.u)) <- (e.v, e.w, id);
+      fill.(e.u) <- fill.(e.u) + 1;
+      adj.(e.v).(fill.(e.v)) <- (e.u, e.w, id);
+      fill.(e.v) <- fill.(e.v) + 1)
+    edges;
+  { n; edges; adj }
+
+let n t = t.n
+let m t = Array.length t.edges
+let edges t = t.edges
+let edge t id = t.edges.(id)
+let neighbors t v = t.adj.(v)
+let degree t v = Array.length t.adj.(v)
+
+let edge_between t u v =
+  let nbrs = t.adj.(u) in
+  let rec scan i =
+    if i >= Array.length nbrs then None
+    else
+      let x, w, id = nbrs.(i) in
+      if x = v then Some (w, id) else scan (i + 1)
+  in
+  scan 0
+
+let other_endpoint e x =
+  if e.u = x then e.v
+  else begin
+    assert (e.v = x);
+    e.u
+  end
+
+let total_weight t = Array.fold_left (fun acc e -> acc + e.w) 0 t.edges
+
+let max_weight t = Array.fold_left (fun acc e -> max acc e.w) 0 t.edges
+
+let is_connected t =
+  if t.n <= 1 then true
+  else begin
+    let visited = Array.make t.n false in
+    let stack = ref [ 0 ] in
+    visited.(0) <- true;
+    let count = ref 1 in
+    let visit (u, _, _) =
+      if not visited.(u) then begin
+        visited.(u) <- true;
+        incr count;
+        stack := u :: !stack
+      end
+    in
+    let rec loop () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        Array.iter visit t.adj.(v);
+        loop ()
+    in
+    loop ();
+    !count = t.n
+  end
+
+let map_weights t f =
+  create ~n:t.n
+    (Array.to_list (Array.map (fun e -> (e.u, e.v, f e)) t.edges))
+
+let subgraph t ~keep_edge =
+  create ~n:t.n
+    (Array.to_list t.edges
+    |> List.filter keep_edge
+    |> List.map (fun e -> (e.u, e.v, e.w)))
+
+let compare_edges a b =
+  let c = compare a.w b.w in
+  if c <> 0 then c
+  else
+    let c = compare a.u b.u in
+    if c <> 0 then c else compare a.v b.v
+
+let pp_edge ppf e = Format.fprintf ppf "{%d,%d}:%d" e.u e.v e.w
+
+let pp ppf t =
+  Format.fprintf ppf "@[<hov 2>graph n=%d m=%d@ %a@]" t.n (m t)
+    (Format.pp_print_array ~pp_sep:Format.pp_print_space pp_edge)
+    t.edges

@@ -1,0 +1,72 @@
+(** Weighted undirected communication graphs [G = (V, E, w)].
+
+    Vertices are [0 .. n-1]. Edge weights are positive integers: the paper
+    assumes [W = poly(n)], and a weight [w(e)] is at once the cost of sending
+    one message over [e] and an upper bound on its delay.
+
+    The structure is immutable after construction. *)
+
+type edge = {
+  u : int;  (** smaller endpoint *)
+  v : int;  (** larger endpoint *)
+  w : int;  (** weight, [>= 1] *)
+}
+
+type t
+
+(** [create ~n edges] builds a graph on vertices [0..n-1].
+
+    Raises [Invalid_argument] on self-loops, duplicate edges, weights [< 1],
+    or endpoints out of range. Edge endpoints are normalised so [u < v]. *)
+val create : n:int -> (int * int * int) list -> t
+
+(** Number of vertices. *)
+val n : t -> int
+
+(** Number of edges. *)
+val m : t -> int
+
+(** All edges, in a fixed order; the index of an edge in this array is its
+    stable edge id. *)
+val edges : t -> edge array
+
+(** [edge t id] is the edge with id [id]. *)
+val edge : t -> int -> edge
+
+(** [neighbors t v] lists [(u, w, edge_id)] for every edge [{v,u}] incident
+    to [v]. The returned array is shared: do not mutate. *)
+val neighbors : t -> int -> (int * int * int) array
+
+(** [degree t v] is the number of incident edges. *)
+val degree : t -> int -> int
+
+(** [edge_between t u v] is [Some (w, edge_id)] when [{u,v}] is an edge. *)
+val edge_between : t -> int -> int -> (int * int) option
+
+(** [other_endpoint e x] is the endpoint of [e] that is not [x]. *)
+val other_endpoint : edge -> int -> int
+
+(** Total edge weight [w(G)]; the paper's script-E. *)
+val total_weight : t -> int
+
+(** Maximum edge weight [W]. *)
+val max_weight : t -> int
+
+(** Whether the graph is connected (vacuously true for [n <= 1]). *)
+val is_connected : t -> bool
+
+(** [map_weights t f] is a graph with the same topology where edge [e] has
+    weight [f e]; [f] must return weights [>= 1]. *)
+val map_weights : t -> (edge -> int) -> t
+
+(** [subgraph t ~keep_edge] retains the same vertex set and only the edges
+    satisfying the predicate. *)
+val subgraph : t -> keep_edge:(edge -> bool) -> t
+
+(** Compare edges by [(w, u, v)] lexicographically. Distinct edges always
+    compare unequal, giving the canonical distinct-weight order required by
+    GHS-style algorithms. *)
+val compare_edges : edge -> edge -> int
+
+val pp : Format.formatter -> t -> unit
+val pp_edge : Format.formatter -> edge -> unit

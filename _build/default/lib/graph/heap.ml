@@ -1,0 +1,86 @@
+type 'a t = {
+  cmp : 'a -> 'a -> int;
+  mutable data : 'a array;
+  mutable len : int;
+}
+
+let create ~cmp = { cmp; data = [||]; len = 0 }
+
+let size t = t.len
+
+let is_empty t = t.len = 0
+
+let grow t x =
+  let cap = Array.length t.data in
+  if t.len = cap then begin
+    let new_cap = max 8 (2 * cap) in
+    let data = Array.make new_cap x in
+    Array.blit t.data 0 data 0 t.len;
+    t.data <- data
+  end
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if t.cmp t.data.(i) t.data.(parent) < 0 then begin
+      let tmp = t.data.(i) in
+      t.data.(i) <- t.data.(parent);
+      t.data.(parent) <- tmp;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && t.cmp t.data.(l) t.data.(!smallest) < 0 then smallest := l;
+  if r < t.len && t.cmp t.data.(r) t.data.(!smallest) < 0 then smallest := r;
+  if !smallest <> i then begin
+    let tmp = t.data.(i) in
+    t.data.(i) <- t.data.(!smallest);
+    t.data.(!smallest) <- tmp;
+    sift_down t !smallest
+  end
+
+let add t x =
+  grow t x;
+  t.data.(t.len) <- x;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let peek_min t = if t.len = 0 then None else Some t.data.(0)
+
+let pop_min t =
+  if t.len = 0 then None
+  else begin
+    let min = t.data.(0) in
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      t.data.(0) <- t.data.(t.len);
+      sift_down t 0
+    end;
+    Some min
+  end
+
+let clear t =
+  t.data <- [||];
+  t.len <- 0
+
+let of_list ~cmp xs =
+  match xs with
+  | [] -> create ~cmp
+  | _ ->
+    let data = Array.of_list xs in
+    let t = { cmp; data; len = Array.length data } in
+    for i = (t.len / 2) - 1 downto 0 do
+      sift_down t i
+    done;
+    t
+
+let to_sorted_list t =
+  let rec drain acc =
+    match pop_min t with
+    | None -> List.rev acc
+    | Some x -> drain (x :: acc)
+  in
+  drain []

@@ -1,0 +1,55 @@
+let prim g ~root =
+  let n = Graph.n g in
+  if n = 0 then invalid_arg "Mst.prim: empty graph";
+  let in_tree = Array.make n false in
+  let parents = Array.make n (-1) in
+  let weights = Array.make n 0 in
+  (* Heap of candidate edges (edge, child): child joins via edge. *)
+  let cmp (e1, _) (e2, _) = Graph.compare_edges e1 e2 in
+  let heap = Heap.create ~cmp in
+  let absorb v =
+    in_tree.(v) <- true;
+    Array.iter
+      (fun (u, _, id) ->
+        if not in_tree.(u) then Heap.add heap (Graph.edge g id, u))
+      (Graph.neighbors g v)
+  in
+  absorb root;
+  let count = ref 1 in
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (e, child) ->
+      if not in_tree.(child) then begin
+        parents.(child) <- Graph.other_endpoint e child;
+        weights.(child) <- e.w;
+        incr count;
+        absorb child;
+        loop ()
+      end
+      else loop ()
+  in
+  loop ();
+  if !count <> n then invalid_arg "Mst.prim: graph is disconnected";
+  Tree.of_parents ~root ~parents ~weights
+
+let kruskal g =
+  let ids = Array.init (Graph.m g) (fun i -> i) in
+  Array.sort
+    (fun a b -> Graph.compare_edges (Graph.edge g a) (Graph.edge g b))
+    ids;
+  let uf = Union_find.create (Graph.n g) in
+  Array.fold_left
+    (fun acc id ->
+      let e = Graph.edge g id in
+      if Union_find.union uf e.u e.v then id :: acc else acc)
+    [] ids
+  |> List.rev
+
+let weight g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Mst.weight: graph is disconnected";
+  List.fold_left (fun acc id -> acc + (Graph.edge g id).w) 0 (kruskal g)
+
+let is_mst g t =
+  Tree.is_spanning_tree_of g t && Tree.total_weight t = weight g

@@ -1,0 +1,19 @@
+(** Minimum spanning trees (sequential reference algorithms).
+
+    Ties are broken by the canonical order {!Graph.compare_edges}, which makes
+    the MST unique and lets distributed algorithms be checked edge-for-edge
+    against these references. *)
+
+(** Prim's algorithm from a given root; requires a connected graph. *)
+val prim : Graph.t -> root:int -> Tree.t
+
+(** Kruskal's algorithm: the MST edge ids in the canonical order. Works on
+    disconnected graphs (returns a minimum spanning forest). *)
+val kruskal : Graph.t -> int list
+
+(** Weight of the (unique, canonical) MST; the paper's script-V. Requires a
+    connected graph. *)
+val weight : Graph.t -> int
+
+(** [is_mst g t] checks [t] spans [g] and has the canonical MST's weight. *)
+val is_mst : Graph.t -> Tree.t -> bool

@@ -1,0 +1,32 @@
+type t = {
+  n : int;
+  m : int;
+  script_e : int;
+  script_v : int;
+  script_d : int;
+  d : int;
+  w_max : int;
+}
+
+let compute g =
+  {
+    n = Graph.n g;
+    m = Graph.m g;
+    script_e = Graph.total_weight g;
+    script_v = Mst.weight g;
+    script_d = Paths.diameter g;
+    d = Paths.max_neighbor_distance g;
+    w_max = Graph.max_weight g;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "n=%d m=%d E=%d V=%d D=%d d=%d W=%d" t.n t.m t.script_e t.script_v
+    t.script_d t.d t.w_max
+
+let invariants_hold t =
+  t.script_v <= t.script_e
+  && t.script_d <= t.script_e
+  && t.d <= t.w_max
+  && (t.n <= 1 || t.script_v <= (t.n - 1) * t.script_d)
+  && t.script_d <= max 1 t.script_v (* every distance <= some MST path *)

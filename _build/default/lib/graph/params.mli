@@ -1,0 +1,30 @@
+(** The paper's weighted network parameters (Section 1.3).
+
+    - [script_e]  = [w(G)], total edge weight — the cost of transmitting one
+      message over every edge;
+    - [script_v]  = [w(MST)] — the minimal cost of reaching all vertices;
+    - [script_d]  = [Diam(G)], weighted diameter — the maximal cost of
+      transmitting a message between a pair of vertices;
+    - [d]         = the largest weighted distance between two neighbours;
+    - [w_max]     = the maximal edge weight [W]. *)
+
+type t = {
+  n : int;
+  m : int;
+  script_e : int;
+  script_v : int;
+  script_d : int;
+  d : int;
+  w_max : int;
+}
+
+(** Compute every parameter; requires a connected graph. O(n m log n). *)
+val compute : Graph.t -> t
+
+val pp : Format.formatter -> t -> unit
+
+(** Sanity relations from the paper: [script_v <= script_e],
+    [script_d <= script_v] (any distance is at most some MST path),
+    [script_d <= script_e], [d <= w_max], and Fact 6.3:
+    [script_v <= (n-1) * script_d]. *)
+val invariants_hold : t -> bool

@@ -1,0 +1,118 @@
+type sssp = {
+  src : int;
+  dist : int array;
+  parent : int array;
+}
+
+let dijkstra g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let settled = Array.make n false in
+  let cmp (d1, v1) (d2, v2) =
+    let c = compare d1 d2 in
+    if c <> 0 then c else compare v1 v2
+  in
+  let heap = Heap.create ~cmp in
+  dist.(src) <- 0;
+  Heap.add heap (0, src);
+  let relax u du (v, w, _) =
+    let dv = du + w in
+    if
+      (not settled.(v))
+      && (dv < dist.(v) || (dv = dist.(v) && u < parent.(v)))
+    then begin
+      dist.(v) <- dv;
+      parent.(v) <- u;
+      Heap.add heap (dv, v)
+    end
+  in
+  let rec loop () =
+    match Heap.pop_min heap with
+    | None -> ()
+    | Some (du, u) ->
+      if not settled.(u) then begin
+        settled.(u) <- true;
+        assert (du = dist.(u));
+        Array.iter (relax u du) (Graph.neighbors g u);
+        loop ()
+      end
+      else loop ()
+  in
+  loop ();
+  { src; dist; parent }
+
+let bellman_ford g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  dist.(src) <- 0;
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    Array.iter
+      (fun (e : Graph.edge) ->
+        let relax a b =
+          if dist.(a) < max_int then begin
+            let d = dist.(a) + e.w in
+            if d < dist.(b) || (d = dist.(b) && a < parent.(b)) then begin
+              dist.(b) <- d;
+              parent.(b) <- a;
+              changed := true
+            end
+          end
+        in
+        relax e.u e.v;
+        relax e.v e.u)
+      (Graph.edges g)
+  done;
+  { src; dist; parent }
+
+let spt g ~src =
+  let { dist; parent; _ } = dijkstra g ~src in
+  Array.iter
+    (fun d ->
+      if d = max_int then invalid_arg "Paths.spt: graph is disconnected")
+    dist;
+  let n = Graph.n g in
+  let weights =
+    Array.init n (fun v -> if v = src then 0 else dist.(v) - dist.(parent.(v)))
+  in
+  Tree.of_parents ~root:src ~parents:parent ~weights
+
+let dist g u v = (dijkstra g ~src:u).dist.(v)
+
+let eccentricity g v =
+  Array.fold_left max 0 (dijkstra g ~src:v).dist
+
+let diameter g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Paths.diameter: graph is disconnected";
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    best := max !best (eccentricity g v)
+  done;
+  !best
+
+let radius_and_center g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Paths.radius_and_center: graph is disconnected";
+  let best = ref max_int and center = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let e = eccentricity g v in
+    if e < !best then begin
+      best := e;
+      center := v
+    end
+  done;
+  (!best, !center)
+
+let max_neighbor_distance g =
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    let { dist; _ } = dijkstra g ~src:v in
+    Array.iter
+      (fun (u, _, _) -> if dist.(u) > !best then best := dist.(u))
+      (Graph.neighbors g v)
+  done;
+  !best

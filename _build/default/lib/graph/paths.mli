@@ -1,0 +1,38 @@
+(** Weighted shortest paths, shortest-path trees and distance parameters. *)
+
+(** Distances and parent pointers from a single source. [dist.(v)] is
+    [max_int] and [parent.(v) = -1] when [v] is unreachable. *)
+type sssp = {
+  src : int;
+  dist : int array;
+  parent : int array;
+}
+
+(** Dijkstra's algorithm; O((m + n) log n). *)
+val dijkstra : Graph.t -> src:int -> sssp
+
+(** Bellman-Ford, used as an independent reference in tests; O(nm). *)
+val bellman_ford : Graph.t -> src:int -> sssp
+
+(** [spt g ~src] is the shortest-path tree rooted at [src].
+
+    Ties between equal-length paths are broken deterministically (smallest
+    parent id). Raises [Invalid_argument] when [g] is disconnected. *)
+val spt : Graph.t -> src:int -> Tree.t
+
+(** [dist g u v] is the weighted distance; [max_int] when disconnected. *)
+val dist : Graph.t -> int -> int -> int
+
+(** Weighted eccentricity of a vertex. *)
+val eccentricity : Graph.t -> int -> int
+
+(** Weighted diameter [Diam(G)]; the paper's script-D. Requires a connected
+    graph. O(n (m + n) log n). *)
+val diameter : Graph.t -> int
+
+(** Weighted radius [min_v Rad(v, G)] and a centre vertex attaining it. *)
+val radius_and_center : Graph.t -> int * int
+
+(** The paper's [d = max_{(u,v) in E} dist(u,v)]: the largest weighted
+    distance between two *neighbouring* vertices. Always [<= W]. *)
+val max_neighbor_distance : Graph.t -> int

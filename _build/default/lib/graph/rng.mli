@@ -1,0 +1,35 @@
+(** Deterministic pseudo-random number generator (splitmix64).
+
+    All randomised components of the library (graph generators, delay models)
+    draw from this generator so that every experiment is reproducible from a
+    seed, independent of the OCaml runtime's [Random] state. *)
+
+type t
+
+(** [create seed] returns a fresh generator; equal seeds give equal streams. *)
+val create : int -> t
+
+(** [copy t] is an independent generator with the same current state. *)
+val copy : t -> t
+
+(** [split t] derives a new generator from [t], advancing [t]; streams of the
+    parent and child are independent. *)
+val split : t -> t
+
+(** Next raw 64-bit value. *)
+val bits64 : t -> int64
+
+(** [int t bound] is uniform in [0, bound); requires [bound > 0]. *)
+val int : t -> int -> int
+
+(** [int_in t lo hi] is uniform in [lo, hi]; requires [lo <= hi]. *)
+val int_in : t -> int -> int -> int
+
+(** [float t] is uniform in [0, 1). *)
+val float : t -> float
+
+(** [bool t] is a fair coin. *)
+val bool : t -> bool
+
+(** [shuffle t arr] permutes [arr] in place (Fisher-Yates). *)
+val shuffle : t -> 'a array -> unit

@@ -1,0 +1,112 @@
+let bfs_hops g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(src) <- 0;
+  Queue.add src queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    Array.iter
+      (fun (u, _, _) ->
+        if dist.(u) < 0 then begin
+          dist.(u) <- dist.(v) + 1;
+          Queue.add u queue
+        end)
+      (Graph.neighbors g v)
+  done;
+  dist
+
+let hop_diameter g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Traversal.hop_diameter: graph is disconnected";
+  let best = ref 0 in
+  for v = 0 to Graph.n g - 1 do
+    Array.iter (fun d -> if d > !best then best := d) (bfs_hops g ~src:v)
+  done;
+  !best
+
+let dfs_preorder g ~src =
+  let n = Graph.n g in
+  let visited = Array.make n false in
+  let order = ref [] in
+  let count = ref 0 in
+  let stack = ref [ src ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      if not visited.(v) then begin
+        visited.(v) <- true;
+        order := v :: !order;
+        incr count;
+        (* Push in reverse adjacency order so exploration follows it. *)
+        let nbrs = Graph.neighbors g v in
+        for i = Array.length nbrs - 1 downto 0 do
+          let u, _, _ = nbrs.(i) in
+          if not visited.(u) then stack := u :: !stack
+        done
+      end;
+      loop ()
+  in
+  loop ();
+  Array.of_list (List.rev !order)
+
+let components g =
+  let n = Graph.n g in
+  let ids = Array.make n (-1) in
+  let count = ref 0 in
+  for v = 0 to n - 1 do
+    if ids.(v) < 0 then begin
+      let id = !count in
+      incr count;
+      let stack = ref [ v ] in
+      ids.(v) <- id;
+      let rec loop () =
+        match !stack with
+        | [] -> ()
+        | x :: rest ->
+          stack := rest;
+          Array.iter
+            (fun (u, _, _) ->
+              if ids.(u) < 0 then begin
+                ids.(u) <- id;
+                stack := u :: !stack
+              end)
+            (Graph.neighbors g x);
+          loop ()
+      in
+      loop ()
+    end
+  done;
+  (ids, !count)
+
+let spanning_tree_dfs g ~root =
+  let n = Graph.n g in
+  let parents = Array.make n (-1) in
+  let weights = Array.make n 0 in
+  let visited = Array.make n false in
+  visited.(root) <- true;
+  let count = ref 1 in
+  let stack = ref [ root ] in
+  let rec loop () =
+    match !stack with
+    | [] -> ()
+    | v :: rest ->
+      stack := rest;
+      Array.iter
+        (fun (u, w, _) ->
+          if not visited.(u) then begin
+            visited.(u) <- true;
+            parents.(u) <- v;
+            weights.(u) <- w;
+            incr count;
+            stack := u :: !stack
+          end)
+        (Graph.neighbors g v);
+      loop ()
+  in
+  loop ();
+  if !count <> n then
+    invalid_arg "Traversal.spanning_tree_dfs: graph is disconnected";
+  Tree.of_parents ~root ~parents ~weights

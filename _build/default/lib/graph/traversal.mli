@@ -1,0 +1,19 @@
+(** Sequential graph traversals: hop-based BFS, DFS, components. *)
+
+(** [bfs g ~src] is the array of hop distances ([-1] when unreachable). *)
+val bfs_hops : Graph.t -> src:int -> int array
+
+(** Unweighted (hop) diameter [D]. Requires a connected graph. *)
+val hop_diameter : Graph.t -> int
+
+(** [dfs_preorder g ~src] visits the component of [src] depth-first,
+    exploring neighbours in adjacency order; returns the preorder. *)
+val dfs_preorder : Graph.t -> src:int -> int array
+
+(** [components g] assigns a component id to every vertex (ids are dense,
+    starting at 0) and returns [(ids, count)]. *)
+val components : Graph.t -> int array * int
+
+(** [spanning_tree_dfs g ~root] is an arbitrary (DFS) spanning tree; requires
+    a connected graph. *)
+val spanning_tree_dfs : Graph.t -> root:int -> Tree.t

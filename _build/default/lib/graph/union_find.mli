@@ -1,0 +1,19 @@
+(** Disjoint-set forest with union by rank and path compression. *)
+
+type t
+
+(** [create n] makes [n] singleton sets [{0}, ..., {n-1}]. *)
+val create : int -> t
+
+(** [find t x] is the canonical representative of [x]'s set. *)
+val find : t -> int -> int
+
+(** [union t x y] merges the sets of [x] and [y]; returns [false] when they
+    were already the same set. *)
+val union : t -> int -> int -> bool
+
+(** [same t x y] tests whether [x] and [y] are in the same set. *)
+val same : t -> int -> int -> bool
+
+(** Number of distinct sets remaining. *)
+val count : t -> int

@@ -1,0 +1,1 @@
+test/gen_qcheck.ml: Csap_graph Format Gen QCheck

@@ -1,0 +1,1 @@
+test/test_classical.ml: Alcotest Array Csap Csap_dsim Csap_graph Fun Printf

@@ -1,0 +1,1 @@
+test/test_clock_sync.ml: Alcotest Array Csap Csap_dsim Csap_graph Float Gen_qcheck List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_con_hybrid.ml: Alcotest Csap Csap_graph Gen_qcheck Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_controller.ml: Alcotest Array Csap Csap_dsim Csap_graph Fun Gen_qcheck List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cover.ml: Alcotest Array Csap_cover Csap_graph Gen_qcheck List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_dfs_token.ml: Alcotest Csap Csap_dsim Csap_graph Gen_qcheck Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array Csap_dsim Csap_graph Format List

@@ -1,0 +1,1 @@
+test/test_extra.ml: Alcotest Array Csap Csap_cover Csap_dsim Csap_graph Gen_qcheck Hashtbl Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_global_func.ml: Alcotest Array Csap Csap_dsim Csap_graph Gen_qcheck List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_graph_basic.ml: Alcotest Array Csap_graph List

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Csap_graph Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_mst.ml: Alcotest Array Csap_graph Gen_qcheck List QCheck QCheck_alcotest

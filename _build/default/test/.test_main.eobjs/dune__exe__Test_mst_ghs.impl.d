@@ -1,0 +1,1 @@
+test/test_mst_ghs.ml: Alcotest Csap Csap_dsim Csap_graph Gen_qcheck List Printf QCheck QCheck_alcotest

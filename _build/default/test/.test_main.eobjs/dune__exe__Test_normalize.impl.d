@@ -1,0 +1,1 @@
+test/test_normalize.ml: Alcotest Array Csap Csap_dsim Csap_graph Gen_qcheck List Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_params.ml: Alcotest Csap_graph Gen_qcheck QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Csap_graph Fun List

@@ -1,0 +1,1 @@
+test/test_slt.ml: Alcotest Array Csap Csap_graph Format Gen_qcheck List QCheck QCheck_alcotest

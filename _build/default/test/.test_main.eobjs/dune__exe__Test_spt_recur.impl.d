@@ -1,0 +1,1 @@
+test/test_spt_recur.ml: Alcotest Array Csap Csap_dsim Csap_graph Gen_qcheck List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sync_runner.ml: Alcotest Array Csap_dsim Csap_graph List Printf

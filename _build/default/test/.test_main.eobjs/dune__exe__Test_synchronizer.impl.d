@@ -1,0 +1,1 @@
+test/test_synchronizer.ml: Alcotest Array Csap Csap_dsim Csap_graph Fun Gen_qcheck Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_traversal.ml: Alcotest Array Csap_graph Gen_qcheck QCheck QCheck_alcotest

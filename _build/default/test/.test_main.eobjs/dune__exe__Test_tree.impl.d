@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Array Csap_graph Gen_qcheck Hashtbl List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_union_find.ml: Alcotest Array Csap_graph List QCheck QCheck_alcotest

@@ -1,0 +1,40 @@
+(* Shared QCheck generators for random connected weighted graphs. *)
+
+module G = Csap_graph.Graph
+
+(* A connected random graph described by (seed, n, extra_edges, wmax);
+   shrinks toward smaller n. *)
+let connected_graph_gen ?(max_n = 24) ?(max_wmax = 16) () =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun (seed, n, extra, wmax) ->
+        let n = 2 + n and wmax = 1 + wmax in
+        let rng = Csap_graph.Rng.create seed in
+        Csap_graph.Generators.random_connected rng n ~extra_edges:extra ~wmax)
+      (Gen.quad (Gen.int_bound 1_000_000)
+         (Gen.int_bound (max_n - 2))
+         (Gen.int_bound 20)
+         (Gen.int_bound (max_wmax - 1)))
+  in
+  make ~print:(Format.asprintf "%a" G.pp) gen
+
+let graph_and_vertex ?(max_n = 24) ?(max_wmax = 16) () =
+  let open QCheck in
+  let gen =
+    Gen.map
+      (fun (seed, n, extra, wmax) ->
+        let n = 2 + n and wmax = 1 + wmax in
+        let rng = Csap_graph.Rng.create seed in
+        let g =
+          Csap_graph.Generators.random_connected rng n ~extra_edges:extra ~wmax
+        in
+        (g, Csap_graph.Rng.int rng n))
+      (Gen.quad (Gen.int_bound 1_000_000)
+         (Gen.int_bound (max_n - 2))
+         (Gen.int_bound 20)
+         (Gen.int_bound (max_wmax - 1)))
+  in
+  make
+    ~print:(fun (g, v) -> Format.asprintf "%a / src=%d" G.pp g v)
+    gen

@@ -1,0 +1,117 @@
+(* Section 1.3: "The classical complexity measures correspond to the case
+   where w(e) = 1 for all e". On unit weights, weighted communication =
+   message count and the weighted parameters collapse to |E|, |V|-ish, D —
+   so every algorithm must land on its classical complexity. *)
+
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let unit_graph seed n =
+  Gen.random_connected (Csap_graph.Rng.create seed) n ~extra_edges:(2 * n)
+    ~wmax:1
+
+let test_parameters_collapse () =
+  let g = unit_graph 1 24 in
+  let p = Csap_graph.Params.compute g in
+  Alcotest.(check int) "E = m" (G.m g) p.Csap_graph.Params.script_e;
+  Alcotest.(check int) "V = n - 1" (G.n g - 1) p.Csap_graph.Params.script_v;
+  Alcotest.(check int) "D = hop diameter"
+    (Csap_graph.Traversal.hop_diameter g)
+    p.Csap_graph.Params.script_d;
+  Alcotest.(check int) "d = 1" 1 p.Csap_graph.Params.d;
+  Alcotest.(check int) "W = 1" 1 p.Csap_graph.Params.w_max
+
+let test_flood_classical () =
+  (* Classical flooding: <= 2m messages, time <= hop diameter. *)
+  let g = unit_graph 2 30 in
+  let r = Csap.Flood.run g ~source:0 in
+  Alcotest.(check bool) "messages <= 2m" true
+    (r.Csap.Flood.measures.Csap.Measures.messages <= 2 * G.m g);
+  Alcotest.(check bool) "time <= D" true
+    (r.Csap.Flood.measures.Csap.Measures.time
+    <= float_of_int (Csap_graph.Traversal.hop_diameter g));
+  Alcotest.(check int) "comm = message count on unit weights"
+    r.Csap.Flood.measures.Csap.Measures.messages
+    r.Csap.Flood.measures.Csap.Measures.comm
+
+let test_global_func_classical () =
+  (* Convergecast + broadcast on a tree: exactly 2(n-1) messages. *)
+  let g = unit_graph 3 25 in
+  let tree = Csap_graph.Paths.spt g ~src:0 in
+  let values = Array.init (G.n g) Fun.id in
+  let r = Csap.Global_func.run g ~tree ~values Csap.Global_func.sum in
+  Alcotest.(check int) "2(n-1) messages"
+    (2 * (G.n g - 1))
+    r.Csap.Global_func.measures.Csap.Measures.messages
+
+let test_ghs_classical () =
+  (* The classical GHS bound: O(m + n log n) messages. *)
+  let g = unit_graph 4 32 in
+  let r = Csap.Mst_ghs.run g in
+  let n = float_of_int (G.n g) and m = float_of_int (G.m g) in
+  let bound = 8.0 *. (m +. (n *. (log n /. log 2.0))) in
+  Alcotest.(check bool)
+    (Printf.sprintf "messages %d <= O(m + n log n) = %.0f"
+       r.Csap.Mst_ghs.measures.Csap.Measures.messages bound)
+    true
+    (float_of_int r.Csap.Mst_ghs.measures.Csap.Measures.messages <= bound)
+
+let test_dfs_classical () =
+  (* Classical token DFS: Theta(m) messages and time. *)
+  let g = unit_graph 5 28 in
+  let r = Csap.Dfs_token.run g ~root:0 in
+  Alcotest.(check bool) "messages O(m)" true
+    (r.Csap.Dfs_token.measures.Csap.Measures.messages <= 8 * G.m g);
+  Alcotest.(check bool) "time O(m)" true
+    (r.Csap.Dfs_token.measures.Csap.Measures.time
+    <= 8.0 *. float_of_int (G.m g))
+
+let test_synchronizer_alpha_classical () =
+  (* Classical alpha: O(m) messages per pulse, O(1) time per pulse. *)
+  let g = unit_graph 6 20 in
+  let tick =
+    {
+      Csap_dsim.Sync_protocol.init = (fun _ ~me -> me);
+      on_pulse = (fun _ ~me:_ ~pulse:_ ~inbox:_ s -> (s, []));
+    }
+  in
+  let pulses = 32 in
+  let o = Csap.Synchronizer.run_alpha g tick ~pulses in
+  let per_pulse =
+    float_of_int o.Csap.Synchronizer.total.Csap.Measures.messages
+    /. float_of_int pulses
+  in
+  (* The first and last pulses' safe messages amortize over the run: allow
+     the boundary slack of roughly two extra rounds. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "%.1f msgs/pulse ~ 2m = %d" per_pulse (2 * G.m g))
+    true
+    (per_pulse
+    <= float_of_int (2 * G.m g)
+       *. (1.0 +. (4.0 /. float_of_int pulses)));
+  Alcotest.(check bool) "O(1) time per pulse" true
+    (o.Csap.Synchronizer.amortized_time <= 4.0)
+
+let test_slt_on_unit_weights () =
+  (* With unit weights the BFS tree is both shallow and light; the SLT must
+     match: w(T) = n - 1 and height <= (2q+1) D. *)
+  let g = unit_graph 7 26 in
+  let slt = Csap.Slt.build ~q:2.0 g ~root:0 in
+  Alcotest.(check int) "weight n-1" (G.n g - 1)
+    (Csap_graph.Tree.total_weight slt.Csap.Slt.tree)
+
+let suite =
+  [
+    Alcotest.test_case "parameters collapse to |E|, n-1, D, 1, 1" `Quick
+      test_parameters_collapse;
+    Alcotest.test_case "flood = classical flooding" `Quick
+      test_flood_classical;
+    Alcotest.test_case "global function = 2(n-1) messages" `Quick
+      test_global_func_classical;
+    Alcotest.test_case "GHS = classical O(m + n log n)" `Quick
+      test_ghs_classical;
+    Alcotest.test_case "DFS = classical Theta(m)" `Quick test_dfs_classical;
+    Alcotest.test_case "synchronizer alpha = classical" `Quick
+      test_synchronizer_alpha_classical;
+    Alcotest.test_case "SLT on unit weights" `Quick test_slt_on_unit_weights;
+  ]

@@ -1,0 +1,82 @@
+module CH = Csap.Con_hybrid
+module LB = Csap.Lower_bound
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let test_produces_spanning_tree () =
+  let g = Gen.grid 4 4 ~w:2 in
+  let r = CH.run g ~root:0 in
+  Alcotest.(check bool) "spanning" true
+    (Csap_graph.Tree.is_spanning_tree_of g r.CH.spanning_tree)
+
+let test_light_graph_dfs_wins () =
+  (* When script-E << n V (no heavy edges, sparse), DFS should be cheap and
+     the hybrid must stay near min{E, nV} = E. *)
+  let g = Gen.path 24 ~w:1 in
+  let r = CH.run g ~root:0 in
+  let e = G.total_weight g in
+  Alcotest.(check bool)
+    (Printf.sprintf "comm %d = O(E=%d)" r.CH.measures.Csap.Measures.comm e)
+    true
+    (r.CH.measures.Csap.Measures.comm <= 16 * e)
+
+let test_gn_hybrid_beats_flood () =
+  (* On the lower-bound family, E = Theta(n X^4) while n V = Theta(n^2 X):
+     the hybrid must track n V, flood must pay E. *)
+  let run = LB.run_on_gn ~n:16 ~x:8 in
+  (* Separation requires x^3 >> n: here E ~ 28k while n V ~ 1.9k. *)
+  Alcotest.(check bool) "E dominates nV" true
+    (run.LB.script_e > 4 * run.LB.n_times_v);
+  Alcotest.(check bool) "flood pays Theta(E)" true
+    (run.LB.flood_comm > run.LB.script_e / 2);
+  Alcotest.(check bool) "hybrid = O(min{E, nV})" true
+    (run.LB.hybrid_comm <= 16 * min run.LB.script_e run.LB.n_times_v);
+  Alcotest.(check bool) "hybrid beats flood by a wide margin" true
+    (4 * run.LB.hybrid_comm < run.LB.flood_comm)
+
+let test_lower_bound_terms () =
+  Alcotest.(check int) "ferrying cost n=8"
+    (3 * (7 + 5 + 3 + 1))
+    (LB.id_ferrying_cost ~n:8 ~x:3);
+  Alcotest.(check bool) "ferrying >= n^2 X / 4" true
+    (LB.id_ferrying_cost ~n:20 ~x:5 >= 20 * 20 * 5 / 4)
+
+let test_split_indistinguishable () =
+  (* G_n and G_n^i differ in exactly 3 edges: the removed bypass and the two
+     pendant replacements. *)
+  for i = 1 to 4 do
+    Alcotest.(check int)
+      (Printf.sprintf "difference at i=%d" i)
+      3
+      (LB.check_split_indistinguishable ~n:12 ~i ~x:2)
+  done
+
+let test_winner_consistency () =
+  let g = Gen.lower_bound_gn 12 ~x:3 in
+  let r = CH.run g ~root:0 in
+  (* On G_n, DFS must traverse bypass edges (Theta(E)) so MST_centr wins. *)
+  Alcotest.(check bool) "MST_centr wins on G_n" true (r.CH.winner = CH.Mst_centr)
+
+let prop_hybrid_is_min =
+  QCheck.Test.make ~count:40 ~name:"hybrid within O(min{E, nV})"
+    (Gen_qcheck.graph_and_vertex ~max_n:12 ())
+    (fun (g, root) ->
+      let r = CH.run g ~root in
+      let e = G.total_weight g in
+      let nv = G.n g * Csap_graph.Mst.weight g in
+      Csap_graph.Tree.is_spanning_tree_of g r.CH.spanning_tree
+      && r.CH.measures.Csap.Measures.comm <= 16 * min e nv + 16 * G.max_weight g)
+
+let suite =
+  [
+    Alcotest.test_case "spanning tree" `Quick test_produces_spanning_tree;
+    Alcotest.test_case "sparse graph: near O(E)" `Quick
+      test_light_graph_dfs_wins;
+    Alcotest.test_case "G_n: hybrid near O(nV), flood pays E" `Quick
+      test_gn_hybrid_beats_flood;
+    Alcotest.test_case "lower-bound arithmetic" `Quick test_lower_bound_terms;
+    Alcotest.test_case "Figure 8 indistinguishability" `Quick
+      test_split_indistinguishable;
+    Alcotest.test_case "winner on G_n" `Quick test_winner_consistency;
+    QCheck_alcotest.to_alcotest prop_hybrid_is_min;
+  ]

@@ -1,0 +1,114 @@
+module C = Csap_cover.Cluster
+module Coarsen = Csap_cover.Coarsen
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let test_connected () =
+  let g = Gen.path 5 ~w:1 in
+  Alcotest.(check bool) "contiguous" true
+    (C.is_connected g (C.of_list [ 1; 2; 3 ]));
+  Alcotest.(check bool) "gap" false (C.is_connected g (C.of_list [ 1; 3 ]));
+  Alcotest.(check bool) "empty" false (C.is_connected g (C.of_list []))
+
+let test_radius () =
+  let g = Gen.path 5 ~w:2 in
+  (* Whole path: centre 2, radius 4. *)
+  let r, c = C.radius_and_center g (C.of_list [ 0; 1; 2; 3; 4 ]) in
+  Alcotest.(check int) "radius" 4 r;
+  Alcotest.(check int) "center" 2 c
+
+let test_radius_induced () =
+  (* Induced radius ignores vertices outside the cluster: on a cycle,
+     removing one vertex forces the long way round. *)
+  let g = Gen.cycle 6 ~w:1 in
+  let all_but_0 = C.of_list [ 1; 2; 3; 4; 5 ] in
+  let r, _ = C.radius_and_center g all_but_0 in
+  Alcotest.(check int) "path-like radius" 2 r
+
+let test_dijkstra_within () =
+  let g = Gen.cycle 6 ~w:1 in
+  let s = C.of_list [ 0; 1; 2; 3 ] in
+  let dist = C.dijkstra_within g s ~src:0 in
+  Alcotest.(check int) "inside short way" 1 dist.(1);
+  Alcotest.(check int) "inside long way" 3 dist.(3);
+  Alcotest.(check int) "outside" max_int dist.(4)
+
+let test_cover_checks () =
+  let g = Gen.path 4 ~w:1 in
+  let cover = [ C.of_list [ 0; 1 ]; C.of_list [ 1; 2; 3 ] ] in
+  Alcotest.(check bool) "is cover" true (C.is_cover g cover);
+  Alcotest.(check int) "degree" 2 (C.max_degree 4 cover);
+  Alcotest.(check bool) "not a cover" false
+    (C.is_cover g [ C.of_list [ 0; 1 ] ]);
+  Alcotest.(check bool) "subsumes" true
+    (C.subsumes ~coarse:[ C.of_list [ 0; 1; 2; 3 ] ] ~fine:cover);
+  Alcotest.(check bool) "no subsume" false
+    (C.subsumes ~coarse:[ C.of_list [ 0; 1 ] ] ~fine:cover)
+
+let singleton_cover g =
+  List.init (G.n g) (fun v -> C.of_list [ v ])
+
+let check_theorem_1_1 g clusters k =
+  let coarse = Coarsen.coarsen g ~clusters ~k in
+  let rad_s = C.max_radius g clusters in
+  let rad_t = C.max_radius g coarse in
+  let bound_rad = ((2 * k) - 1) * max 1 rad_s in
+  let deg = C.max_degree (G.n g) coarse in
+  let bound_deg =
+    Coarsen.degree_bound ~num_clusters:(List.length clusters) ~k
+  in
+  C.is_cover g coarse
+  && C.subsumes ~coarse ~fine:clusters
+  && (rad_s = 0 || rad_t <= bound_rad)
+  && (rad_s > 0 || rad_t <= (2 * k) - 1)
+  && deg <= bound_deg
+  && List.for_all (C.is_connected g) coarse
+
+let test_coarsen_path () =
+  let g = Gen.path 16 ~w:1 in
+  Alcotest.(check bool) "thm 1.1 on path, k=2" true
+    (check_theorem_1_1 g (singleton_cover g) 2);
+  Alcotest.(check bool) "thm 1.1 on path, k=4" true
+    (check_theorem_1_1 g (singleton_cover g) 4)
+
+let test_coarsen_k1_merges_everything_or_nothing () =
+  (* k = 1: growth factor = |S|, so kernels never grow; output = input. *)
+  let g = Gen.cycle 8 ~w:1 in
+  let coarse = Coarsen.coarsen g ~clusters:(singleton_cover g) ~k:1 in
+  Alcotest.(check int) "no growth at k=1" 8 (List.length coarse)
+
+let test_coarsen_invalid () =
+  let g = Gen.path 4 ~w:1 in
+  Alcotest.check_raises "k=0" (Invalid_argument "Coarsen.coarsen: k >= 1 required")
+    (fun () -> ignore (Coarsen.coarsen g ~clusters:(singleton_cover g) ~k:0));
+  Alcotest.check_raises "disconnected cluster"
+    (Invalid_argument "Coarsen.coarsen: cluster not connected") (fun () ->
+      ignore (Coarsen.coarsen g ~clusters:[ C.of_list [ 0; 3 ] ] ~k:2))
+
+let prop_theorem_1_1 =
+  QCheck.Test.make ~count:60 ~name:"Theorem 1.1 (subsume/radius/degree)"
+    QCheck.(
+      pair (Gen_qcheck.connected_graph_gen ~max_n:16 ~max_wmax:6 ())
+        (int_range 1 5))
+    (fun (g, k) ->
+      (* Initial cover: singletons plus each edge's endpoints. *)
+      let singles = singleton_cover g in
+      let pairs =
+        Array.to_list (G.edges g)
+        |> List.map (fun (e : G.edge) -> C.of_list [ e.u; e.v ])
+      in
+      check_theorem_1_1 g (singles @ pairs) k)
+
+let suite =
+  [
+    Alcotest.test_case "cluster connectivity" `Quick test_connected;
+    Alcotest.test_case "radius and center" `Quick test_radius;
+    Alcotest.test_case "induced radius" `Quick test_radius_induced;
+    Alcotest.test_case "restricted dijkstra" `Quick test_dijkstra_within;
+    Alcotest.test_case "cover predicates" `Quick test_cover_checks;
+    Alcotest.test_case "coarsen a path" `Quick test_coarsen_path;
+    Alcotest.test_case "k=1 keeps the cover" `Quick
+      test_coarsen_k1_merges_everything_or_nothing;
+    Alcotest.test_case "invalid inputs" `Quick test_coarsen_invalid;
+    QCheck_alcotest.to_alcotest prop_theorem_1_1;
+  ]

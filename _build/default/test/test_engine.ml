@@ -1,0 +1,165 @@
+module E = Csap_dsim.Engine
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+type ping = Ping of int
+
+let test_delivery_and_cost () =
+  let g = Gen.path 3 ~w:5 in
+  let eng = E.create g in
+  let got = ref [] in
+  E.set_handler eng 1 (fun ~src (Ping k) -> got := (src, k) :: !got);
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.set_handler eng 2 (fun ~src:_ _ -> ());
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 7));
+  ignore (E.run eng);
+  Alcotest.(check (list (pair int int))) "delivered" [ (0, 7) ] !got;
+  let m = E.metrics eng in
+  Alcotest.(check int) "weighted comm" 5 m.Csap_dsim.Metrics.weighted_comm;
+  Alcotest.(check int) "messages" 1 m.Csap_dsim.Metrics.messages;
+  Alcotest.(check (float 1e-9)) "time = weight" 5.0
+    m.Csap_dsim.Metrics.completion_time
+
+let test_non_edge_rejected () =
+  let g = Gen.path 3 ~w:1 in
+  let eng = E.create g in
+  Alcotest.check_raises "non-edge" (Invalid_argument "Engine.send: no such edge")
+    (fun () -> E.send eng ~src:0 ~dst:2 (Ping 0))
+
+let test_missing_handler () =
+  let g = Gen.path 2 ~w:1 in
+  let eng = E.create g in
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
+  Alcotest.check_raises "no handler" (Failure "Engine: no handler at vertex 1")
+    (fun () -> ignore (E.run eng))
+
+let test_fifo_order () =
+  (* Under random delays, two messages on the same directed edge must still
+     arrive in send order. *)
+  let g = Gen.path 2 ~w:10 in
+  let rng = Csap_graph.Rng.create 99 in
+  let eng = E.create ~delay:(Csap_dsim.Delay.Uniform rng) g in
+  let got = ref [] in
+  E.set_handler eng 1 (fun ~src:_ (Ping k) -> got := k :: !got);
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.schedule eng ~delay:0.0 (fun () ->
+      for k = 1 to 50 do
+        E.send eng ~src:0 ~dst:1 (Ping k)
+      done);
+  ignore (E.run eng);
+  Alcotest.(check (list int)) "fifo" (List.init 50 (fun i -> 50 - i)) !got
+
+let test_relay_time_accumulates () =
+  (* A token relayed along a weight-3 path of 4 edges finishes at time 12. *)
+  let g = Gen.path 5 ~w:3 in
+  let eng = E.create g in
+  for v = 0 to 4 do
+    E.set_handler eng v (fun ~src:_ (Ping k) ->
+        if v < 4 then E.send eng ~src:v ~dst:(v + 1) (Ping (k + 1)))
+  done;
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
+  ignore (E.run eng);
+  let m = E.metrics eng in
+  Alcotest.(check (float 1e-9)) "relay time" 12.0
+    m.Csap_dsim.Metrics.completion_time;
+  Alcotest.(check int) "relay comm" 12 m.Csap_dsim.Metrics.weighted_comm
+
+let test_run_until () =
+  let g = Gen.path 2 ~w:10 in
+  let eng = E.create g in
+  E.set_handler eng 1 (fun ~src:_ _ -> ());
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 1));
+  let processed = E.run ~until:5.0 eng in
+  Alcotest.(check int) "only the local event ran" 1 processed;
+  Alcotest.(check bool) "still pending" false (E.quiescent eng);
+  ignore (E.run eng);
+  Alcotest.(check bool) "drained" true (E.quiescent eng)
+
+let test_max_events () =
+  (* Two nodes ping-pong forever; max_events must stop the run. *)
+  let g = Gen.path 2 ~w:1 in
+  let eng = E.create g in
+  E.set_handler eng 0 (fun ~src:_ (Ping k) ->
+      E.send eng ~src:0 ~dst:1 (Ping (k + 1)));
+  E.set_handler eng 1 (fun ~src:_ (Ping k) ->
+      E.send eng ~src:1 ~dst:0 (Ping (k + 1)));
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
+  let processed = E.run ~max_events:100 eng in
+  Alcotest.(check int) "bounded" 100 processed
+
+let test_edge_traffic () =
+  let g = Gen.path 3 ~w:2 in
+  let eng = E.create g in
+  for v = 0 to 2 do
+    E.set_handler eng v (fun ~src:_ _ -> ())
+  done;
+  E.schedule eng ~delay:0.0 (fun () ->
+      E.send eng ~src:0 ~dst:1 (Ping 1);
+      E.send eng ~src:1 ~dst:0 (Ping 2);
+      E.send eng ~src:1 ~dst:2 (Ping 3));
+  ignore (E.run eng);
+  let traffic = E.edge_traffic eng in
+  Alcotest.(check int) "edge 0-1 both directions" 2 traffic.(0);
+  Alcotest.(check int) "edge 1-2" 1 traffic.(1)
+
+let test_determinism () =
+  (* Same seed, same uniform-delay execution trace. *)
+  let trace seed =
+    let g = Gen.cycle 6 ~w:7 in
+    let rng = Csap_graph.Rng.create seed in
+    let eng = E.create ~delay:(Csap_dsim.Delay.Uniform rng) g in
+    let log = ref [] in
+    for v = 0 to 5 do
+      E.set_handler eng v (fun ~src (Ping k) ->
+          log := (v, src, k, E.now eng) :: !log;
+          if k < 20 then E.send eng ~src:v ~dst:((v + 1) mod 6) (Ping (k + 1)))
+    done;
+    E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
+    ignore (E.run eng);
+    !log
+  in
+  Alcotest.(check bool) "reproducible" true (trace 5 = trace 5);
+  Alcotest.(check bool) "seed-sensitive" true (trace 5 <> trace 6)
+
+let test_delay_models_bounds () =
+  (* Every model keeps delays in (0, w]. *)
+  let rng = Csap_graph.Rng.create 1 in
+  let models =
+    [
+      Csap_dsim.Delay.Exact;
+      Csap_dsim.Delay.Uniform (Csap_graph.Rng.create 2);
+      Csap_dsim.Delay.Scaled 0.25;
+      Csap_dsim.Delay.Near_zero;
+      Csap_dsim.Delay.Jitter (Csap_graph.Rng.create 3);
+    ]
+  in
+  List.iter
+    (fun model ->
+      for _ = 1 to 200 do
+        let w = 1 + Csap_graph.Rng.int rng 50 in
+        let d = Csap_dsim.Delay.sample model ~w in
+        Alcotest.(check bool)
+          (Format.asprintf "%a in (0,w]" Csap_dsim.Delay.pp model)
+          true
+          (d > 0.0 && d <= float_of_int w)
+      done)
+    models
+
+let suite =
+  [
+    Alcotest.test_case "delivery and cost accounting" `Quick
+      test_delivery_and_cost;
+    Alcotest.test_case "non-edge send rejected" `Quick test_non_edge_rejected;
+    Alcotest.test_case "missing handler fails loudly" `Quick
+      test_missing_handler;
+    Alcotest.test_case "FIFO per directed edge" `Quick test_fifo_order;
+    Alcotest.test_case "relay time accumulates" `Quick
+      test_relay_time_accumulates;
+    Alcotest.test_case "run ~until" `Quick test_run_until;
+    Alcotest.test_case "max_events bounds runaways" `Quick test_max_events;
+    Alcotest.test_case "edge traffic counters" `Quick test_edge_traffic;
+    Alcotest.test_case "deterministic executions" `Quick test_determinism;
+    Alcotest.test_case "delay models respect (0,w]" `Quick
+      test_delay_models_bounds;
+  ]

@@ -1,0 +1,144 @@
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module P = Csap_graph.Paths
+
+let check_connected name g =
+  Alcotest.(check bool) (name ^ " connected") true (G.is_connected g)
+
+let test_path () =
+  let g = Gen.path 6 ~w:3 in
+  Alcotest.(check int) "m" 5 (G.m g);
+  check_connected "path" g;
+  Alcotest.(check int) "diameter" 15 (P.diameter g)
+
+let test_cycle () =
+  let g = Gen.cycle 8 ~w:2 in
+  Alcotest.(check int) "m" 8 (G.m g);
+  Alcotest.(check int) "all degree 2" 2 (G.degree g 5);
+  check_connected "cycle" g
+
+let test_star () =
+  let g = Gen.star 7 ~w:4 in
+  Alcotest.(check int) "hub degree" 6 (G.degree g 0);
+  Alcotest.(check int) "leaf degree" 1 (G.degree g 3);
+  check_connected "star" g
+
+let test_complete () =
+  let g = Gen.complete 6 ~w:1 in
+  Alcotest.(check int) "m" 15 (G.m g);
+  check_connected "complete" g
+
+let test_grid () =
+  let g = Gen.grid 3 4 ~w:1 in
+  Alcotest.(check int) "n" 12 (G.n g);
+  Alcotest.(check int) "m" 17 (G.m g);
+  Alcotest.(check int) "diameter" 5 (P.diameter g);
+  check_connected "grid" g
+
+let test_binary_tree () =
+  let g = Gen.binary_tree 7 ~w:1 in
+  Alcotest.(check int) "m" 6 (G.m g);
+  Alcotest.(check int) "root degree" 2 (G.degree g 0);
+  check_connected "binary tree" g
+
+let test_random_tree () =
+  let rng = Csap_graph.Rng.create 42 in
+  let g = Gen.random_tree rng 30 ~wmax:9 in
+  Alcotest.(check int) "m = n-1" 29 (G.m g);
+  Alcotest.(check bool) "weights in range" true
+    (Array.for_all (fun (e : G.edge) -> e.w >= 1 && e.w <= 9) (G.edges g));
+  check_connected "random tree" g
+
+let test_random_connected () =
+  let rng = Csap_graph.Rng.create 7 in
+  let g = Gen.random_connected rng 20 ~extra_edges:15 ~wmax:5 in
+  Alcotest.(check int) "m" 34 (G.m g);
+  check_connected "random connected" g
+
+let test_random_connected_deterministic () =
+  let mk seed =
+    Gen.random_connected (Csap_graph.Rng.create seed) 15 ~extra_edges:8 ~wmax:6
+  in
+  let fingerprint g =
+    Array.to_list (G.edges g) |> List.map (fun (e : G.edge) -> (e.u, e.v, e.w))
+  in
+  Alcotest.(check bool) "same seed same graph" true
+    (fingerprint (mk 99) = fingerprint (mk 99));
+  Alcotest.(check bool) "different seed different graph" true
+    (fingerprint (mk 99) <> fingerprint (mk 100))
+
+let test_random_geometric () =
+  let rng = Csap_graph.Rng.create 3 in
+  let g = Gen.random_geometric rng 40 ~degree:4 ~scale:1000.0 in
+  check_connected "geometric" g;
+  Alcotest.(check bool) "enough edges" true (G.m g >= 39)
+
+let test_lollipop () =
+  let g = Gen.lollipop 5 4 ~w:2 in
+  Alcotest.(check int) "n" 9 (G.n g);
+  Alcotest.(check int) "m" 14 (G.m g);
+  check_connected "lollipop" g
+
+let test_lower_bound_gn () =
+  let n = 10 and x = 3 in
+  let g = Gen.lower_bound_gn n ~x in
+  check_connected "G_n" g;
+  Alcotest.(check int) "path + bypass edges" (9 + 4) (G.m g);
+  (* MST is the light path: script-V = (n-1) x. *)
+  Alcotest.(check int) "script V" ((n - 1) * x) (Csap_graph.Mst.weight g);
+  (* Bypass edges have weight x^4. *)
+  (match G.edge_between g 0 (n - 1) with
+  | Some (w, _) -> Alcotest.(check int) "bypass weight" 81 w
+  | None -> Alcotest.fail "bypass edge 0..n-1 missing")
+
+let test_lower_bound_gn_i () =
+  let n = 10 and x = 2 in
+  let g = Gen.lower_bound_gn_i n ~i:2 ~x in
+  Alcotest.(check int) "two extra vertices" (n + 2) (G.n g);
+  check_connected "G_n^i" g;
+  (* Bypass (2, 7) replaced by pendants (2, 10) and (7, 11). *)
+  Alcotest.(check bool) "bypass removed" true (G.edge_between g 2 7 = None);
+  Alcotest.(check bool) "pendant v" true (G.edge_between g 2 10 <> None);
+  Alcotest.(check bool) "pendant w" true (G.edge_between g 7 11 <> None)
+
+let test_chorded_cycle () =
+  let g = Gen.chorded_cycle 10 ~chord_w:100 in
+  check_connected "chorded" g;
+  Alcotest.(check int) "d stays 2" 2 (P.max_neighbor_distance g);
+  Alcotest.(check int) "W is the chord" 100 (G.max_weight g)
+
+let test_bkj_star_cycle () =
+  let g = Gen.bkj_star_cycle 8 ~heavy:50 in
+  check_connected "bkj" g;
+  (* SPT from the hub uses all spokes: weight k * heavy = 400, while the MST
+     uses one spoke + rim: weight 50 + 7. *)
+  let spt_w =
+    Csap_graph.Tree.total_weight (P.spt g ~src:0)
+  in
+  Alcotest.(check int) "SPT heavy" (8 * 50) spt_w;
+  Alcotest.(check int) "MST light" 57 (Csap_graph.Mst.weight g)
+
+let prop_generated_graphs_connected =
+  QCheck.Test.make ~count:100 ~name:"random_connected is connected"
+    (Gen_qcheck.connected_graph_gen ())
+    G.is_connected
+
+let suite =
+  [
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "star" `Quick test_star;
+    Alcotest.test_case "complete" `Quick test_complete;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "binary tree" `Quick test_binary_tree;
+    Alcotest.test_case "random tree" `Quick test_random_tree;
+    Alcotest.test_case "random connected" `Quick test_random_connected;
+    Alcotest.test_case "determinism" `Quick test_random_connected_deterministic;
+    Alcotest.test_case "random geometric" `Quick test_random_geometric;
+    Alcotest.test_case "lollipop" `Quick test_lollipop;
+    Alcotest.test_case "lower-bound G_n" `Quick test_lower_bound_gn;
+    Alcotest.test_case "lower-bound G_n^i" `Quick test_lower_bound_gn_i;
+    Alcotest.test_case "chorded cycle" `Quick test_chorded_cycle;
+    Alcotest.test_case "BKJ star-cycle" `Quick test_bkj_star_cycle;
+    QCheck_alcotest.to_alcotest prop_generated_graphs_connected;
+  ]

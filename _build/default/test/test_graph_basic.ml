@@ -1,0 +1,95 @@
+module G = Csap_graph.Graph
+
+let triangle () = G.create ~n:3 [ (0, 1, 2); (1, 2, 3); (0, 2, 7) ]
+
+let test_create () =
+  let g = triangle () in
+  Alcotest.(check int) "n" 3 (G.n g);
+  Alcotest.(check int) "m" 3 (G.m g);
+  Alcotest.(check int) "total weight" 12 (G.total_weight g);
+  Alcotest.(check int) "max weight" 7 (G.max_weight g);
+  Alcotest.(check bool) "connected" true (G.is_connected g)
+
+let test_normalisation () =
+  let g = G.create ~n:3 [ (2, 0, 5) ] in
+  let e = G.edge g 0 in
+  Alcotest.(check int) "u" 0 e.G.u;
+  Alcotest.(check int) "v" 2 e.G.v
+
+let test_neighbors () =
+  let g = triangle () in
+  let nbrs =
+    Array.to_list (G.neighbors g 1) |> List.map (fun (v, w, _) -> (v, w))
+  in
+  Alcotest.(check (list (pair int int)))
+    "neighbors of 1"
+    [ (0, 2); (2, 3) ]
+    (List.sort compare nbrs);
+  Alcotest.(check int) "degree" 2 (G.degree g 1)
+
+let test_edge_between () =
+  let g = triangle () in
+  (match G.edge_between g 0 2 with
+  | Some (w, _) -> Alcotest.(check int) "weight" 7 w
+  | None -> Alcotest.fail "edge 0-2 should exist");
+  let g2 = G.create ~n:4 [ (0, 1, 1) ] in
+  Alcotest.(check bool)
+    "missing edge" true
+    (G.edge_between g2 2 3 = None)
+
+let test_invalid () =
+  let expect_invalid name f =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (match name with
+         | "self-loop" -> "Graph.create: self-loop"
+         | "duplicate" -> "Graph.create: duplicate edge"
+         | "zero weight" -> "Graph.create: weight must be >= 1"
+         | _ -> "Graph.create: endpoint out of range"))
+      f
+  in
+  expect_invalid "self-loop" (fun () -> ignore (G.create ~n:3 [ (1, 1, 1) ]));
+  expect_invalid "duplicate" (fun () ->
+      ignore (G.create ~n:3 [ (0, 1, 1); (1, 0, 2) ]));
+  expect_invalid "zero weight" (fun () ->
+      ignore (G.create ~n:3 [ (0, 1, 0) ]));
+  expect_invalid "range" (fun () -> ignore (G.create ~n:3 [ (0, 3, 1) ]))
+
+let test_disconnected () =
+  let g = G.create ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  Alcotest.(check bool) "disconnected" false (G.is_connected g)
+
+let test_map_weights () =
+  let g = triangle () in
+  let doubled = G.map_weights g (fun e -> 2 * e.G.w) in
+  Alcotest.(check int) "doubled total" 24 (G.total_weight doubled)
+
+let test_subgraph () =
+  let g = triangle () in
+  let light = G.subgraph g ~keep_edge:(fun e -> e.G.w < 5) in
+  Alcotest.(check int) "m" 2 (G.m light);
+  Alcotest.(check int) "n preserved" 3 (G.n light)
+
+let test_other_endpoint () =
+  let e = { G.u = 3; v = 7; w = 1 } in
+  Alcotest.(check int) "other of 3" 7 (G.other_endpoint e 3);
+  Alcotest.(check int) "other of 7" 3 (G.other_endpoint e 7)
+
+let test_compare_edges () =
+  let a = { G.u = 0; v = 1; w = 5 } and b = { G.u = 0; v = 2; w = 5 } in
+  Alcotest.(check bool) "w ties broken" true (G.compare_edges a b < 0);
+  Alcotest.(check int) "equal" 0 (G.compare_edges a a)
+
+let suite =
+  [
+    Alcotest.test_case "create and measures" `Quick test_create;
+    Alcotest.test_case "endpoint normalisation" `Quick test_normalisation;
+    Alcotest.test_case "neighbors" `Quick test_neighbors;
+    Alcotest.test_case "edge_between" `Quick test_edge_between;
+    Alcotest.test_case "invalid inputs rejected" `Quick test_invalid;
+    Alcotest.test_case "disconnected detection" `Quick test_disconnected;
+    Alcotest.test_case "map_weights" `Quick test_map_weights;
+    Alcotest.test_case "subgraph" `Quick test_subgraph;
+    Alcotest.test_case "other_endpoint" `Quick test_other_endpoint;
+    Alcotest.test_case "canonical edge order" `Quick test_compare_edges;
+  ]

@@ -1,0 +1,37 @@
+let () =
+  Alcotest.run "csap"
+    [
+      ("rng", Test_rng.suite);
+      ("heap", Test_heap.suite);
+      ("union-find", Test_union_find.suite);
+      ("graph", Test_graph_basic.suite);
+      ("tree", Test_tree.suite);
+      ("traversal", Test_traversal.suite);
+      ("paths", Test_paths.suite);
+      ("mst", Test_mst.suite);
+      ("params", Test_params.suite);
+      ("generators", Test_generators.suite);
+      ("engine", Test_engine.suite);
+      ("cover", Test_cover.suite);
+      ("tree-cover", Test_tree_cover.suite);
+      ("slt", Test_slt.suite);
+      ("global-func", Test_global_func.suite);
+      ("flood", Test_flood.suite);
+      ("dfs-token", Test_dfs_token.suite);
+      ("centr-growth", Test_centr_growth.suite);
+      ("con-hybrid", Test_con_hybrid.suite);
+      ("clock-sync", Test_clock_sync.suite);
+      ("normalize", Test_normalize.suite);
+      ("synchronizer", Test_synchronizer.suite);
+      ("spt-synch", Test_spt_synch.suite);
+      ("controller", Test_controller.suite);
+      ("mst-ghs", Test_mst_ghs.suite);
+      ("mst-fast", Test_mst_fast.suite);
+      ("mst-hybrid", Test_mst_hybrid.suite);
+      ("spt-recur", Test_spt_recur.suite);
+      ("spt-hybrid", Test_spt_hybrid.suite);
+      ("slt-distributed", Test_slt_distributed.suite);
+      ("extra", Test_extra.suite);
+      ("classical", Test_classical.suite);
+      ("sync-runner", Test_sync_runner.suite);
+    ]

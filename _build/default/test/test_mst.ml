@@ -1,0 +1,99 @@
+module M = Csap_graph.Mst
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let diamond () =
+  G.create ~n:4 [ (0, 1, 1); (1, 3, 2); (0, 2, 4); (2, 3, 3); (0, 3, 10) ]
+
+let test_prim_weight () =
+  let t = M.prim (diamond ()) ~root:0 in
+  Alcotest.(check int) "mst weight" 6 (Csap_graph.Tree.total_weight t);
+  Alcotest.(check bool) "spans" true
+    (Csap_graph.Tree.is_spanning_tree_of (diamond ()) t)
+
+let test_kruskal_matches () =
+  Alcotest.(check int) "weight agreement" (M.weight (diamond ()))
+    (Csap_graph.Tree.total_weight (M.prim (diamond ()) ~root:2))
+
+let test_path_mst () =
+  (* MST of the lower-bound family is exactly the light path (Section 7.1). *)
+  let g = Gen.lower_bound_gn 10 ~x:3 in
+  Alcotest.(check int) "V = (n-1) x" (9 * 3) (M.weight g)
+
+let test_is_mst () =
+  let g = diamond () in
+  Alcotest.(check bool) "prim is mst" true (M.is_mst g (M.prim g ~root:0));
+  let spt = Csap_graph.Paths.spt g ~src:0 in
+  (* The SPT of the diamond has weight 1+2+4=7 > 6 so it is not an MST. *)
+  Alcotest.(check bool) "spt not mst" false (M.is_mst g spt)
+
+let test_disconnected_rejected () =
+  let g = G.create ~n:4 [ (0, 1, 1); (2, 3, 1) ] in
+  Alcotest.check_raises "prim rejects"
+    (Invalid_argument "Mst.prim: graph is disconnected") (fun () ->
+      ignore (M.prim g ~root:0));
+  Alcotest.(check int) "kruskal forest size" 2 (List.length (M.kruskal g))
+
+let prop_prim_kruskal_agree =
+  QCheck.Test.make ~count:120 ~name:"prim weight = kruskal weight"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, root) ->
+      Csap_graph.Tree.total_weight (M.prim g ~root) = M.weight g)
+
+let prop_prim_root_independent =
+  QCheck.Test.make ~count:100 ~name:"MST edge set independent of root"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, root) ->
+      let edge_set t =
+        Csap_graph.Tree.edges t
+        |> List.map (fun (p, c, w) -> (min p c, max p c, w))
+        |> List.sort compare
+      in
+      edge_set (M.prim g ~root) = edge_set (M.prim g ~root:0))
+
+let prop_cut_property =
+  QCheck.Test.make ~count:80 ~name:"MST respects the cut property"
+    (Gen_qcheck.connected_graph_gen ~max_n:12 ())
+    (fun g ->
+      (* For every tree edge, removing it splits the tree in two; the edge
+         must be minimal (in canonical order) across that cut. *)
+      let t = M.prim g ~root:0 in
+      List.for_all
+        (fun (p, c, w) ->
+          (* Vertices on c's side = c's subtree. *)
+          let side = Array.make (G.n g) false in
+          let rec mark v =
+            side.(v) <- true;
+            List.iter mark (Csap_graph.Tree.children t v)
+          in
+          mark c;
+          let tree_edge = { G.u = min p c; v = max p c; w } in
+          Array.for_all
+            (fun (e : G.edge) ->
+              if side.(e.u) = side.(e.v) then true
+              else G.compare_edges tree_edge e <= 0)
+            (G.edges g))
+        (Csap_graph.Tree.edges t))
+
+let prop_fact_6_3 =
+  QCheck.Test.make ~count:100
+    ~name:"Fact 6.3: Diam(MST) <= V <= (n-1) * D"
+    (Gen_qcheck.connected_graph_gen ())
+    (fun g ->
+      let t = M.prim g ~root:0 in
+      let v = Csap_graph.Tree.total_weight t in
+      Csap_graph.Tree.diameter t <= v
+      && v <= (G.n g - 1) * Csap_graph.Paths.diameter g)
+
+let suite =
+  [
+    Alcotest.test_case "prim weight" `Quick test_prim_weight;
+    Alcotest.test_case "kruskal matches prim" `Quick test_kruskal_matches;
+    Alcotest.test_case "lower-bound family MST" `Quick test_path_mst;
+    Alcotest.test_case "is_mst" `Quick test_is_mst;
+    Alcotest.test_case "disconnected graphs" `Quick test_disconnected_rejected;
+    QCheck_alcotest.to_alcotest prop_prim_kruskal_agree;
+    QCheck_alcotest.to_alcotest prop_prim_root_independent;
+    QCheck_alcotest.to_alcotest prop_cut_property;
+    QCheck_alcotest.to_alcotest prop_fact_6_3;
+  ]

@@ -1,0 +1,75 @@
+module N = Csap.Normalize
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module SR = Csap_dsim.Sync_runner
+
+let test_power () =
+  List.iter
+    (fun (w, expected) ->
+      Alcotest.(check int) (Printf.sprintf "power %d" w) expected (N.power w))
+    [ (1, 1); (2, 2); (3, 4); (4, 4); (5, 8); (7, 8); (8, 8); (9, 16); (100, 128) ]
+
+let test_next_mult () =
+  Alcotest.(check int) "already multiple" 12 (N.next_mult ~w:4 12);
+  Alcotest.(check int) "round up" 16 (N.next_mult ~w:4 13);
+  Alcotest.(check int) "zero" 0 (N.next_mult ~w:8 0);
+  Alcotest.(check int) "w=1" 7 (N.next_mult ~w:1 7)
+
+let test_is_normalized () =
+  Alcotest.(check bool) "powers" true
+    (N.is_normalized (G.create ~n:3 [ (0, 1, 4); (1, 2, 1) ]));
+  Alcotest.(check bool) "not powers" false
+    (N.is_normalized (G.create ~n:3 [ (0, 1, 3) ]))
+
+let test_graph_rounding () =
+  let g = G.create ~n:3 [ (0, 1, 3); (1, 2, 5) ] in
+  let g' = N.graph g in
+  Alcotest.(check bool) "normalized" true (N.is_normalized g');
+  Alcotest.(check int) "3 -> 4" 4 (fst (Option.get (G.edge_between g' 0 1)));
+  Alcotest.(check int) "5 -> 8" 8 (fst (Option.get (G.edge_between g' 1 2)))
+
+(* Property 3 and 4 of Lemma 4.5: identical output, bounded overhead,
+   in-synch. Exercised with the SPT wave protocol. *)
+let check_transform g source =
+  let p = Csap.Spt_synch.protocol ~source in
+  let d = Csap_graph.Paths.diameter g in
+  let reference = SR.run g p ~pulses:(d + 1) in
+  let g' = N.graph g in
+  let p' = N.protocol ~original:g p in
+  let pulses' = N.pulses_needed ~original_pulses:(d + 1) ~w_max:(G.max_weight g) in
+  let transformed = SR.run ~check_in_synch:true g' p' ~pulses:pulses' in
+  let inner_states = Array.map N.inner_state transformed.SR.states in
+  let same_states =
+    Array.for_all2
+      (fun (a : Csap.Spt_synch.state) (b : Csap.Spt_synch.state) ->
+        a.Csap.Spt_synch.dist = b.Csap.Spt_synch.dist
+        && a.Csap.Spt_synch.parent = b.Csap.Spt_synch.parent)
+      reference.SR.states inner_states
+  in
+  let comm_ok =
+    transformed.SR.weighted_comm <= 2 * reference.SR.weighted_comm
+  in
+  let msgs_ok = transformed.SR.messages = reference.SR.messages in
+  same_states && comm_ok && msgs_ok
+
+let test_transform_simple () =
+  Alcotest.(check bool) "path" true (check_transform (Gen.path 6 ~w:3) 0);
+  Alcotest.(check bool) "cycle" true (check_transform (Gen.cycle 7 ~w:5) 2);
+  Alcotest.(check bool) "bkj" true
+    (check_transform (Gen.bkj_star_cycle 8 ~heavy:11) 0)
+
+let prop_transform_equivalent =
+  QCheck.Test.make ~count:40
+    ~name:"Lemma 4.5: identical outputs, <= 2x comm, in synch"
+    (Gen_qcheck.graph_and_vertex ~max_n:12 ~max_wmax:13 ())
+    (fun (g, source) -> check_transform g source)
+
+let suite =
+  [
+    Alcotest.test_case "power of two" `Quick test_power;
+    Alcotest.test_case "next multiple" `Quick test_next_mult;
+    Alcotest.test_case "normalization predicate" `Quick test_is_normalized;
+    Alcotest.test_case "graph rounding" `Quick test_graph_rounding;
+    Alcotest.test_case "transform on fixed graphs" `Quick test_transform_simple;
+    QCheck_alcotest.to_alcotest prop_transform_equivalent;
+  ]

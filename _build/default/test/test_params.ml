@@ -1,0 +1,43 @@
+module Params = Csap_graph.Params
+module Gen = Csap_graph.Generators
+
+let test_path_params () =
+  let p = Params.compute (Gen.path 5 ~w:2) in
+  Alcotest.(check int) "E" 8 p.Params.script_e;
+  Alcotest.(check int) "V" 8 p.Params.script_v;
+  Alcotest.(check int) "D" 8 p.Params.script_d;
+  Alcotest.(check int) "d" 2 p.Params.d;
+  Alcotest.(check int) "W" 2 p.Params.w_max
+
+let test_star_params () =
+  let p = Params.compute (Gen.star 6 ~w:3) in
+  Alcotest.(check int) "E" 15 p.Params.script_e;
+  Alcotest.(check int) "V" 15 p.Params.script_v;
+  Alcotest.(check int) "D" 6 p.Params.script_d
+
+let test_gn_params () =
+  (* On G_n the weighted parameters separate: E >> n V. *)
+  let p = Params.compute (Gen.lower_bound_gn 12 ~x:3) in
+  Alcotest.(check int) "V" 33 p.Params.script_v;
+  Alcotest.(check bool) "E dominates n*V" true
+    (p.Params.script_e > p.Params.n * p.Params.script_v)
+
+let test_chorded_params () =
+  (* The chorded cycle separates d from W. *)
+  let p = Params.compute (Gen.chorded_cycle 12 ~chord_w:77) in
+  Alcotest.(check int) "d" 2 p.Params.d;
+  Alcotest.(check int) "W" 77 p.Params.w_max
+
+let prop_invariants =
+  QCheck.Test.make ~count:120 ~name:"paper parameter relations hold"
+    (Gen_qcheck.connected_graph_gen ())
+    (fun g -> Params.invariants_hold (Params.compute g))
+
+let suite =
+  [
+    Alcotest.test_case "path parameters" `Quick test_path_params;
+    Alcotest.test_case "star parameters" `Quick test_star_params;
+    Alcotest.test_case "lower-bound separation" `Quick test_gn_params;
+    Alcotest.test_case "d vs W separation" `Quick test_chorded_params;
+    QCheck_alcotest.to_alcotest prop_invariants;
+  ]

@@ -1,0 +1,72 @@
+module Rng = Csap_graph.Rng
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  Alcotest.(check bool) "different streams" true (Rng.bits64 a <> Rng.bits64 b)
+
+let test_int_range () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int rng 7 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 7)
+  done;
+  for _ = 1 to 1000 do
+    let x = Rng.int_in rng 3 9 in
+    Alcotest.(check bool) "in closed range" true (x >= 3 && x <= 9)
+  done
+
+let test_float_range () =
+  let rng = Rng.create 11 in
+  for _ = 1 to 1000 do
+    let x = Rng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (x >= 0.0 && x < 1.0)
+  done
+
+let test_int_coverage () =
+  (* All residues of a small bound appear within a reasonable sample. *)
+  let rng = Rng.create 17 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 500 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Alcotest.(check bool) "all residues hit" true (Array.for_all Fun.id seen)
+
+let test_split_independence () =
+  let parent = Rng.create 23 in
+  let child = Rng.split parent in
+  let xs = List.init 10 (fun _ -> Rng.bits64 parent) in
+  let ys = List.init 10 (fun _ -> Rng.bits64 child) in
+  Alcotest.(check bool) "streams differ" true (xs <> ys)
+
+let test_shuffle_permutation () =
+  let rng = Rng.create 31 in
+  let arr = Array.init 20 (fun i -> i) in
+  Rng.shuffle rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "permutation" (Array.init 20 (fun i -> i)) sorted
+
+let test_copy () =
+  let a = Rng.create 47 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  Alcotest.(check int64) "copies agree" (Rng.bits64 a) (Rng.bits64 b)
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "int ranges" `Quick test_int_range;
+    Alcotest.test_case "float range" `Quick test_float_range;
+    Alcotest.test_case "int coverage" `Quick test_int_coverage;
+    Alcotest.test_case "split independence" `Quick test_split_independence;
+    Alcotest.test_case "shuffle is a permutation" `Quick
+      test_shuffle_permutation;
+    Alcotest.test_case "copy" `Quick test_copy;
+  ]

@@ -1,0 +1,117 @@
+module Slt = Csap.Slt
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module Tree = Csap_graph.Tree
+
+let check_slt ?(q = 2.0) g =
+  let params = Csap_graph.Params.compute g in
+  let slt = Slt.build ~q g ~root:0 in
+  Alcotest.(check bool) "spans" true (Tree.is_spanning_tree_of g slt.Slt.tree);
+  Alcotest.(check bool)
+    (Format.asprintf "shallow-light (w=%d V=%d h=%d D=%d q=%.2f)"
+       (Tree.total_weight slt.Slt.tree)
+       params.Csap_graph.Params.script_v
+       (Tree.height slt.Slt.tree)
+       params.Csap_graph.Params.script_d q)
+    true
+    (Slt.is_shallow_light slt ~script_v:params.Csap_graph.Params.script_v
+       ~script_d:params.Csap_graph.Params.script_d);
+  slt
+
+let test_path () = ignore (check_slt (Gen.path 10 ~w:3))
+let test_grid () = ignore (check_slt (Gen.grid 4 5 ~w:2))
+
+let test_bkj_conflict () =
+  (* The BKJ83 family where MST and SPT genuinely conflict: the SLT must
+     stay within both bounds even though each extreme tree violates one. *)
+  let g = Gen.bkj_star_cycle 12 ~heavy:40 in
+  let params = Csap_graph.Params.compute g in
+  let spt = Csap_graph.Paths.spt g ~src:0 in
+  let mst = Csap_graph.Mst.prim g ~root:0 in
+  (* Sanity: SPT too heavy, MST too deep relative to the other bound. *)
+  Alcotest.(check bool) "SPT heavy" true
+    (Tree.total_weight spt > 3 * params.Csap_graph.Params.script_v);
+  Alcotest.(check bool) "MST deep" true
+    (Tree.height mst > params.Csap_graph.Params.script_d);
+  List.iter
+    (fun q -> ignore (check_slt ~q g))
+    [ 0.5; 1.0; 2.0; 4.0; 8.0 ]
+
+let test_breakpoints_structure () =
+  let g = Gen.bkj_star_cycle 10 ~heavy:30 in
+  let slt = Slt.build ~q:1.0 g ~root:0 in
+  (match slt.Slt.breakpoints with
+  | 0 :: _ -> ()
+  | _ -> Alcotest.fail "first breakpoint must be line position 0");
+  (* Breakpoints strictly increase. *)
+  let rec increasing = function
+    | a :: (b :: _ as rest) -> a < b && increasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "increasing" true (increasing slt.Slt.breakpoints);
+  Alcotest.(check int) "one added path per extra breakpoint"
+    (List.length slt.Slt.breakpoints - 1)
+    (List.length slt.Slt.added_paths)
+
+let test_line_is_euler_tour () =
+  let g = Gen.path 6 ~w:2 in
+  let slt = Slt.build g ~root:0 in
+  Alcotest.(check int) "line length 2n-1" 11 (Array.length slt.Slt.line);
+  Alcotest.(check int) "starts at root" 0 slt.Slt.line.(0)
+
+let test_q_tradeoff_direction () =
+  (* Larger q should not increase the tree weight (fewer shortcuts). *)
+  let g = Gen.bkj_star_cycle 14 ~heavy:60 in
+  let w q = Tree.total_weight (Slt.build ~q g ~root:0).Slt.tree in
+  Alcotest.(check bool) "weight monotone-ish in q" true (w 8.0 <= w 0.5)
+
+let test_invalid_q () =
+  Alcotest.check_raises "q=0" (Invalid_argument "Slt.build: q must be positive")
+    (fun () -> ignore (Slt.build ~q:0.0 (Gen.path 3 ~w:1) ~root:0))
+
+let test_mst_is_valid_when_light () =
+  (* On a uniform path MST = SPT; breakpoints on the Euler return leg only
+     ever add MST edges back, so the SLT is exactly the MST. *)
+  let g = Gen.path 8 ~w:1 in
+  let slt = Slt.build ~q:2.0 g ~root:0 in
+  Alcotest.(check int) "weight equals MST" 7
+    (Tree.total_weight slt.Slt.tree)
+
+let prop_slt_bounds =
+  QCheck.Test.make ~count:80 ~name:"Theorem 2.2: SLT bounds on random graphs"
+    QCheck.(
+      pair
+        (Gen_qcheck.connected_graph_gen ~max_n:18 ~max_wmax:12 ())
+        (QCheck.map (fun x -> 0.5 +. (float_of_int x /. 10.0)) (int_bound 75)))
+    (fun (g, q) ->
+      let params = Csap_graph.Params.compute g in
+      let slt = Slt.build ~q g ~root:0 in
+      Tree.is_spanning_tree_of g slt.Slt.tree
+      && Slt.is_shallow_light slt
+           ~script_v:params.Csap_graph.Params.script_v
+           ~script_d:params.Csap_graph.Params.script_d)
+
+let prop_slt_any_root =
+  QCheck.Test.make ~count:60 ~name:"SLT valid from any root"
+    (Gen_qcheck.graph_and_vertex ~max_n:14 ())
+    (fun (g, root) ->
+      let params = Csap_graph.Params.compute g in
+      let slt = Slt.build ~q:2.0 g ~root in
+      Slt.is_shallow_light slt
+        ~script_v:params.Csap_graph.Params.script_v
+        ~script_d:params.Csap_graph.Params.script_d)
+
+let suite =
+  [
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "BKJ conflict family, q sweep" `Quick test_bkj_conflict;
+    Alcotest.test_case "breakpoint structure" `Quick test_breakpoints_structure;
+    Alcotest.test_case "euler line" `Quick test_line_is_euler_tour;
+    Alcotest.test_case "q trade-off direction" `Quick test_q_tradeoff_direction;
+    Alcotest.test_case "invalid q" `Quick test_invalid_q;
+    Alcotest.test_case "light graphs need no shortcuts" `Quick
+      test_mst_is_valid_when_light;
+    QCheck_alcotest.to_alcotest prop_slt_bounds;
+    QCheck_alcotest.to_alcotest prop_slt_any_root;
+  ]

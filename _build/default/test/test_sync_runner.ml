@@ -1,0 +1,130 @@
+module SR = Csap_dsim.Sync_runner
+module SP = Csap_dsim.Sync_protocol
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+(* A wave protocol: vertex 0 emits its id at pulse 0; everyone forwards the
+   minimum id seen, once, to all neighbours. Every vertex ends with value 0
+   at a pulse equal to its weighted distance from 0 (messages travel at speed
+   exactly w). Sends happen right when a vertex first learns the value, which
+   keeps it simple but *not* in synch in general. *)
+type wave_state = { value : int option; heard_at : int }
+
+let wave =
+  {
+    SP.init = (fun _ ~me -> { value = (if me = 0 then Some 0 else None); heard_at = -1 });
+    on_pulse =
+      (fun g ~me ~pulse ~inbox state ->
+        match state.value with
+        | Some _ when state.heard_at >= 0 || me <> 0 -> (state, [])
+        | Some v ->
+          (* vertex 0 at pulse 0: broadcast *)
+          let sends =
+            Array.to_list (G.neighbors g me) |> List.map (fun (u, _, _) -> (u, v))
+          in
+          ({ state with heard_at = pulse }, sends)
+        | None -> (
+          match inbox with
+          | [] -> (state, [])
+          | (_, v) :: _ ->
+            let sends =
+              Array.to_list (G.neighbors g me)
+              |> List.map (fun (u, _, _) -> (u, v))
+            in
+            ({ value = Some v; heard_at = pulse }, sends)))
+  }
+
+let test_wave_arrival_times () =
+  let g = Gen.path 4 ~w:3 in
+  let outcome = SR.run g wave ~pulses:20 in
+  Array.iteri
+    (fun v (s : wave_state) ->
+      let expected = if v = 0 then 0 else 3 * v in
+      Alcotest.(check int)
+        (Printf.sprintf "vertex %d heard at distance" v)
+        expected
+        (if v = 0 then 0 else s.heard_at))
+    outcome.SR.states
+
+let test_wave_takes_shortcuts () =
+  (* Square with a heavy direct edge: the light two-hop path wins. *)
+  let g = G.create ~n:3 [ (0, 1, 1); (1, 2, 1); (0, 2, 10) ] in
+  let outcome = SR.run g wave ~pulses:15 in
+  let s = outcome.SR.states.(2) in
+  Alcotest.(check int) "arrives via light path" 2 s.heard_at
+
+let test_comm_accounting () =
+  let g = Gen.path 3 ~w:4 in
+  let outcome = SR.run g wave ~pulses:20 in
+  (* Sends: v0 -> 1 (4), v1 -> both (8), v2 -> 1 (4): total 16 weighted. *)
+  Alcotest.(check int) "messages" 4 outcome.SR.messages;
+  Alcotest.(check int) "weighted comm" 16 outcome.SR.weighted_comm
+
+let test_deliveries_log () =
+  let g = Gen.path 2 ~w:2 in
+  let outcome = SR.run g wave ~pulses:10 in
+  let expected : int SP.delivery list =
+    [
+      { SP.pulse = 2; src = 0; dst = 1; payload = 0 };
+      { SP.pulse = 4; src = 1; dst = 0; payload = 0 };
+    ]
+  in
+  Alcotest.(check bool) "delivery log" true (outcome.SR.deliveries = expected)
+
+(* An in-synch counter protocol: on every pulse divisible by w(e), send the
+   current pulse number across e. *)
+let in_synch_counter =
+  {
+    SP.init = (fun _ ~me:_ -> 0);
+    on_pulse =
+      (fun g ~me ~pulse ~inbox state ->
+        let received = List.fold_left (fun acc (_, v) -> acc + v) 0 inbox in
+        let sends =
+          Array.to_list (G.neighbors g me)
+          |> List.filter (fun (_, w, _) -> pulse mod w = 0)
+          |> List.map (fun (u, _, _) -> (u, pulse))
+        in
+        (state + received, sends))
+  }
+
+let test_in_synch_accepted () =
+  let g = G.create ~n:3 [ (0, 1, 2); (1, 2, 4) ] in
+  let outcome = SR.run ~check_in_synch:true g in_synch_counter ~pulses:8 in
+  Alcotest.(check bool) "ran" true (outcome.SR.messages > 0)
+
+let test_out_of_synch_rejected () =
+  let g = Gen.path 2 ~w:3 in
+  (* wave sends at arbitrary pulses: on this graph vertex 1 replies at pulse
+     3 which IS divisible; use a graph with weight 2 and odd arrival. *)
+  let g2 = G.create ~n:3 [ (0, 1, 1); (1, 2, 2) ] in
+  ignore g;
+  let raised =
+    try
+      ignore (SR.run ~check_in_synch:true g2 wave ~pulses:10);
+      false
+    with Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "rejected" true raised
+
+let test_late_messages_logged () =
+  (* A message sent near the horizon is logged even if it arrives after the
+     last pulse. *)
+  let g = Gen.path 2 ~w:5 in
+  let outcome = SR.run g wave ~pulses:4 in
+  Alcotest.(check int) "send happened" 1 outcome.SR.messages;
+  Alcotest.(check int) "logged late delivery" 1
+    (List.length outcome.SR.deliveries)
+
+let suite =
+  [
+    Alcotest.test_case "wave arrival times = weighted distance" `Quick
+      test_wave_arrival_times;
+    Alcotest.test_case "wave takes light shortcuts" `Quick
+      test_wave_takes_shortcuts;
+    Alcotest.test_case "communication accounting" `Quick test_comm_accounting;
+    Alcotest.test_case "delivery log" `Quick test_deliveries_log;
+    Alcotest.test_case "in-synch accepted" `Quick test_in_synch_accepted;
+    Alcotest.test_case "out-of-synch rejected" `Quick
+      test_out_of_synch_rejected;
+    Alcotest.test_case "late messages logged" `Quick test_late_messages_logged;
+  ]

@@ -1,0 +1,52 @@
+module T = Csap_graph.Traversal
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let test_bfs_hops () =
+  let g = Gen.path 5 ~w:100 in
+  Alcotest.(check (array int)) "hops ignore weights" [| 0; 1; 2; 3; 4 |]
+    (T.bfs_hops g ~src:0)
+
+let test_bfs_unreachable () =
+  let g = G.create ~n:3 [ (0, 1, 1) ] in
+  Alcotest.(check int) "unreachable" (-1) (T.bfs_hops g ~src:0).(2)
+
+let test_hop_diameter () =
+  Alcotest.(check int) "cycle" 3 (T.hop_diameter (Gen.cycle 6 ~w:50));
+  Alcotest.(check int) "star" 2 (T.hop_diameter (Gen.star 5 ~w:9))
+
+let test_dfs_preorder () =
+  let g = Gen.path 4 ~w:1 in
+  Alcotest.(check (array int)) "path order" [| 1; 0; 2; 3 |]
+    (T.dfs_preorder g ~src:1)
+
+let test_components () =
+  let g = G.create ~n:5 [ (0, 1, 1); (3, 4, 1) ] in
+  let ids, count = T.components g in
+  Alcotest.(check int) "count" 3 count;
+  Alcotest.(check bool) "0~1" true (ids.(0) = ids.(1));
+  Alcotest.(check bool) "3~4" true (ids.(3) = ids.(4));
+  Alcotest.(check bool) "0!~3" true (ids.(0) <> ids.(3))
+
+let test_spanning_tree () =
+  let g = Gen.complete 6 ~w:2 in
+  let t = T.spanning_tree_dfs g ~root:3 in
+  Alcotest.(check bool) "spans" true (Csap_graph.Tree.is_spanning_tree_of g t);
+  Alcotest.(check int) "root" 3 (Csap_graph.Tree.root t)
+
+let prop_spanning_tree_spans =
+  QCheck.Test.make ~count:100 ~name:"DFS spanning tree spans any graph"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, root) ->
+      Csap_graph.Tree.is_spanning_tree_of g (T.spanning_tree_dfs g ~root))
+
+let suite =
+  [
+    Alcotest.test_case "bfs hops" `Quick test_bfs_hops;
+    Alcotest.test_case "bfs unreachable" `Quick test_bfs_unreachable;
+    Alcotest.test_case "hop diameter" `Quick test_hop_diameter;
+    Alcotest.test_case "dfs preorder" `Quick test_dfs_preorder;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "spanning tree" `Quick test_spanning_tree;
+    QCheck_alcotest.to_alcotest prop_spanning_tree_spans;
+  ]

@@ -1,0 +1,133 @@
+module T = Csap_graph.Tree
+
+(*      0
+       / \
+      1   2     weights: 0-1:3  0-2:1  1-3:2  1-4:5  2-5:4
+     / \   \
+    3   4   5  *)
+let sample () =
+  T.of_parents ~root:0
+    ~parents:[| -1; 0; 0; 1; 1; 2 |]
+    ~weights:[| 0; 3; 1; 2; 5; 4 |]
+
+let test_basic () =
+  let t = sample () in
+  Alcotest.(check int) "n" 6 (T.n t);
+  Alcotest.(check int) "root" 0 (T.root t);
+  Alcotest.(check int) "total weight" 15 (T.total_weight t);
+  Alcotest.(check (option (pair int int))) "parent of 4" (Some (1, 5))
+    (T.parent t 4);
+  Alcotest.(check (option (pair int int))) "parent of root" None (T.parent t 0)
+
+let test_depth_height () =
+  let t = sample () in
+  Alcotest.(check int) "depth 0" 0 (T.depth t 0);
+  Alcotest.(check int) "depth 3" 5 (T.depth t 3);
+  Alcotest.(check int) "depth 4" 8 (T.depth t 4);
+  Alcotest.(check int) "depth 5" 5 (T.depth t 5);
+  Alcotest.(check int) "height" 8 (T.height t)
+
+let test_diameter () =
+  let t = sample () in
+  (* Longest path: 4 - 1 - 0 - 2 - 5 = 5 + 3 + 1 + 4 = 13. *)
+  Alcotest.(check int) "diameter" 13 (T.diameter t)
+
+let test_path () =
+  let t = sample () in
+  Alcotest.(check (list int)) "path 3-4" [ 3; 1; 4 ] (T.path t 3 4);
+  Alcotest.(check (list int)) "path 4-5" [ 4; 1; 0; 2; 5 ] (T.path t 4 5);
+  Alcotest.(check (list int)) "path to self" [ 3 ] (T.path t 3 3);
+  Alcotest.(check (list int)) "path root-leaf" [ 0; 1; 3 ] (T.path t 0 3);
+  Alcotest.(check int) "path weight 4-5" 13 (T.path_weight t 4 5);
+  Alcotest.(check int) "path weight self" 0 (T.path_weight t 3 3)
+
+let test_euler_tour () =
+  let t = sample () in
+  let tour = T.euler_tour t in
+  Alcotest.(check int) "length" 11 (Array.length tour);
+  Alcotest.(check int) "starts at root" 0 tour.(0);
+  Alcotest.(check int) "ends at root" 0 tour.(Array.length tour - 1);
+  (* Consecutive entries must be tree neighbours. *)
+  for i = 0 to Array.length tour - 2 do
+    let a = tour.(i) and b = tour.(i + 1) in
+    let neighbours =
+      match (T.parent t a, T.parent t b) with
+      | Some (p, _), _ when p = b -> true
+      | _, Some (p, _) when p = a -> true
+      | _ -> false
+    in
+    Alcotest.(check bool)
+      (Printf.sprintf "tour step %d-%d adjacent" a b)
+      true neighbours
+  done;
+  (* Every tree edge appears exactly twice. *)
+  let counts = Hashtbl.create 16 in
+  for i = 0 to Array.length tour - 2 do
+    let a = min tour.(i) tour.(i + 1) and b = max tour.(i) tour.(i + 1) in
+    Hashtbl.replace counts (a, b)
+      (1 + try Hashtbl.find counts (a, b) with Not_found -> 0)
+  done;
+  Hashtbl.iter
+    (fun _ c -> Alcotest.(check int) "each edge twice" 2 c)
+    counts
+
+let test_invalid () =
+  Alcotest.check_raises "cycle rejected"
+    (Invalid_argument "Tree.of_parents: not all vertices reachable from root")
+    (fun () ->
+      ignore
+        (T.of_parents ~root:0 ~parents:[| -1; 2; 1 |] ~weights:[| 0; 1; 1 |]))
+
+let test_singleton () =
+  let t = T.of_parents ~root:0 ~parents:[| -1 |] ~weights:[| 0 |] in
+  Alcotest.(check int) "weight" 0 (T.total_weight t);
+  Alcotest.(check int) "diameter" 0 (T.diameter t);
+  Alcotest.(check int) "tour length" 1 (Array.length (T.euler_tour t))
+
+let test_spanning_check () =
+  let g = Csap_graph.Generators.path 4 ~w:2 in
+  let t =
+    T.of_parents ~root:0 ~parents:[| -1; 0; 1; 2 |] ~weights:[| 0; 2; 2; 2 |]
+  in
+  Alcotest.(check bool) "is spanning tree" true (T.is_spanning_tree_of g t);
+  let wrong =
+    T.of_parents ~root:0 ~parents:[| -1; 0; 1; 2 |] ~weights:[| 0; 2; 3; 2 |]
+  in
+  Alcotest.(check bool) "weight mismatch" false (T.is_spanning_tree_of g wrong)
+
+let test_to_graph () =
+  let t = sample () in
+  let g = T.to_graph t in
+  Alcotest.(check int) "edges" 5 (Csap_graph.Graph.m g);
+  Alcotest.(check int) "weight preserved" 15 (Csap_graph.Graph.total_weight g)
+
+let prop_path_symmetric =
+  QCheck.Test.make ~count:100 ~name:"tree path is symmetric"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, v) ->
+      let t = Csap_graph.Traversal.spanning_tree_dfs g ~root:0 in
+      let u = (v + 1) mod Csap_graph.Graph.n g in
+      T.path t u v = List.rev (T.path t v u)
+      && T.path_weight t u v = T.path_weight t v u)
+
+let prop_depth_vs_path =
+  QCheck.Test.make ~count:100 ~name:"depth equals path weight to root"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, v) ->
+      let t = Csap_graph.Traversal.spanning_tree_dfs g ~root:0 in
+      T.depth t v = T.path_weight t 0 v)
+
+let suite =
+  [
+    Alcotest.test_case "basics" `Quick test_basic;
+    Alcotest.test_case "depth and height" `Quick test_depth_height;
+    Alcotest.test_case "diameter" `Quick test_diameter;
+    Alcotest.test_case "paths" `Quick test_path;
+    Alcotest.test_case "euler tour" `Quick test_euler_tour;
+    Alcotest.test_case "invalid parents rejected" `Quick test_invalid;
+    Alcotest.test_case "singleton tree" `Quick test_singleton;
+    Alcotest.test_case "spanning-tree check" `Quick test_spanning_check;
+    Alcotest.test_case "to_graph" `Quick test_to_graph;
+    QCheck_alcotest.to_alcotest prop_path_symmetric;
+    QCheck_alcotest.to_alcotest prop_depth_vs_path;
+  ]

@@ -1,0 +1,114 @@
+module TC = Csap_cover.Tree_cover
+module C = Csap_cover.Cluster
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let check_properties g =
+  let tc = TC.build g in
+  let n = G.n g in
+  (* Property 3: every edge has a tree containing both endpoints. *)
+  Array.iter
+    (fun (e : G.edge) -> ignore (TC.covering_tree tc ~u:e.u ~v:e.v))
+    (G.edges g);
+  (* Property 2: tree depth O(d log n): assert <= (2k-1) d with the k used,
+     plus slack 1 for d = 0 corner cases. *)
+  let bound_height = ((2 * tc.TC.k) - 1) * max 1 tc.TC.d in
+  Alcotest.(check bool)
+    (Printf.sprintf "height %d <= (2k-1)d = %d" (TC.max_height tc) bound_height)
+    true
+    (TC.max_height tc <= bound_height);
+  (* Property 1: edge sharing O(log n) — use the implementation's own
+     documented degree bound. *)
+  let m = G.m g in
+  let deg_bound = Csap_cover.Coarsen.degree_bound ~num_clusters:m ~k:tc.TC.k in
+  Alcotest.(check bool)
+    (Printf.sprintf "sharing %d <= %d" (TC.max_edge_sharing g tc) deg_bound)
+    true
+    (TC.max_edge_sharing g tc <= deg_bound);
+  (* Trees are valid: root in members, parents consistent, depths match. *)
+  List.iter
+    (fun (tr : TC.cluster_tree) ->
+      Alcotest.(check bool) "root is member" true
+        (List.mem tr.TC.root tr.TC.members);
+      List.iter
+        (fun v ->
+          let p = tr.TC.parent.(v) in
+          if v = tr.TC.root then Alcotest.(check int) "root parent" (-1) p
+          else begin
+            Alcotest.(check bool) "parent in members" true
+              (List.mem p tr.TC.members);
+            (match G.edge_between g v p with
+            | Some (w, _) ->
+              Alcotest.(check int) "depth consistent"
+                (tr.TC.depth.(p) + w) tr.TC.depth.(v);
+              Alcotest.(check int) "parent weight" w tr.TC.parent_weight.(v)
+            | None -> Alcotest.fail "tree edge not a graph edge")
+          end)
+        tr.TC.members)
+    tc.TC.trees;
+  ignore n
+
+let test_path () = check_properties (Gen.path 12 ~w:3)
+let test_cycle () = check_properties (Gen.cycle 10 ~w:2)
+let test_grid () = check_properties (Gen.grid 4 4 ~w:1)
+
+let test_chorded_cycle () =
+  (* The motivating case for gamma*: heavy chords, light ring. *)
+  let g = Gen.chorded_cycle 12 ~chord_w:64 in
+  check_properties g;
+  let tc = TC.build g in
+  (* d = 2 here, so tree heights must stay near d log n, far below W=64. *)
+  Alcotest.(check bool) "heights << W" true (TC.max_height tc < 64)
+
+let test_random () =
+  let rng = Csap_graph.Rng.create 12 in
+  check_properties (Gen.random_connected rng 20 ~extra_edges:15 ~wmax:8)
+
+let test_trees_at () =
+  let g = Gen.path 6 ~w:1 in
+  let tc = TC.build g in
+  for v = 0 to 5 do
+    Alcotest.(check bool)
+      (Printf.sprintf "vertex %d in a tree" v)
+      true
+      (TC.trees_at tc v <> [])
+  done
+
+let test_spt_of_cluster () =
+  let g = Gen.cycle 6 ~w:1 in
+  let c = C.of_list [ 0; 1; 2; 3 ] in
+  let tr = TC.spt_of_cluster g ~tree_id:0 c ~center:1 in
+  Alcotest.(check int) "root" 1 tr.TC.root;
+  Alcotest.(check int) "depth of 3 inside cluster" 2 tr.TC.depth.(3);
+  Alcotest.(check int) "outside marker" (-1) tr.TC.depth.(4);
+  Alcotest.(check int) "outside parent" (-2) tr.TC.parent.(4);
+  Alcotest.(check int) "height" 2 tr.TC.height
+
+let prop_tree_cover_random =
+  QCheck.Test.make ~count:25 ~name:"tree edge-cover properties (random)"
+    (Gen_qcheck.connected_graph_gen ~max_n:14 ~max_wmax:8 ())
+    (fun g ->
+      let tc = TC.build g in
+      let ok_cover =
+        Array.for_all
+          (fun (e : G.edge) ->
+            List.exists
+              (fun (tr : TC.cluster_tree) ->
+                tr.TC.depth.(e.u) >= 0 && tr.TC.depth.(e.v) >= 0)
+              tc.TC.trees)
+          (G.edges g)
+      in
+      let bound_height = ((2 * tc.TC.k) - 1) * max 1 tc.TC.d in
+      ok_cover && TC.max_height tc <= bound_height)
+
+let suite =
+  [
+    Alcotest.test_case "path" `Quick test_path;
+    Alcotest.test_case "cycle" `Quick test_cycle;
+    Alcotest.test_case "grid" `Quick test_grid;
+    Alcotest.test_case "chorded cycle (gamma* case)" `Quick test_chorded_cycle;
+    Alcotest.test_case "random graph" `Quick test_random;
+    Alcotest.test_case "trees_at covers all vertices" `Quick test_trees_at;
+    Alcotest.test_case "cluster SPT" `Quick test_spt_of_cluster;
+    QCheck_alcotest.to_alcotest prop_tree_cover_random;
+  ]

@@ -1,0 +1,58 @@
+module Uf = Csap_graph.Union_find
+
+let test_singletons () =
+  let uf = Uf.create 5 in
+  Alcotest.(check int) "count" 5 (Uf.count uf);
+  for i = 0 to 4 do
+    Alcotest.(check int) "own root" i (Uf.find uf i)
+  done
+
+let test_union () =
+  let uf = Uf.create 4 in
+  Alcotest.(check bool) "fresh union" true (Uf.union uf 0 1);
+  Alcotest.(check bool) "repeat union" false (Uf.union uf 1 0);
+  Alcotest.(check bool) "same" true (Uf.same uf 0 1);
+  Alcotest.(check bool) "not same" false (Uf.same uf 0 2);
+  Alcotest.(check int) "count" 3 (Uf.count uf)
+
+let test_transitive () =
+  let uf = Uf.create 6 in
+  ignore (Uf.union uf 0 1);
+  ignore (Uf.union uf 2 3);
+  ignore (Uf.union uf 1 2);
+  Alcotest.(check bool) "0~3" true (Uf.same uf 0 3);
+  Alcotest.(check int) "count" 3 (Uf.count uf)
+
+let prop_union_find_partition =
+  QCheck.Test.make ~count:100 ~name:"union-find matches naive partition"
+    QCheck.(list (pair (int_bound 19) (int_bound 19)))
+    (fun pairs ->
+      let n = 20 in
+      let uf = Uf.create n in
+      (* Naive partition via component relabeling. *)
+      let label = Array.init n (fun i -> i) in
+      let relabel a b =
+        let la = label.(a) and lb = label.(b) in
+        if la <> lb then
+          Array.iteri (fun i l -> if l = lb then label.(i) <- la) label
+      in
+      List.iter
+        (fun (a, b) ->
+          ignore (Uf.union uf a b);
+          relabel a b)
+        pairs;
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          if Uf.same uf i j <> (label.(i) = label.(j)) then ok := false
+        done
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "singletons" `Quick test_singletons;
+    Alcotest.test_case "union semantics" `Quick test_union;
+    Alcotest.test_case "transitivity" `Quick test_transitive;
+    QCheck_alcotest.to_alcotest prop_union_find_partition;
+  ]
