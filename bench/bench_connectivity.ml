@@ -7,123 +7,154 @@ module P = Csap_graph.Params
 
 (* --- F2: Figure 2 — the connectivity algorithms table ----------------- *)
 
-let run_row name g =
-  let p = P.compute g in
-  let e = float_of_int p.P.script_e in
-  let nv = float_of_int (p.P.n * p.P.script_v) in
-  let flood = (Csap.Flood.run g ~source:0).Csap.Flood.measures in
-  let dfs = (Csap.Dfs_token.run g ~root:0).Csap.Dfs_token.measures in
-  let hyb = (Csap.Con_hybrid.run g ~root:0).Csap.Con_hybrid.measures in
-  let minimum = Float.min e nv in
-  [
-    Report.Str name;
-    Report.Int p.P.n;
-    Report.Int p.P.script_e;
-    Report.Int (p.P.n * p.P.script_v);
-    Report.Int flood.Csap.Measures.comm;
-    Report.Float (Report.ratio (float_of_int flood.Csap.Measures.comm) e);
-    Report.Int dfs.Csap.Measures.comm;
-    Report.Float (Report.ratio (float_of_int dfs.Csap.Measures.comm) e);
-    Report.Int hyb.Csap.Measures.comm;
-    Report.Float (Report.ratio (float_of_int hyb.Csap.Measures.comm) minimum);
-  ]
+let run_row name build =
+  Report.row_job name (fun () ->
+      let g = build () in
+      let p = P.compute g in
+      let e = float_of_int p.P.script_e in
+      let nv = float_of_int (p.P.n * p.P.script_v) in
+      let flood = (Csap.Flood.run g ~source:0).Csap.Flood.measures in
+      let dfs = (Csap.Dfs_token.run g ~root:0).Csap.Dfs_token.measures in
+      let hyb = (Csap.Con_hybrid.run g ~root:0).Csap.Con_hybrid.measures in
+      let minimum = Float.min e nv in
+      [
+        Report.Str name;
+        Report.Int p.P.n;
+        Report.Int p.P.script_e;
+        Report.Int (p.P.n * p.P.script_v);
+        Report.Int flood.Csap.Measures.comm;
+        Report.Float (Report.ratio (float_of_int flood.Csap.Measures.comm) e);
+        Report.Int dfs.Csap.Measures.comm;
+        Report.Float (Report.ratio (float_of_int dfs.Csap.Measures.comm) e);
+        Report.Int hyb.Csap.Measures.comm;
+        Report.Float
+          (Report.ratio (float_of_int hyb.Csap.Measures.comm) minimum);
+      ])
 
 let f2 () =
-  Report.heading "F2" "connectivity / spanning tree (Figure 2)";
-  Format.printf
-    "paper: DFS O(E), CON_flood O(E), CON_hybrid O(min{E, nV}); lower \
-     bound Omega(min{E, nV})@.";
-  let rows =
+  let jobs =
     [
       (* E-side of the min: sparse light graphs. *)
-      run_row "path" (Gen.path 48 ~w:2);
-      run_row "grid" (Gen.grid 6 8 ~w:3);
-      run_row "random"
-        (Gen.random_connected (Csap_graph.Rng.create 3) 48 ~extra_edges:60
-           ~wmax:8);
+      run_row "path" (fun () -> Gen.path 48 ~w:2);
+      run_row "grid" (fun () -> Gen.grid 6 8 ~w:3);
+      run_row "random" (fun () ->
+          Gen.random_connected (Csap_graph.Rng.create 3) 48 ~extra_edges:60
+            ~wmax:8);
       (* nV-side of the min: the lower-bound family. *)
-      run_row "G_n x=6" (Gen.lower_bound_gn 20 ~x:6);
-      run_row "G_n x=8" (Gen.lower_bound_gn 20 ~x:8);
+      run_row "G_n x=6" (fun () -> Gen.lower_bound_gn 20 ~x:6);
+      run_row "G_n x=8" (fun () -> Gen.lower_bound_gn 20 ~x:8);
     ]
   in
-  Report.table
-    ~columns:
-      [
-        "family"; "n"; "E"; "nV"; "flood"; "/E"; "dfs"; "/E"; "hybrid";
-        "/min";
-      ]
-    rows;
-  Format.printf
-    "shape check: flood and dfs track E everywhere; hybrid tracks \
-     min{E,nV} and wins exactly on G_n.@."
+  {
+    Report.id = "F2";
+    title = "connectivity / spanning tree (Figure 2)";
+    jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: DFS O(E), CON_flood O(E), CON_hybrid O(min{E, nV}); lower \
+           bound Omega(min{E, nV})@.";
+        Report.table
+          ~columns:
+            [
+              "family"; "n"; "E"; "nV"; "flood"; "/E"; "dfs"; "/E"; "hybrid";
+              "/min";
+            ]
+          (Report.all_rows results);
+        Format.printf
+          "shape check: flood and dfs track E everywhere; hybrid tracks \
+           min{E,nV} and wins exactly on G_n.@.");
+  }
 
 (* --- F7: Figure 7 — Omega(n V) on the family G_n ---------------------- *)
 
 let f7 () =
-  Report.heading "F7" "the lower-bound family G_n (Figure 7)";
-  Format.printf
-    "paper: any connectivity algorithm pays Omega(min{E, nV}) = Omega(n^2 \
-     X) on G_n (Lemma 7.2)@.";
   let x = 8 in
-  let rows =
+  let jobs =
     List.map
       (fun n ->
-        let r = Csap.Lower_bound.run_on_gn ~n ~x in
-        let lower = Csap.Lower_bound.id_ferrying_cost ~n ~x in
-        [
-          Report.Int n;
-          Report.Int r.Csap.Lower_bound.script_e;
-          Report.Int r.Csap.Lower_bound.n_times_v;
-          Report.Int lower;
-          Report.Int r.Csap.Lower_bound.flood_comm;
-          Report.Int r.Csap.Lower_bound.dfs_comm;
-          Report.Int r.Csap.Lower_bound.hybrid_comm;
-          Report.Float
-            (Report.ratio
-               (float_of_int r.Csap.Lower_bound.hybrid_comm)
-               (float_of_int lower));
-        ])
+        Report.row_job
+          (Printf.sprintf "n=%d" n)
+          (fun () ->
+            let r = Csap.Lower_bound.run_on_gn ~n ~x in
+            let lower = Csap.Lower_bound.id_ferrying_cost ~n ~x in
+            [
+              Report.Int n;
+              Report.Int r.Csap.Lower_bound.script_e;
+              Report.Int r.Csap.Lower_bound.n_times_v;
+              Report.Int lower;
+              Report.Int r.Csap.Lower_bound.flood_comm;
+              Report.Int r.Csap.Lower_bound.dfs_comm;
+              Report.Int r.Csap.Lower_bound.hybrid_comm;
+              Report.Float
+                (Report.ratio
+                   (float_of_int r.Csap.Lower_bound.hybrid_comm)
+                   (float_of_int lower));
+            ]))
       [ 8; 12; 16; 20; 24; 32 ]
   in
-  Report.table
-    ~columns:
-      [
-        "n"; "E"; "nV"; "Omega(nV) term"; "flood"; "dfs"; "hybrid";
-        "hybrid/LB";
-      ]
-    rows;
-  Format.printf
-    "shape check: hybrid/LB stays a bounded factor above 1 — the upper \
-     bound meets the Omega(nV) lower bound; flood and dfs blow up with \
-     E = Theta(n X^4).@."
+  {
+    Report.id = "F7";
+    title = "the lower-bound family G_n (Figure 7)";
+    jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: any connectivity algorithm pays Omega(min{E, nV}) = \
+           Omega(n^2 X) on G_n (Lemma 7.2)@.";
+        Report.table
+          ~columns:
+            [
+              "n"; "E"; "nV"; "Omega(nV) term"; "flood"; "dfs"; "hybrid";
+              "hybrid/LB";
+            ]
+          (Report.all_rows results);
+        Format.printf
+          "shape check: hybrid/LB stays a bounded factor above 1 — the \
+           upper bound meets the Omega(nV) lower bound; flood and dfs blow \
+           up with E = Theta(n X^4).@.");
+  }
 
 (* --- F8: Figure 8 — the indistinguishability construction ------------- *)
 
 let f8 () =
-  Report.heading "F8" "the split graphs G_n^i (Figure 8)";
-  Format.printf
-    "paper: G_n and G_n^i agree except at bypass pair i, so executions \
-     that never join pair i's information coincide (Lemma 7.1)@.";
-  let rows =
+  let jobs =
     List.concat_map
       (fun n ->
         List.filter_map
           (fun i ->
             if i < n / 2 then
               Some
-                [
-                  Report.Int n;
-                  Report.Int i;
-                  Report.Int
-                    (Csap.Lower_bound.check_split_indistinguishable ~n ~i ~x:4);
-                  Report.Int (n + 1 - (2 * (i + 1)));
-                ]
+                (Report.row_job
+                   (Printf.sprintf "n=%d i=%d" n i)
+                   (fun () ->
+                     [
+                       Report.Int n;
+                       Report.Int i;
+                       Report.Int
+                         (Csap.Lower_bound.check_split_indistinguishable ~n
+                            ~i ~x:4);
+                       Report.Int (n + 1 - (2 * (i + 1)));
+                     ]))
             else None)
           [ 1; 3; 5; 7 ])
       [ 12; 20 ]
   in
-  Report.table ~columns:[ "n"; "i"; "edge diff"; "path hops to join ids" ] rows;
-  Format.printf
-    "every split differs in exactly 3 edges; joining pair i's ids forces \
-     messages across n+1-2i light edges — summing gives the Omega(n^2 X) \
-     bound of F7.@."
+  {
+    Report.id = "F8";
+    title = "the split graphs G_n^i (Figure 8)";
+    jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: G_n and G_n^i agree except at bypass pair i, so \
+           executions that never join pair i's information coincide (Lemma \
+           7.1)@.";
+        Report.table
+          ~columns:[ "n"; "i"; "edge diff"; "path hops to join ids" ]
+          (Report.all_rows results);
+        Format.printf
+          "every split differs in exactly 3 edges; joining pair i's ids \
+           forces messages across n+1-2i light edges — summing gives the \
+           Omega(n^2 X) bound of F7.@.");
+  }

@@ -40,52 +40,76 @@ let controlled_flood g ~threshold ~buggy =
   (E.metrics eng, ctl, !aborted)
 
 let ct () =
-  Report.heading "CT" "the controller (Section 5)";
-  Format.printf
-    "paper: c_phi = O(c_pi log^2 c_pi) (Cor 5.1); divergent executions \
-     suspended near the threshold@.";
-  Report.subheading "correct executions: overhead envelope";
-  let rows =
+  let envelope_jobs =
     List.map
       (fun n ->
-        let g = Gen.grid n n ~w:4 in
-        let c_pi = 2 * G.total_weight g in
-        let m, ctl, aborted = controlled_flood g ~threshold:(2 * c_pi) ~buggy:false in
-        let c = float_of_int c_pi in
-        let envelope = c *. Report.log2 c *. Report.log2 c in
-        [
-          Report.Int (G.n g);
-          Report.Int c_pi;
-          Report.Int (Csap.Controller.spent ctl);
-          Report.Int m.Csap_dsim.Metrics.weighted_comm;
-          Report.Float
-            (Report.ratio (float_of_int m.Csap_dsim.Metrics.weighted_comm) c);
-          Report.Float
-            (Report.ratio
-               (float_of_int m.Csap_dsim.Metrics.weighted_comm)
-               envelope);
-          Report.Str (if aborted then "ABORT" else "ok");
-        ])
+        Report.row_job
+          (Printf.sprintf "grid %dx%d" n n)
+          (fun () ->
+            let g = Gen.grid n n ~w:4 in
+            let c_pi = 2 * G.total_weight g in
+            let m, ctl, aborted =
+              controlled_flood g ~threshold:(2 * c_pi) ~buggy:false
+            in
+            let c = float_of_int c_pi in
+            let envelope = c *. Report.log2 c *. Report.log2 c in
+            [
+              Report.Int (G.n g);
+              Report.Int c_pi;
+              Report.Int (Csap.Controller.spent ctl);
+              Report.Int m.Csap_dsim.Metrics.weighted_comm;
+              Report.Float
+                (Report.ratio
+                   (float_of_int m.Csap_dsim.Metrics.weighted_comm)
+                   c);
+              Report.Float
+                (Report.ratio
+                   (float_of_int m.Csap_dsim.Metrics.weighted_comm)
+                   envelope);
+              Report.Str (if aborted then "ABORT" else "ok");
+            ]))
       [ 3; 4; 5; 6; 8 ]
   in
-  Report.table
-    ~columns:[ "n"; "c_pi"; "spent"; "c_phi"; "c_phi/c_pi"; "/(c log^2 c)"; "" ]
-    rows;
-  Report.subheading "divergent executions: containment";
-  let rows =
+  let containment_jobs =
     List.map
       (fun threshold ->
-        let g = Gen.grid 4 4 ~w:3 in
-        let m, ctl, aborted = controlled_flood g ~threshold ~buggy:true in
-        [
-          Report.Int threshold;
-          Report.Int (Csap.Controller.spent ctl);
-          Report.Int m.Csap_dsim.Metrics.weighted_comm;
-          Report.Str (if aborted then "suspended" else "ran away!");
-        ])
+        Report.row_job
+          (Printf.sprintf "threshold=%d" threshold)
+          (fun () ->
+            let g = Gen.grid 4 4 ~w:3 in
+            let m, ctl, aborted = controlled_flood g ~threshold ~buggy:true in
+            [
+              Report.Int threshold;
+              Report.Int (Csap.Controller.spent ctl);
+              Report.Int m.Csap_dsim.Metrics.weighted_comm;
+              Report.Str (if aborted then "suspended" else "ran away!");
+            ]))
       [ 50; 200; 800; 3200 ]
   in
-  Report.table ~columns:[ "threshold"; "spent"; "total comm"; "outcome" ] rows;
-  Format.printf
-    "shape check: c_phi/c_pi grows slower than log^2 c_pi; divergent runs \
-     spend at most their threshold before suspension.@."
+  let n_env = List.length envelope_jobs in
+  {
+    Report.id = "CT";
+    title = "the controller (Section 5)";
+    jobs = envelope_jobs @ containment_jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: c_phi = O(c_pi log^2 c_pi) (Cor 5.1); divergent \
+           executions suspended near the threshold@.";
+        Report.subheading "correct executions: overhead envelope";
+        Report.table
+          ~columns:
+            [
+              "n"; "c_pi"; "spent"; "c_phi"; "c_phi/c_pi"; "/(c log^2 c)";
+              "";
+            ]
+          (Report.all_rows (Array.sub results 0 n_env));
+        Report.subheading "divergent executions: containment";
+        Report.table
+          ~columns:[ "threshold"; "spent"; "total comm"; "outcome" ]
+          (Report.all_rows
+             (Array.sub results n_env (Array.length results - n_env)));
+        Format.printf
+          "shape check: c_phi/c_pi grows slower than log^2 c_pi; divergent \
+           runs spend at most their threshold before suspension.@.");
+  }

@@ -1,9 +1,15 @@
 (* Bechamel micro-benchmarks: per-operation cost (with OLS fit) of the
-   sequential kernels behind each figure — one Test.make per table. *)
+   sequential kernels behind each figure — one Test.make per table —
+   plus before/after pairs for the hot-path work: Engine.send's edge
+   lookup (adjacency scan vs the graph's sorted index) and the
+   all-sources diameter (lazy-deletion tuple heap vs the indexed heap
+   with decrease_key). Always run on the main domain. *)
 
 open Bechamel
 
+module G = Csap_graph.Graph
 module Gen = Csap_graph.Generators
+module E = Csap_dsim.Engine
 
 let graph =
   lazy
@@ -11,6 +17,56 @@ let graph =
        ~wmax:32)
 
 let bkj = lazy (Gen.bkj_star_cycle 48 ~heavy:200)
+
+(* Before/after instances named by the acceptance criteria: a dense
+   n = 96 network for the send-heavy flood, and an n = 256 sparse random
+   network for the n-Dijkstra diameter sweep. *)
+let dense96 = lazy (Gen.complete 96 ~w:4)
+
+let sparse256 =
+  lazy
+    (Gen.random_connected (Csap_graph.Rng.create 9) 256 ~extra_edges:512
+       ~wmax:32)
+
+type msg = Wave
+
+(* A bare flood (no tree bookkeeping): ~2 sends per edge, so the run cost
+   is the per-message hot path — Engine.send's edge lookup plus two event
+   queue operations. [lookup]/[queue] select the historical or the
+   optimised implementation of each. *)
+let flood_with lookup queue g =
+  let n = G.n g in
+  let eng = E.create ~edge_lookup:lookup ~event_queue:queue g in
+  let reached = Array.make n false in
+  let forward v ~except =
+    Array.iter
+      (fun (u, _, _) -> if u <> except then E.send eng ~src:v ~dst:u Wave)
+      (G.neighbors g v)
+  in
+  for v = 0 to n - 1 do
+    E.set_handler eng v (fun ~src Wave ->
+        if not reached.(v) then begin
+          reached.(v) <- true;
+          forward v ~except:src
+        end)
+  done;
+  E.schedule eng ~delay:0.0 (fun () ->
+      reached.(0) <- true;
+      forward 0 ~except:(-1));
+  ignore (E.run eng)
+
+(* The pre-index diameter: n independent lazy-deletion Dijkstras, fresh
+   buffers each time. *)
+let diameter_lazy g =
+  let n = G.n g in
+  let best = ref 0 in
+  for src = 0 to n - 1 do
+    let s = Csap_graph.Paths.dijkstra_lazy g ~src in
+    Array.iter
+      (fun d -> if d <> max_int && d > !best then best := d)
+      s.Csap_graph.Paths.dist
+  done;
+  !best
 
 let tests =
   [
@@ -44,8 +100,34 @@ let tests =
     Test.make ~name:"ct: flood-run"
       (Staged.stage (fun () ->
            ignore (Csap.Flood.run (Lazy.force graph) ~source:0)));
+    (* Before/after: the engine's per-message hot path (adjacency-scan
+       lookup + boxed event heap vs indexed lookup + packed heap). *)
+    Test.make ~name:"send: flood dense96 seed-path"
+      (Staged.stage (fun () ->
+           flood_with E.Scan E.Boxed (Lazy.force dense96)));
+    Test.make ~name:"send: flood dense96 hot-path"
+      (Staged.stage (fun () ->
+           flood_with E.Indexed E.Packed (Lazy.force dense96)));
+    (* Before/after: the diameter sweep's Dijkstra core. *)
+    Test.make ~name:"spt: diameter n256 lazy"
+      (Staged.stage (fun () -> ignore (diameter_lazy (Lazy.force sparse256))));
+    Test.make ~name:"spt: diameter n256 indexed"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Paths.diameter (Lazy.force sparse256))));
   ]
 
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+let find_ns rows needle =
+  match List.find_opt (fun (name, _) -> contains name needle) rows with
+  | Some (_, ns) -> ns
+  | None -> nan
+
+(* Runs the suite, prints the tables and returns every (name, value) row —
+   kernels in ns/run plus the derived speedup ratios — for the JSON dump. *)
 let run () =
   Report.heading "MICRO" "bechamel micro-benchmarks (sequential kernels)";
   let ols =
@@ -68,4 +150,18 @@ let run () =
     results;
   let rows = List.sort compare !rows in
   Report.table ~columns:[ "kernel"; "ns/run" ]
-    (List.map (fun (name, ns) -> [ Report.Str name; Report.Float ns ]) rows)
+    (List.map (fun (name, ns) -> [ Report.Str name; Report.Float ns ]) rows);
+  let speedups =
+    [
+      ( "speedup: engine-send flood dense96 (seed/hot)",
+        find_ns rows "flood dense96 seed-path"
+        /. find_ns rows "flood dense96 hot-path" );
+      ( "speedup: diameter n256 (lazy/indexed)",
+        find_ns rows "diameter n256 lazy" /. find_ns rows "diameter n256 indexed"
+      );
+    ]
+  in
+  Report.subheading "hot-path before/after (ratios > 1 mean faster now)";
+  Report.table ~columns:[ "workload"; "speedup" ]
+    (List.map (fun (name, x) -> [ Report.Str name; Report.Float x ]) speedups);
+  rows @ speedups

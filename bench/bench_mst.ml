@@ -4,93 +4,118 @@ module G = Csap_graph.Graph
 module Gen = Csap_graph.Generators
 module P = Csap_graph.Params
 
-let row name g =
-  let p = P.compute g in
-  let e = float_of_int p.P.script_e in
-  let v = float_of_int p.P.script_v in
-  let n = float_of_int p.P.n in
-  let ghs = (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures in
-  let centr = (Csap.Centr_growth.run_mst g ~root:0).Csap.Centr_growth.measures in
-  let fast = (Csap.Mst_fast.run g).Csap.Mst_fast.measures in
-  let hyb = (Csap.Mst_hybrid.run g ~root:0).Csap.Mst_hybrid.measures in
-  let ghs_bound = e +. (v *. Report.log2 n) in
-  let centr_bound = n *. v in
-  let fast_bound = e *. Report.log2 n *. Report.log2 (max 2.0 v) in
-  [
-    Report.Str name;
-    Report.Int p.P.n;
-    Report.Int ghs.Csap.Measures.comm;
-    Report.Float (Report.ratio (float_of_int ghs.Csap.Measures.comm) ghs_bound);
-    Report.Int centr.Csap.Measures.comm;
-    Report.Float
-      (Report.ratio (float_of_int centr.Csap.Measures.comm) centr_bound);
-    Report.Int fast.Csap.Measures.comm;
-    Report.Float
-      (Report.ratio (float_of_int fast.Csap.Measures.comm) fast_bound);
-    Report.Int hyb.Csap.Measures.comm;
-    Report.Float
-      (Report.ratio
-         (float_of_int hyb.Csap.Measures.comm)
-         (Float.min ghs_bound centr_bound));
-  ]
+let row name build =
+  Report.row_job name (fun () ->
+      let g = build () in
+      let p = P.compute g in
+      let e = float_of_int p.P.script_e in
+      let v = float_of_int p.P.script_v in
+      let n = float_of_int p.P.n in
+      let ghs = (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures in
+      let centr =
+        (Csap.Centr_growth.run_mst g ~root:0).Csap.Centr_growth.measures
+      in
+      let fast = (Csap.Mst_fast.run g).Csap.Mst_fast.measures in
+      let hyb = (Csap.Mst_hybrid.run g ~root:0).Csap.Mst_hybrid.measures in
+      let ghs_bound = e +. (v *. Report.log2 n) in
+      let centr_bound = n *. v in
+      let fast_bound = e *. Report.log2 n *. Report.log2 (max 2.0 v) in
+      [
+        Report.Str name;
+        Report.Int p.P.n;
+        Report.Int ghs.Csap.Measures.comm;
+        Report.Float
+          (Report.ratio (float_of_int ghs.Csap.Measures.comm) ghs_bound);
+        Report.Int centr.Csap.Measures.comm;
+        Report.Float
+          (Report.ratio (float_of_int centr.Csap.Measures.comm) centr_bound);
+        Report.Int fast.Csap.Measures.comm;
+        Report.Float
+          (Report.ratio (float_of_int fast.Csap.Measures.comm) fast_bound);
+        Report.Int hyb.Csap.Measures.comm;
+        Report.Float
+          (Report.ratio
+             (float_of_int hyb.Csap.Measures.comm)
+             (Float.min ghs_bound centr_bound));
+      ])
 
-let time_row name g =
-  let p = P.compute g in
-  let mst = Csap_graph.Mst.prim g ~root:0 in
-  let diam_mst = float_of_int (Csap_graph.Tree.diameter mst) in
-  let ghs = (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures in
-  let fast = (Csap.Mst_fast.run g).Csap.Mst_fast.measures in
-  let v = float_of_int p.P.script_v in
-  [
-    Report.Str name;
-    Report.Int p.P.script_e;
-    Report.Float diam_mst;
-    Report.Float ghs.Csap.Measures.time;
-    Report.Float
-      (Report.ratio ghs.Csap.Measures.time (float_of_int p.P.script_e));
-    Report.Float fast.Csap.Measures.time;
-    Report.Float
-      (Report.ratio fast.Csap.Measures.time
-         (diam_mst *. Report.log2 (max 2.0 v)
-         *. Report.log2 (float_of_int p.P.n)));
-  ]
+let time_row name build =
+  Report.row_job
+    (Printf.sprintf "time %s" name)
+    (fun () ->
+      let g = build () in
+      let p = P.compute g in
+      let mst = Csap_graph.Mst.prim g ~root:0 in
+      let diam_mst = float_of_int (Csap_graph.Tree.diameter mst) in
+      let ghs = (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures in
+      let fast = (Csap.Mst_fast.run g).Csap.Mst_fast.measures in
+      let v = float_of_int p.P.script_v in
+      [
+        Report.Str name;
+        Report.Int p.P.script_e;
+        Report.Float diam_mst;
+        Report.Float ghs.Csap.Measures.time;
+        Report.Float
+          (Report.ratio ghs.Csap.Measures.time (float_of_int p.P.script_e));
+        Report.Float fast.Csap.Measures.time;
+        Report.Float
+          (Report.ratio fast.Csap.Measures.time
+             (diam_mst *. Report.log2 (max 2.0 v)
+             *. Report.log2 (float_of_int p.P.n)));
+      ])
 
 let f3 () =
-  Report.heading "F3" "minimum spanning trees (Figure 3)";
-  Format.printf
-    "paper: MST_ghs O(E + V log n), MST_centr O(nV), MST_fast O(E log n \
-     log V), MST_hybrid O(min{E + V log n, nV})@.";
-  Report.subheading "communication";
-  Report.table
-    ~columns:
-      [
-        "family"; "n"; "ghs"; "/bnd"; "centr"; "/bnd"; "fast"; "/bnd";
-        "hybrid"; "/min bnd";
-      ]
+  let comm_jobs =
     [
-      row "grid" (Gen.grid 5 8 ~w:4);
-      row "complete" (Gen.complete 16 ~w:6);
-      row "random"
-        (Gen.random_connected (Csap_graph.Rng.create 5) 40 ~extra_edges:60
-           ~wmax:12);
-      row "G_n x=6" (Gen.lower_bound_gn 20 ~x:6);
-      row "bkj" (Gen.bkj_star_cycle 24 ~heavy:100);
-    ];
-  Report.subheading
-    "time: MST_fast's parallel scan vs MST_ghs's serial scan (dense case)";
-  Report.table
-    ~columns:
-      [
-        "family"; "E"; "Diam(MST)"; "ghs time"; "/E"; "fast time";
-        "/(Diam logV logn)";
-      ]
+      row "grid" (fun () -> Gen.grid 5 8 ~w:4);
+      row "complete" (fun () -> Gen.complete 16 ~w:6);
+      row "random" (fun () ->
+          Gen.random_connected (Csap_graph.Rng.create 5) 40 ~extra_edges:60
+            ~wmax:12);
+      row "G_n x=6" (fun () -> Gen.lower_bound_gn 20 ~x:6);
+      row "bkj" (fun () -> Gen.bkj_star_cycle 24 ~heavy:100);
+    ]
+  in
+  let time_jobs =
     [
-      time_row "complete 16" (Gen.complete 16 ~w:50);
-      time_row "complete 24" (Gen.complete 24 ~w:50);
-      time_row "grid" (Gen.grid 5 8 ~w:6);
-    ];
-  Format.printf
-    "shape check: every ratio column stays bounded across families; \
-     MST_fast's time beats MST_ghs's on the dense instances; the hybrid \
-     tracks the cheaper bound on every row within the controller's \
-     O(log^2 c) metering envelope (Cor 5.1) times the x2 alternation.@."
+      time_row "complete 16" (fun () -> Gen.complete 16 ~w:50);
+      time_row "complete 24" (fun () -> Gen.complete 24 ~w:50);
+      time_row "grid" (fun () -> Gen.grid 5 8 ~w:6);
+    ]
+  in
+  let n_comm = List.length comm_jobs in
+  {
+    Report.id = "F3";
+    title = "minimum spanning trees (Figure 3)";
+    jobs = comm_jobs @ time_jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: MST_ghs O(E + V log n), MST_centr O(nV), MST_fast O(E \
+           log n log V), MST_hybrid O(min{E + V log n, nV})@.";
+        Report.subheading "communication";
+        Report.table
+          ~columns:
+            [
+              "family"; "n"; "ghs"; "/bnd"; "centr"; "/bnd"; "fast"; "/bnd";
+              "hybrid"; "/min bnd";
+            ]
+          (Report.all_rows (Array.sub results 0 n_comm));
+        Report.subheading
+          "time: MST_fast's parallel scan vs MST_ghs's serial scan (dense \
+           case)";
+        Report.table
+          ~columns:
+            [
+              "family"; "E"; "Diam(MST)"; "ghs time"; "/E"; "fast time";
+              "/(Diam logV logn)";
+            ]
+          (Report.all_rows
+             (Array.sub results n_comm (Array.length results - n_comm)));
+        Format.printf
+          "shape check: every ratio column stays bounded across families; \
+           MST_fast's time beats MST_ghs's on the dense instances; the \
+           hybrid tracks the cheaper bound on every row within the \
+           controller's O(log^2 c) metering envelope (Cor 5.1) times the \
+           x2 alternation.@.");
+  }

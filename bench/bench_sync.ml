@@ -8,54 +8,65 @@ module SP = Csap_dsim.Sync_protocol
 (* --- CS: pulse delay of the clock synchronizers ----------------------- *)
 
 let cs () =
-  Report.heading "CS" "clock synchronization (Section 3)";
-  Format.printf
-    "paper: alpha* Theta(W), beta* Theta(D), gamma* O(d log^2 n); lower \
-     bound Omega(d)@.";
   let pulses = 8 in
-  let rows =
-    List.concat_map
+  let jobs =
+    List.map
       (fun (n, w) ->
-        let g = Gen.chorded_cycle n ~chord_w:w in
-        let d = float_of_int (Csap_graph.Paths.max_neighbor_distance g) in
-        let diam = float_of_int (Csap_graph.Paths.diameter g) in
-        let a = Csap.Clock_sync.run_alpha g ~pulses in
-        let b = Csap.Clock_sync.run_beta g ~pulses in
-        let c = Csap.Clock_sync.run_gamma g ~pulses in
-        let lean = Csap.Clock_sync.run_gamma ~neighbor_phase:false g ~pulses in
-        let logn = Report.log2 (float_of_int n) in
-        [
-          [
-            Report.Int n;
-            Report.Int w;
-            Report.Float d;
-            Report.Float diam;
-            Report.Float a.Csap.Clock_sync.max_pulse_delay;
-            Report.Float
-              (Report.ratio a.Csap.Clock_sync.max_pulse_delay (float_of_int w));
-            Report.Float b.Csap.Clock_sync.max_pulse_delay;
-            Report.Float (Report.ratio b.Csap.Clock_sync.max_pulse_delay diam);
-            Report.Float c.Csap.Clock_sync.max_pulse_delay;
-            Report.Float
-              (Report.ratio c.Csap.Clock_sync.max_pulse_delay
-                 (d *. logn *. logn));
-            Report.Float lean.Csap.Clock_sync.max_pulse_delay;
-          ];
-        ])
+        Report.row_job
+          (Printf.sprintf "n=%d W=%d" n w)
+          (fun () ->
+            let g = Gen.chorded_cycle n ~chord_w:w in
+            let d = float_of_int (Csap_graph.Paths.max_neighbor_distance g) in
+            let diam = float_of_int (Csap_graph.Paths.diameter g) in
+            let a = Csap.Clock_sync.run_alpha g ~pulses in
+            let b = Csap.Clock_sync.run_beta g ~pulses in
+            let c = Csap.Clock_sync.run_gamma g ~pulses in
+            let lean =
+              Csap.Clock_sync.run_gamma ~neighbor_phase:false g ~pulses
+            in
+            let logn = Report.log2 (float_of_int n) in
+            [
+              Report.Int n;
+              Report.Int w;
+              Report.Float d;
+              Report.Float diam;
+              Report.Float a.Csap.Clock_sync.max_pulse_delay;
+              Report.Float
+                (Report.ratio a.Csap.Clock_sync.max_pulse_delay
+                   (float_of_int w));
+              Report.Float b.Csap.Clock_sync.max_pulse_delay;
+              Report.Float
+                (Report.ratio b.Csap.Clock_sync.max_pulse_delay diam);
+              Report.Float c.Csap.Clock_sync.max_pulse_delay;
+              Report.Float
+                (Report.ratio c.Csap.Clock_sync.max_pulse_delay
+                   (d *. logn *. logn));
+              Report.Float lean.Csap.Clock_sync.max_pulse_delay;
+            ]))
       [ (12, 50); (16, 100); (24, 200); (32, 400); (48, 800) ]
   in
-  Report.table
-    ~columns:
-      [
-        "n"; "W"; "d"; "D"; "alpha*"; "/W"; "beta*"; "/D"; "gamma*";
-        "/(d log^2 n)"; "gamma*-lean";
-      ]
-    rows;
-  Format.printf
-    "shape check: alpha* scales with W (ratio 1), beta* with D, while \
-     gamma* stays near d log^2 n — independent of W. The -lean column is \
-     the ablation without the alpha-among-trees phase: still causal (the \
-     cover spans every edge) and never slower.@."
+  {
+    Report.id = "CS";
+    title = "clock synchronization (Section 3)";
+    jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: alpha* Theta(W), beta* Theta(D), gamma* O(d log^2 n); \
+           lower bound Omega(d)@.";
+        Report.table
+          ~columns:
+            [
+              "n"; "W"; "d"; "D"; "alpha*"; "/W"; "beta*"; "/D"; "gamma*";
+              "/(d log^2 n)"; "gamma*-lean";
+            ]
+          (Report.all_rows results);
+        Format.printf
+          "shape check: alpha* scales with W (ratio 1), beta* with D, \
+           while gamma* stays near d log^2 n — independent of W. The -lean \
+           column is the ablation without the alpha-among-trees phase: \
+           still causal (the cover spans every edge) and never slower.@.");
+  }
 
 (* --- SY: amortized synchronizer overheads ------------------------------ *)
 
@@ -76,84 +87,110 @@ let gossip =
   }
 
 let sy () =
-  Report.heading "SY" "network synchronizers (Section 4)";
-  Format.printf
-    "paper: C_p(gamma_w) = O(k n log W), T_p = O(log_k n log W); alpha_w \
-     pays O(E) comm / O(W) time per pulse@.";
   let pulses = 64 in
-  Report.subheading "three synchronizers on one normalized network";
+  (* One normalized network shared by every job; the reference executor is
+     re-run inside each job that needs an exactness check, keeping the
+     jobs independent. *)
   let g =
     Csap.Normalize.graph
       (Gen.random_connected (Csap_graph.Rng.create 21) 48 ~extra_edges:48
          ~wmax:64)
   in
-  let reference = Csap_dsim.Sync_runner.run g gossip ~pulses in
-  let rows =
-    List.map
-      (fun (name, run) ->
-        let o = run () in
-        [
-          Report.Str name;
-          Report.Float o.Csap.Synchronizer.amortized_comm;
-          Report.Float o.Csap.Synchronizer.amortized_time;
-          Report.Str
-            (if o.Csap.Synchronizer.states = reference.Csap_dsim.Sync_runner.states
-             then "yes" else "NO");
-        ])
-      [
-        ("alpha_w", fun () -> Csap.Synchronizer.run_alpha g gossip ~pulses);
-        ("beta_w", fun () -> Csap.Synchronizer.run_beta g gossip ~pulses);
-        ("gamma_w k=2", fun () -> Csap.Synchronizer.run_gamma_w ~k:2 g gossip ~pulses);
-      ]
+  let three_job =
+    Report.job "three synchronizers" (fun () ->
+        let reference = Csap_dsim.Sync_runner.run g gossip ~pulses in
+        List.map
+          (fun (name, run) ->
+            let o = run () in
+            [
+              Report.Str name;
+              Report.Float o.Csap.Synchronizer.amortized_comm;
+              Report.Float o.Csap.Synchronizer.amortized_time;
+              Report.Str
+                (if
+                   o.Csap.Synchronizer.states
+                   = reference.Csap_dsim.Sync_runner.states
+                 then "yes"
+                 else "NO");
+            ])
+          [
+            ("alpha_w", fun () -> Csap.Synchronizer.run_alpha g gossip ~pulses);
+            ("beta_w", fun () -> Csap.Synchronizer.run_beta g gossip ~pulses);
+            ( "gamma_w k=2",
+              fun () -> Csap.Synchronizer.run_gamma_w ~k:2 g gossip ~pulses );
+          ])
   in
-  Report.table ~columns:[ "synchronizer"; "C_p"; "T_p"; "exact?" ] rows;
-  Report.subheading "gamma_w parameter sweep (k)";
-  let n = float_of_int (G.n g) in
-  let logw = Report.log2 (float_of_int (G.max_weight g)) in
-  let rows =
+  let k_jobs =
     List.map
       (fun k ->
-        let o = Csap.Synchronizer.run_gamma_w ~k g gossip ~pulses in
-        let kf = float_of_int k in
-        [
-          Report.Int k;
-          Report.Float o.Csap.Synchronizer.amortized_comm;
-          Report.Float
-            (Report.ratio o.Csap.Synchronizer.amortized_comm
-               (kf *. n *. logw));
-          Report.Float o.Csap.Synchronizer.amortized_time;
-          Report.Float
-            (Report.ratio o.Csap.Synchronizer.amortized_time
-               (log n /. log kf *. logw));
-        ])
+        Report.row_job
+          (Printf.sprintf "gamma_w k=%d" k)
+          (fun () ->
+            let o = Csap.Synchronizer.run_gamma_w ~k g gossip ~pulses in
+            let kf = float_of_int k in
+            let n = float_of_int (G.n g) in
+            let logw = Report.log2 (float_of_int (G.max_weight g)) in
+            [
+              Report.Int k;
+              Report.Float o.Csap.Synchronizer.amortized_comm;
+              Report.Float
+                (Report.ratio o.Csap.Synchronizer.amortized_comm
+                   (kf *. n *. logw));
+              Report.Float o.Csap.Synchronizer.amortized_time;
+              Report.Float
+                (Report.ratio o.Csap.Synchronizer.amortized_time
+                   (log n /. log kf *. logw));
+            ]))
       [ 2; 3; 4; 6; 8 ]
   in
-  Report.table ~columns:[ "k"; "C_p"; "/(k n logW)"; "T_p"; "/(log_k n logW)" ]
-    rows;
-  Report.subheading
-    "ablation: level sets E_i as a partition vs the paper's literal \
-     divisible-by-2^i";
-  let rows =
-    List.map
-      (fun (name, mode) ->
-        let o = Csap.Synchronizer.run_gamma_w ~k:2 ~levels:mode g gossip ~pulses in
-        [
-          Report.Str name;
-          Report.Int o.Csap.Synchronizer.control_comm;
-          Report.Int o.Csap.Synchronizer.ack_comm;
-          Report.Float o.Csap.Synchronizer.amortized_comm;
-          Report.Str
-            (if
-               o.Csap.Synchronizer.states
-               = reference.Csap_dsim.Sync_runner.states
-             then "yes"
-             else "NO");
-        ])
-      [ ("partition", `Partition); ("divisible", `Divisible) ]
+  let ablation_job =
+    Report.job "level-set ablation" (fun () ->
+        let reference = Csap_dsim.Sync_runner.run g gossip ~pulses in
+        List.map
+          (fun (name, mode) ->
+            let o =
+              Csap.Synchronizer.run_gamma_w ~k:2 ~levels:mode g gossip ~pulses
+            in
+            [
+              Report.Str name;
+              Report.Int o.Csap.Synchronizer.control_comm;
+              Report.Int o.Csap.Synchronizer.ack_comm;
+              Report.Float o.Csap.Synchronizer.amortized_comm;
+              Report.Str
+                (if
+                   o.Csap.Synchronizer.states
+                   = reference.Csap_dsim.Sync_runner.states
+                 then "yes"
+                 else "NO");
+            ])
+          [ ("partition", `Partition); ("divisible", `Divisible) ])
   in
-  Report.table ~columns:[ "levels"; "control"; "acks"; "C_p"; "exact?" ] rows;
-  Format.printf
-    "shape check: C_p grows with k and stays within O(k n log W); T_p \
-     falls with k as O(log_k n log W); all runs simulate the synchronous \
-     execution exactly; the literal divisible level sets cost strictly \
-     more control traffic for the same guarantee.@."
+  {
+    Report.id = "SY";
+    title = "network synchronizers (Section 4)";
+    jobs = [ three_job ] @ k_jobs @ [ ablation_job ];
+    render =
+      (fun results ->
+        Format.printf
+          "paper: C_p(gamma_w) = O(k n log W), T_p = O(log_k n log W); \
+           alpha_w pays O(E) comm / O(W) time per pulse@.";
+        Report.subheading "three synchronizers on one normalized network";
+        Report.table
+          ~columns:[ "synchronizer"; "C_p"; "T_p"; "exact?" ]
+          results.(0);
+        Report.subheading "gamma_w parameter sweep (k)";
+        Report.table
+          ~columns:[ "k"; "C_p"; "/(k n logW)"; "T_p"; "/(log_k n logW)" ]
+          (Report.all_rows (Array.sub results 1 (List.length k_jobs)));
+        Report.subheading
+          "ablation: level sets E_i as a partition vs the paper's literal \
+           divisible-by-2^i";
+        Report.table
+          ~columns:[ "levels"; "control"; "acks"; "C_p"; "exact?" ]
+          results.(Array.length results - 1);
+        Format.printf
+          "shape check: C_p grows with k and stays within O(k n log W); \
+           T_p falls with k as O(log_k n log W); all runs simulate the \
+           synchronous execution exactly; the literal divisible level sets \
+           cost strictly more control traffic for the same guarantee.@.");
+  }

@@ -6,126 +6,208 @@ module Gen = Csap_graph.Generators
 module Tree = Csap_graph.Tree
 module P = Csap_graph.Params
 
+(* Family builders are thunks so each (family, n) job constructs only its
+   own instance, inside the job, on its own domain. *)
 let families n =
   [
-    ("grid", Gen.grid (max 2 (n / 8)) 8 ~w:4);
+    ("grid", fun () -> Gen.grid (max 2 (n / 8)) 8 ~w:4);
     ( "geometric",
-      Gen.random_geometric (Csap_graph.Rng.create 11) n ~degree:4 ~scale:200.0
-    );
+      fun () ->
+        Gen.random_geometric (Csap_graph.Rng.create 11) n ~degree:4
+          ~scale:200.0 );
     ( "random",
-      Gen.random_connected (Csap_graph.Rng.create 12) n ~extra_edges:(2 * n)
-        ~wmax:16 );
-    ("bkj star-cycle", Gen.bkj_star_cycle (n - 1) ~heavy:(4 * n));
+      fun () ->
+        Gen.random_connected (Csap_graph.Rng.create 12) n ~extra_edges:(2 * n)
+          ~wmax:16 );
+    ("bkj star-cycle", fun () -> Gen.bkj_star_cycle (n - 1) ~heavy:(4 * n));
   ]
 
 (* --- F1: Figure 1 — global function computation ---------------------- *)
 
 let f1 () =
-  Report.heading "F1" "global function computation (Figure 1)";
-  Format.printf
-    "paper: communication Theta(V), time Theta(D) (Thm 2.1 + Cor 2.3)@.";
-  let rows =
+  let jobs =
     List.concat_map
       (fun n ->
         List.map
-          (fun (name, g) ->
-            let p = P.compute g in
-            let values = Array.init (G.n g) (fun i -> i) in
-            let r =
-              Csap.Global_func.run_optimal ~q:2.0 g ~root:0 ~values
-                Csap.Global_func.sum
-            in
-            let m = r.Csap.Global_func.measures in
-            [
-              Report.Str name;
-              Report.Int (G.n g);
-              Report.Int p.P.script_v;
-              Report.Int p.P.script_d;
-              Report.Int m.Csap.Measures.comm;
-              Report.Float (Report.ratio (float_of_int m.Csap.Measures.comm)
-                              (float_of_int p.P.script_v));
-              Report.Float m.Csap.Measures.time;
-              Report.Float (Report.ratio m.Csap.Measures.time
-                              (float_of_int p.P.script_d));
-            ])
+          (fun (name, build) ->
+            Report.row_job
+              (Printf.sprintf "%s n=%d" name n)
+              (fun () ->
+                let g = build () in
+                let p = P.compute g in
+                let values = Array.init (G.n g) (fun i -> i) in
+                let r =
+                  Csap.Global_func.run_optimal ~q:2.0 g ~root:0 ~values
+                    Csap.Global_func.sum
+                in
+                let m = r.Csap.Global_func.measures in
+                [
+                  Report.Str name;
+                  Report.Int (G.n g);
+                  Report.Int p.P.script_v;
+                  Report.Int p.P.script_d;
+                  Report.Int m.Csap.Measures.comm;
+                  Report.Float
+                    (Report.ratio
+                       (float_of_int m.Csap.Measures.comm)
+                       (float_of_int p.P.script_v));
+                  Report.Float m.Csap.Measures.time;
+                  Report.Float
+                    (Report.ratio m.Csap.Measures.time
+                       (float_of_int p.P.script_d));
+                ]))
           (families n))
       [ 32; 64; 96 ]
   in
-  Report.table
-    ~columns:[ "family"; "n"; "V"; "D"; "comm"; "comm/V"; "time"; "time/D" ]
-    rows;
-  Format.printf
-    "shape check: comm/V and time/D stay bounded (upper bound) and >= 1 \
-     (lower bound Thm 2.1).@."
+  {
+    Report.id = "F1";
+    title = "global function computation (Figure 1)";
+    jobs;
+    render =
+      (fun results ->
+        Format.printf
+          "paper: communication Theta(V), time Theta(D) (Thm 2.1 + Cor \
+           2.3)@.";
+        Report.table
+          ~columns:
+            [
+              "family"; "n"; "V"; "D"; "comm"; "comm/V"; "time"; "time/D";
+            ]
+          (Report.all_rows results);
+        Format.printf
+          "shape check: comm/V and time/D stay bounded (upper bound) and >= \
+           1 (lower bound Thm 2.1).@.");
+  }
 
 (* --- F5: Figure 5 — the SLT trade-off --------------------------------- *)
 
 let f5 () =
-  Report.heading "F5" "shallow-light tree trade-off (Figure 5)";
-  Format.printf
-    "paper: w(T) <= (1 + 2/q) V (Lemma 2.4), depth O(q) D (Lemma 2.5)@.";
   (* Spokes ~ k/3 make the MST genuinely deep relative to D while the SPT
-     stays genuinely heavy relative to V - both extremes violate a bound. *)
+     stays genuinely heavy relative to V - both extremes violate a bound.
+     The instance is shared by every job, so its parameters are memoized
+     once. *)
   let g = Gen.bkj_star_cycle 48 ~heavy:16 in
-  let p = P.compute g in
-  Format.printf "instance: bkj star-cycle, %a@." P.pp p;
-  let rows =
+  let params_job =
+    Report.row_job "instance-params" (fun () ->
+        [ Report.Str (Format.asprintf "%a" P.pp (P.compute g)) ])
+  in
+  let q_jobs =
     List.map
       (fun q ->
-        let slt = Csap.Slt.build ~q g ~root:0 in
-        let w = Tree.total_weight slt.Csap.Slt.tree in
-        let h = Tree.height slt.Csap.Slt.tree in
-        [
-          Report.Float q;
-          Report.Int w;
-          Report.Float (Report.ratio (float_of_int w) (float_of_int p.P.script_v));
-          Report.Float (1.0 +. (2.0 /. q));
-          Report.Int h;
-          Report.Float (Report.ratio (float_of_int h) (float_of_int p.P.script_d));
-          Report.Float ((2.0 *. q) +. 1.0);
-        ])
+        Report.row_job
+          (Printf.sprintf "q=%g" q)
+          (fun () ->
+            let p = P.compute g in
+            let slt = Csap.Slt.build ~q g ~root:0 in
+            let w = Tree.total_weight slt.Csap.Slt.tree in
+            let h = Tree.height slt.Csap.Slt.tree in
+            [
+              Report.Float q;
+              Report.Int w;
+              Report.Float
+                (Report.ratio (float_of_int w) (float_of_int p.P.script_v));
+              Report.Float (1.0 +. (2.0 /. q));
+              Report.Int h;
+              Report.Float
+                (Report.ratio (float_of_int h) (float_of_int p.P.script_d));
+              Report.Float ((2.0 *. q) +. 1.0);
+            ]))
       [ 0.25; 0.5; 1.0; 2.0; 4.0; 8.0; 16.0 ]
   in
-  Report.table
-    ~columns:
-      [ "q"; "w(T)"; "w(T)/V"; "<=1+2/q"; "height"; "height/D"; "<=2q+1" ]
-    rows;
-  (* Reference extremes. *)
-  let spt = Csap_graph.Paths.spt g ~src:0 in
-  let mst = Csap_graph.Mst.prim g ~root:0 in
-  Format.printf "extremes: SPT w=%d h=%d | MST w=%d h=%d@."
-    (Tree.total_weight spt) (Tree.height spt) (Tree.total_weight mst)
-    (Tree.height mst);
-  Format.printf
-    "shape check: w(T)/V falls with q, height/D grows with q; both within \
-     their bound columns.@."
+  let extremes_job =
+    Report.row_job "extremes" (fun () ->
+        let spt = Csap_graph.Paths.spt g ~src:0 in
+        let mst = Csap_graph.Mst.prim g ~root:0 in
+        [
+          Report.Int (Tree.total_weight spt);
+          Report.Int (Tree.height spt);
+          Report.Int (Tree.total_weight mst);
+          Report.Int (Tree.height mst);
+        ])
+  in
+  {
+    Report.id = "F5";
+    title = "shallow-light tree trade-off (Figure 5)";
+    jobs = (params_job :: q_jobs) @ [ extremes_job ];
+    render =
+      (fun results ->
+        Format.printf
+          "paper: w(T) <= (1 + 2/q) V (Lemma 2.4), depth O(q) D (Lemma \
+           2.5)@.";
+        (match results.(0) with
+        | [ [ Report.Str params ] ] ->
+          Format.printf "instance: bkj star-cycle, %s@." params
+        | _ -> assert false);
+        let rows =
+          Report.all_rows (Array.sub results 1 (Array.length results - 2))
+        in
+        Report.table
+          ~columns:
+            [
+              "q"; "w(T)"; "w(T)/V"; "<=1+2/q"; "height"; "height/D";
+              "<=2q+1";
+            ]
+          rows;
+        (match results.(Array.length results - 1) with
+        | [
+         [ Report.Int spt_w; Report.Int spt_h; Report.Int mst_w;
+           Report.Int mst_h ];
+        ] ->
+          Format.printf "extremes: SPT w=%d h=%d | MST w=%d h=%d@." spt_w
+            spt_h mst_w mst_h
+        | _ -> assert false);
+        Format.printf
+          "shape check: w(T)/V falls with q, height/D grows with q; both \
+           within their bound columns.@.");
+  }
 
 (* --- F6: Figure 6 — a traced run of the SLT breakpoint scan ----------- *)
 
 let f6 () =
-  Report.heading "F6" "SLT example run (Figure 6)";
-  let g = Gen.bkj_star_cycle 11 ~heavy:40 in
-  let slt = Csap.Slt.build ~q:1.0 g ~root:0 in
-  Format.printf "instance: 12-vertex bkj star-cycle, q = 1@.";
-  Format.printf "euler line (v(i)): ";
-  Array.iter (fun v -> Format.printf "%d " v) slt.Csap.Slt.line;
-  Format.printf "@.breakpoints (mileage indices): ";
-  List.iter (fun b -> Format.printf "%d " b) slt.Csap.Slt.breakpoints;
-  Format.printf "@.SPT paths grafted onto the MST: ";
-  List.iter (fun (a, b) -> Format.printf "(%d->%d) " a b)
-    slt.Csap.Slt.added_paths;
-  Format.printf "@.result: w(T)=%d height=%d (MST w=%d, SPT h=%d)@."
-    (Tree.total_weight slt.Csap.Slt.tree)
-    (Tree.height slt.Csap.Slt.tree)
-    (Tree.total_weight slt.Csap.Slt.mst)
-    (Tree.height slt.Csap.Slt.spt);
-  (* The distributed construction of Theorem 2.7 on the same instance. *)
-  let d = Csap.Slt_distributed.run ~q:1.0 g ~root:0 in
-  Format.printf
-    "distributed construction (Thm 2.7): same tree weight %d, comm %d, \
-     comm / (V n^2) = %.2f@."
-    (Tree.total_weight d.Csap.Slt_distributed.tree)
-    d.Csap.Slt_distributed.measures.Csap.Measures.comm
-    (Report.ratio
-       (float_of_int d.Csap.Slt_distributed.measures.Csap.Measures.comm)
-       (float_of_int (Csap_graph.Mst.weight g * 12 * 12)))
+  let trace_job =
+    Report.row_job "trace" (fun () ->
+        let g = Gen.bkj_star_cycle 11 ~heavy:40 in
+        let slt = Csap.Slt.build ~q:1.0 g ~root:0 in
+        let buf = Buffer.create 512 in
+        let ppf = Format.formatter_of_buffer buf in
+        Format.fprintf ppf "instance: 12-vertex bkj star-cycle, q = 1@.";
+        Format.fprintf ppf "euler line (v(i)): ";
+        Array.iter (fun v -> Format.fprintf ppf "%d " v) slt.Csap.Slt.line;
+        Format.fprintf ppf "@.breakpoints (mileage indices): ";
+        List.iter
+          (fun b -> Format.fprintf ppf "%d " b)
+          slt.Csap.Slt.breakpoints;
+        Format.fprintf ppf "@.SPT paths grafted onto the MST: ";
+        List.iter
+          (fun (a, b) -> Format.fprintf ppf "(%d->%d) " a b)
+          slt.Csap.Slt.added_paths;
+        Format.fprintf ppf "@.result: w(T)=%d height=%d (MST w=%d, SPT h=%d)@."
+          (Tree.total_weight slt.Csap.Slt.tree)
+          (Tree.height slt.Csap.Slt.tree)
+          (Tree.total_weight slt.Csap.Slt.mst)
+          (Tree.height slt.Csap.Slt.spt);
+        (* The distributed construction of Theorem 2.7 on the same
+           instance. *)
+        let d = Csap.Slt_distributed.run ~q:1.0 g ~root:0 in
+        Format.fprintf ppf
+          "distributed construction (Thm 2.7): same tree weight %d, comm \
+           %d, comm / (V n^2) = %.2f"
+          (Tree.total_weight d.Csap.Slt_distributed.tree)
+          d.Csap.Slt_distributed.measures.Csap.Measures.comm
+          (Report.ratio
+             (float_of_int
+                d.Csap.Slt_distributed.measures.Csap.Measures.comm)
+             (float_of_int (Csap_graph.Mst.weight g * 12 * 12)));
+        Format.pp_print_flush ppf ();
+        [ Report.Str (Buffer.contents buf) ])
+  in
+  {
+    Report.id = "F6";
+    title = "SLT example run (Figure 6)";
+    jobs = [ trace_job ];
+    render =
+      (fun results ->
+        match results.(0) with
+        | [ [ Report.Str trace ] ] -> Format.printf "%s@." trace
+        | _ -> assert false);
+  }

@@ -1,10 +1,19 @@
 (* Benchmark harness regenerating every table and figure of the paper's
    evaluation (see DESIGN.md section 3 for the index).
 
+   Figures declare independent jobs (see [Report.figure]); a work-stealing
+   pool runs them on OCaml 5 domains, then every figure is rendered in
+   declaration order from the collected rows — so the printed tables are
+   byte-identical whatever the parallelism. Per-job wall-clock times and
+   all table cells are also dumped to BENCH_RESULTS.json.
+
    Usage:
-     dune exec bench/main.exe            # all figures
-     dune exec bench/main.exe f3 cs      # selected figures
-     dune exec bench/main.exe micro      # bechamel micro-benchmarks *)
+     dune exec bench/main.exe                 # all figures, parallel
+     dune exec bench/main.exe f3 cs           # selected figures
+     dune exec bench/main.exe micro           # bechamel micro-benchmarks
+     dune exec bench/main.exe -- --seq        # sequential (same output)
+     dune exec bench/main.exe -- -j 4         # pool width
+     dune exec bench/main.exe -- --json PATH  # result file (--no-json to skip) *)
 
 let benches =
   [
@@ -22,31 +31,172 @@ let benches =
     ("ct", Bench_ctrl.ct);
   ]
 
-let () =
-  let args =
-    match Array.to_list Sys.argv with
-    | _ :: rest -> List.map String.lowercase_ascii rest
-    | [] -> []
+type options = {
+  jobs : int;
+  micro : bool;
+  selected : string list;  (* in command-line order; [] = all *)
+  json : string option;
+}
+
+let usage () =
+  Format.eprintf
+    "usage: main.exe [FIGURE...] [micro] [-j N] [--seq] [--json PATH] \
+     [--no-json]@.";
+  exit 1
+
+let default_options =
+  {
+    jobs = max 1 (min 8 (Domain.recommended_domain_count () - 1));
+    micro = false;
+    selected = [];
+    json = Some "BENCH_RESULTS.json";
+  }
+
+let rec parse opts = function
+  | [] -> opts
+  | "-j" :: n :: rest -> (
+    match int_of_string_opt n with
+    | Some j when j >= 1 -> parse { opts with jobs = j } rest
+    | _ -> usage ())
+  | "--seq" :: rest -> parse { opts with jobs = 1 } rest
+  | "--json" :: path :: rest -> parse { opts with json = Some path } rest
+  | "--no-json" :: rest -> parse { opts with json = None } rest
+  | arg :: rest ->
+    let a = String.lowercase_ascii arg in
+    if a = "micro" then parse { opts with micro = true } rest
+    else if List.mem_assoc a benches then
+      parse { opts with selected = opts.selected @ [ a ] } rest
+    else begin
+      Format.eprintf "unknown bench id: %s@." arg;
+      usage ()
+    end
+
+(* ---- the domain pool --------------------------------------------------- *)
+
+type slot =
+  | Pending
+  | Done of Report.job_result
+  | Failed of string
+
+(* Each task writes exactly one slot; [Domain.join] publishes the writes,
+   so the post-join reads race with nothing. *)
+let run_pool ~jobs (tasks : (unit -> unit) array) =
+  let next = Atomic.make 0 in
+  let worker () =
+    let rec loop () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < Array.length tasks then begin
+        tasks.(i) ();
+        loop ()
+      end
+    in
+    loop ()
   in
-  let run_micro = List.mem "micro" args in
-  let selected = List.filter (fun a -> a <> "micro") args in
+  if jobs <= 1 || Array.length tasks <= 1 then worker ()
+  else begin
+    let spawned = min (jobs - 1) (Array.length tasks - 1) in
+    let doms = Array.init spawned (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms
+  end
+
+let () =
+  let opts =
+    match Array.to_list Sys.argv with
+    | _ :: rest -> parse default_options rest
+    | [] -> default_options
+  in
   let to_run =
-    if selected = [] && not run_micro then benches
-    else
-      List.filter_map
-        (fun id ->
-          match List.assoc_opt id benches with
-          | Some f -> Some (id, f)
-          | None ->
-            Format.eprintf "unknown bench id: %s@." id;
-            exit 1)
-        selected
+    if opts.selected = [] && not opts.micro then benches
+    else List.map (fun id -> (id, List.assoc id benches)) opts.selected
   in
   Format.printf
     "cost-sensitive analysis of communication protocols -- benchmark \
      harness@.";
   Format.printf
     "(paper: Awerbuch, Baratz, Peleg, PODC 1990 / MIT-LCS-TM-453)@.";
-  List.iter (fun (_, f) -> f ()) to_run;
-  if run_micro then Bench_micro.run ();
+  (* Construct the figures (cheap: shared instances + job closures), then
+     flatten every job into one task array over preallocated result
+     slots. *)
+  let figures = List.map (fun (_, make) -> make ()) to_run in
+  let slots =
+    List.map
+      (fun fig -> Array.make (List.length fig.Report.jobs) Pending)
+      figures
+  in
+  let tasks =
+    List.concat
+      (List.map2
+         (fun fig fig_slots ->
+           List.mapi
+             (fun ji job () ->
+               let t0 = Unix.gettimeofday () in
+               match job.Report.run () with
+               | rows ->
+                 let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                 fig_slots.(ji) <-
+                   Done { Report.job_label = job.Report.label; rows; wall_ms }
+               | exception e ->
+                 fig_slots.(ji) <-
+                   Failed
+                     (Printf.sprintf "%s/%s: %s" fig.Report.id
+                        job.Report.label (Printexc.to_string e)))
+             fig.Report.jobs)
+         figures slots)
+    |> Array.of_list
+  in
+  let t0 = Unix.gettimeofday () in
+  run_pool ~jobs:opts.jobs tasks;
+  let pool_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let figure_results =
+    List.map2
+      (fun fig fig_slots ->
+        let res =
+          Array.map
+            (function
+              | Done r -> r
+              | Failed msg ->
+                Format.eprintf "bench job failed: %s@." msg;
+                exit 1
+              | Pending -> assert false)
+            fig_slots
+        in
+        (fig, res))
+      figures slots
+  in
+  (* Render in declaration order, sequentially, after all jobs finished:
+     the output is independent of the pool's scheduling. *)
+  List.iter
+    (fun (fig, res) ->
+      Report.heading fig.Report.id fig.Report.title;
+      fig.Report.render (Array.map (fun r -> r.Report.rows) res))
+    figure_results;
+  let micro_rows = if opts.micro then Bench_micro.run () else [] in
+  (match opts.json with
+  | None -> ()
+  | Some path ->
+    let figures_json =
+      Report.json_list
+        (fun (fig, res) ->
+          Report.json_of_figure ~id:fig.Report.id ~title:fig.Report.title
+            (Array.to_list res))
+        figure_results
+    in
+    let micro_json =
+      Report.json_list
+        (fun (name, v) ->
+          Printf.sprintf "{\"name\":\"%s\",\"value\":%s}"
+            (Report.json_escape name)
+            (Report.json_of_cell (Report.Float v)))
+        micro_rows
+    in
+    let doc =
+      Printf.sprintf
+        "{\"harness\":\"csap-bench\",\"pool_domains\":%d,\"pool_wall_ms\":%.3f,\"figures\":%s,\"micro\":%s}\n"
+        opts.jobs pool_wall_ms figures_json micro_json
+    in
+    let oc = open_out path in
+    output_string oc doc;
+    close_out oc;
+    Format.eprintf "wrote %s@." path);
   Format.printf "@.done.@."

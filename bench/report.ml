@@ -1,8 +1,16 @@
-(* Table-printing helpers shared by the per-figure benchmarks. Each bench
-   regenerates one of the paper's figures: it prints the same rows the
-   figure states, with measured weighted costs next to the bound evaluated
-   on the instance, so the *shape* (who wins, by what factor, where the
-   crossovers fall) can be read off directly. *)
+(* Table-printing helpers shared by the per-figure benchmarks, plus the
+   deferred-figure model that the parallel harness in [main.ml] runs.
+
+   Each bench regenerates one of the paper's figures: it prints the same
+   rows the figure states, with measured weighted costs next to the bound
+   evaluated on the instance, so the *shape* (who wins, by what factor,
+   where the crossovers fall) can be read off directly.
+
+   A figure is declared as a list of independent *jobs* — one per
+   (family, n) cell — and a render function that consumes the results in
+   declaration order. Jobs carry no shared mutable state, so the pool in
+   [main.ml] can run them on OCaml 5 domains in any order and the
+   rendered tables are byte-identical to a sequential run. *)
 
 let heading id title = Format.printf "@.==== %s: %s ====@." id title
 
@@ -46,3 +54,82 @@ let table ~columns rows =
 let ratio measured bound = if bound <= 0.0 then nan else measured /. bound
 
 let log2 x = log x /. log 2.0
+
+(* ---- deferred figures ------------------------------------------------- *)
+
+(* One independent unit of benchmark work: typically a single (family, n)
+   table row. [run] must be self-contained — it may build graphs and run
+   protocols but must not print or touch shared mutable state. It returns
+   a list of rows (usually one). *)
+type job = {
+  label : string;
+  run : unit -> cell list list;
+}
+
+type figure = {
+  id : string;
+  title : string;
+  jobs : job list;
+  (* [render results] prints the figure body (everything after the
+     heading); [results.(i)] holds job [i]'s rows. *)
+  render : cell list list array -> unit;
+}
+
+(* A timed job result, as recorded by the pool. *)
+type job_result = {
+  job_label : string;
+  rows : cell list list;
+  wall_ms : float;
+}
+
+let job label run = { label; run }
+
+(* A job wrapping a single row. *)
+let row_job label run = { label; run = (fun () -> [ run () ]) }
+
+(* Concatenate the rows of every job result, in job order: the common
+   render pattern for figures that are exactly one table. *)
+let all_rows results = List.concat (Array.to_list results)
+
+(* ---- JSON emission ---------------------------------------------------- *)
+(* Hand-rolled writer (the environment has no JSON library); the output
+   is plain JSON, validated by the CI smoke job. *)
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_cell = function
+  | Int i -> string_of_int i
+  | Float f ->
+    (* JSON has no nan/infinity literals. *)
+    if Float.is_nan f || Float.abs f = infinity then "null"
+    else Printf.sprintf "%.6g" f
+  | Str s -> Printf.sprintf "\"%s\"" (json_escape s)
+
+let json_list to_json xs =
+  "[" ^ String.concat "," (List.map to_json xs) ^ "]"
+
+let json_of_row row = json_list json_of_cell row
+
+let json_of_job_result r =
+  Printf.sprintf "{\"label\":\"%s\",\"wall_ms\":%.3f,\"rows\":%s}"
+    (json_escape r.job_label) r.wall_ms
+    (json_list json_of_row r.rows)
+
+let json_of_figure ~id ~title results =
+  Printf.sprintf "{\"id\":\"%s\",\"title\":\"%s\",\"cells\":%s}"
+    (json_escape id) (json_escape title)
+    (json_list json_of_job_result results)

@@ -50,14 +50,9 @@ let run ?delay g =
     (w, min v u, max v u)
   in
   let index_of v u =
-    let nbrs = adj v in
-    let rec scan i =
-      if i >= Array.length nbrs then assert false
-      else
-        let x, _, _ = nbrs.(i) in
-        if x = u then i else scan (i + 1)
-    in
-    scan 0
+    let i = G.neighbor_index g v u in
+    assert (i >= 0);
+    i
   in
   (* Barrier (coordination) tree: a shallow-light tree rooted at 0. *)
   let btree = (Slt.build g ~root:0).Slt.tree in

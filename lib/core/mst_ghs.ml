@@ -76,14 +76,9 @@ let create g ~send:send_fn ~on_done =
     (w, min v u, max v u)
   in
   let index_of v u =
-    let nbrs = adj v in
-    let rec scan i =
-      if i >= Array.length nbrs then assert false
-      else
-        let x, _, _ = nbrs.(i) in
-        if x = u then i else scan (i + 1)
-    in
-    scan 0
+    let i = G.neighbor_index g v u in
+    assert (i >= 0);
+    i
   in
   let send v i m =
     let u, _, _ = (adj v).(i) in

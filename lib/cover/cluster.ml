@@ -33,25 +33,22 @@ let dijkstra_within g s ~src =
     invalid_arg "Cluster.dijkstra_within: src outside cluster";
   let n = Csap_graph.Graph.n g in
   let dist = Array.make n max_int in
-  let settled = Array.make n false in
-  let heap = Csap_graph.Heap.create ~cmp:compare in
+  let heap = Csap_graph.Indexed_heap.create n in
   dist.(src) <- 0;
-  Csap_graph.Heap.add heap (0, src);
+  Csap_graph.Indexed_heap.insert heap src 0;
   let rec loop () =
-    match Csap_graph.Heap.pop_min heap with
-    | None -> ()
-    | Some (du, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        Array.iter
-          (fun (v, w, _) ->
-            if Vset.mem v s && (not settled.(v)) && du + w < dist.(v) then begin
-              dist.(v) <- du + w;
-              Csap_graph.Heap.add heap (du + w, v)
-            end)
-          (Csap_graph.Graph.neighbors g u)
-      end;
+    let u = Csap_graph.Indexed_heap.pop_min heap in
+    if u >= 0 then begin
+      let du = dist.(u) in
+      Array.iter
+        (fun (v, w, _) ->
+          if Vset.mem v s && du + w < dist.(v) then begin
+            dist.(v) <- du + w;
+            Csap_graph.Indexed_heap.push heap v (du + w)
+          end)
+        (Csap_graph.Graph.neighbors g u);
       loop ()
+    end
   in
   loop ();
   dist

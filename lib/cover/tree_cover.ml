@@ -29,34 +29,34 @@ let spt_of_cluster g ~tree_id c ~center =
   let dist = Array.make n max_int in
   let parent = Array.make n (-2) in
   let parent_weight = Array.make n 0 in
-  let settled = Array.make n false in
-  let heap = Csap_graph.Heap.create ~cmp:compare in
+  let heap = Csap_graph.Indexed_heap.create n in
   dist.(center) <- 0;
   parent.(center) <- -1;
-  Csap_graph.Heap.add heap (0, center);
+  Csap_graph.Indexed_heap.insert heap center 0;
   let rec loop () =
-    match Csap_graph.Heap.pop_min heap with
-    | None -> ()
-    | Some (du, u) ->
-      if not settled.(u) then begin
-        settled.(u) <- true;
-        Array.iter
-          (fun (v, w, _) ->
-            if Cluster.Vset.mem v c && not settled.(v) then begin
-              let dv = du + w in
-              if
-                dv < dist.(v)
-                || (dv = dist.(v) && parent.(v) >= 0 && u < parent.(v))
-              then begin
-                dist.(v) <- dv;
-                parent.(v) <- u;
-                parent_weight.(v) <- w;
-                Csap_graph.Heap.add heap (dv, v)
-              end
-            end)
-          (Csap_graph.Graph.neighbors g u)
-      end;
+    let u = Csap_graph.Indexed_heap.pop_min heap in
+    if u >= 0 then begin
+      let du = dist.(u) in
+      Array.iter
+        (fun (v, w, _) ->
+          if Cluster.Vset.mem v c then begin
+            let dv = du + w in
+            (* A settled [v] has dist(v) <= du < dv, so neither branch
+               fires for it; no explicit settled set needed. *)
+            if dv < dist.(v) then begin
+              dist.(v) <- dv;
+              parent.(v) <- u;
+              parent_weight.(v) <- w;
+              Csap_graph.Indexed_heap.push heap v dv
+            end
+            else if dv = dist.(v) && parent.(v) >= 0 && u < parent.(v) then begin
+              parent.(v) <- u;
+              parent_weight.(v) <- w
+            end
+          end)
+        (Csap_graph.Graph.neighbors g u);
       loop ()
+    end
   in
   loop ();
   Cluster.Vset.iter

@@ -1,17 +1,31 @@
+type 'msg action =
+  | Deliver of { src : int; dst : int; payload : 'msg }
+  | Local of (unit -> unit)
+
+(* Boxed event records, used only by the historical [Boxed] queue. *)
 type 'msg event = {
   time : float;
   seq : int;
   action : 'msg action;
 }
 
-and 'msg action =
-  | Deliver of { src : int; dst : int; payload : 'msg }
-  | Local of (unit -> unit)
+type edge_lookup =
+  | Indexed
+  | Scan
+
+type event_queue =
+  | Packed
+  | Boxed
+
+type 'msg queue =
+  | Q_packed of 'msg action Event_queue.t
+  | Q_boxed of 'msg event Csap_graph.Heap.t
 
 type 'msg t = {
   g : Csap_graph.Graph.t;
   delay : Delay.t;
-  queue : 'msg event Csap_graph.Heap.t;
+  lookup : edge_lookup;
+  queue : 'msg queue;
   handlers : (src:int -> 'msg -> unit) option array;
   metrics : Metrics.t;
   traffic : int array;
@@ -26,11 +40,16 @@ let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(delay = Delay.Exact) g =
+let create ?(delay = Delay.Exact) ?(edge_lookup = Indexed)
+    ?(event_queue = Packed) g =
   {
     g;
     delay;
-    queue = Csap_graph.Heap.create ~cmp:compare_events;
+    lookup = edge_lookup;
+    queue =
+      (match event_queue with
+      | Packed -> Q_packed (Event_queue.create ~dummy:(Local (fun () -> ())))
+      | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events));
     handlers = Array.make (Csap_graph.Graph.n g) None;
     metrics = Metrics.create ();
     traffic = Array.make (Csap_graph.Graph.m g) 0;
@@ -45,35 +64,70 @@ let now t = t.clock
 let set_handler t v f = t.handlers.(v) <- Some f
 
 let push t time action =
-  Csap_graph.Heap.add t.queue { time; seq = t.seq; action };
+  (match t.queue with
+  | Q_packed q -> Event_queue.add q ~time ~seq:t.seq action
+  | Q_boxed q -> Csap_graph.Heap.add q { time; seq = t.seq; action });
   t.seq <- t.seq + 1
 
+let queue_empty t =
+  match t.queue with
+  | Q_packed q -> Event_queue.is_empty q
+  | Q_boxed q -> Csap_graph.Heap.is_empty q
+
+(* Time of the next event; only called when the queue is non-empty. *)
+let next_time t =
+  match t.queue with
+  | Q_packed q -> Event_queue.min_time q
+  | Q_boxed q -> (
+    match Csap_graph.Heap.peek_min q with
+    | Some e -> e.time
+    | None -> assert false)
+
+let pop_action t =
+  match t.queue with
+  | Q_packed q -> Event_queue.pop q
+  | Q_boxed q -> (
+    match Csap_graph.Heap.pop_min q with
+    | Some e -> e.action
+    | None -> assert false)
+
 let send t ~src ~dst payload =
-  match Csap_graph.Graph.edge_between t.g src dst with
-  | None -> invalid_arg "Engine.send: no such edge"
-  | Some (w, id) ->
-    Metrics.add_send t.metrics ~w;
-    t.traffic.(id) <- t.traffic.(id) + 1;
-    let e = Csap_graph.Graph.edge t.g id in
-    let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
-    let slot = (2 * id) + dir in
-    let arrival = t.clock +. Delay.sample t.delay ~w in
-    let arrival = Float.max arrival t.last_delivery.(slot) in
-    t.last_delivery.(slot) <- arrival;
-    push t arrival (Deliver { src; dst; payload })
+  (* The per-message hot path: an O(1)-amortised indexed lookup (no
+     allocation) instead of scanning the adjacency list of [src]. *)
+  let id =
+    match t.lookup with
+    | Indexed -> Csap_graph.Graph.edge_id_between t.g src dst
+    | Scan -> Csap_graph.Graph.edge_id_between_scan t.g src dst
+  in
+  if id < 0 then
+    invalid_arg
+      (Printf.sprintf "Engine.send: no edge between %d and %d" src dst);
+  let e = Csap_graph.Graph.edge t.g id in
+  let w = e.Csap_graph.Graph.w in
+  Metrics.add_send t.metrics ~w;
+  t.traffic.(id) <- t.traffic.(id) + 1;
+  let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
+  let slot = (2 * id) + dir in
+  let arrival = t.clock +. Delay.sample t.delay ~w in
+  let arrival = Float.max arrival t.last_delivery.(slot) in
+  t.last_delivery.(slot) <- arrival;
+  push t arrival (Deliver { src; dst; payload })
 
 let schedule t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
   push t (t.clock +. delay) (Local f)
 
-let quiescent t = Csap_graph.Heap.is_empty t.queue
+let quiescent t = queue_empty t
 
 let dispatch t = function
   | Local f -> f ()
   | Deliver { src; dst; payload } -> (
     match t.handlers.(dst) with
     | Some f -> f ~src payload
-    | None -> failwith (Printf.sprintf "Engine: no handler at vertex %d" dst))
+    | None ->
+      failwith
+        (Printf.sprintf
+           "Engine: no handler at vertex %d (message sent from %d)" dst src))
 
 let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
   let processed = ref 0 in
@@ -82,20 +136,20 @@ let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
     !continue && !processed < max_events
     && t.metrics.Metrics.weighted_comm < comm_budget
   do
-    match Csap_graph.Heap.peek_min t.queue with
-    | None -> continue := false
-    | Some ev ->
-      (match until with
-      | Some limit when ev.time > limit ->
+    if queue_empty t then continue := false
+    else
+      let time = next_time t in
+      match until with
+      | Some limit when time > limit ->
         t.clock <- limit;
         continue := false
       | _ ->
-        ignore (Csap_graph.Heap.pop_min t.queue);
-        t.clock <- Float.max t.clock ev.time;
-        dispatch t ev.action;
+        let action = pop_action t in
+        t.clock <- Float.max t.clock time;
+        dispatch t action;
         incr processed;
         t.metrics.Metrics.events <- t.metrics.Metrics.events + 1;
-        t.metrics.Metrics.completion_time <- t.clock)
+        t.metrics.Metrics.completion_time <- t.clock
   done;
   !processed
 

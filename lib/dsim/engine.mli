@@ -12,9 +12,32 @@
 
 type 'msg t
 
-(** [create ?delay g] builds an idle engine over the network [g]; the default
-    delay model is {!Delay.Exact}. *)
-val create : ?delay:Delay.t -> Csap_graph.Graph.t -> 'msg t
+(** How [send] resolves [(src, dst)] to an edge. [Indexed] (the default)
+    uses the graph's O(1)-amortised edge index; [Scan] is the historical
+    O(degree) adjacency scan, kept so the microbenchmarks can measure the
+    before/after difference on send-heavy workloads. *)
+type edge_lookup =
+  | Indexed
+  | Scan
+
+(** Which priority queue backs the event loop. [Packed] (the default) is
+    the structure-of-arrays heap of {!Event_queue} — no per-event
+    allocation; [Boxed] is the historical generic heap over boxed event
+    records, kept so the microbenchmarks can measure the before/after
+    difference. Both orders are the same total (time, send-order)
+    order, so executions are identical either way. *)
+type event_queue =
+  | Packed
+  | Boxed
+
+(** [create ?delay ?edge_lookup ?event_queue g] builds an idle engine over
+    the network [g]; the default delay model is {!Delay.Exact}. *)
+val create :
+  ?delay:Delay.t ->
+  ?edge_lookup:edge_lookup ->
+  ?event_queue:event_queue ->
+  Csap_graph.Graph.t ->
+  'msg t
 
 val graph : 'msg t -> Csap_graph.Graph.t
 
@@ -26,7 +49,8 @@ val now : 'msg t -> float
 val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 
 (** [send t ~src ~dst msg] transmits over the edge [{src, dst}]; raises
-    [Invalid_argument] when that edge does not exist. *)
+    [Invalid_argument] naming the offending [(src, dst)] pair when that
+    edge does not exist. *)
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
 (** [schedule t ~delay f] runs the local event [f] after [delay >= 0] time;

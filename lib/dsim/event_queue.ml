@@ -1,0 +1,103 @@
+(* A 4-ary min-heap over (time, seq) keys in structure-of-arrays layout:
+   the times live in a flat [float array] (unboxed), the tie-breaking
+   sequence numbers and payloads in parallel arrays. Compared with a
+   generic binary heap of boxed event records this removes every
+   per-event allocation on the push/pop path, replaces closure-driven
+   comparison with inline primitive compares, and halves the sift depth
+   — the engine's event loop spends most of its time here. The sift
+   loops use unchecked array access; every index is < len by the heap
+   shape invariant. *)
+
+type 'a t = {
+  mutable times : float array;
+  mutable seqs : int array;
+  mutable data : 'a array;
+  mutable len : int;
+  dummy : 'a;  (* fills the unused tail of [data] so pops don't leak *)
+}
+
+let create ~dummy = { times = [||]; seqs = [||]; data = [||]; len = 0; dummy }
+
+let size t = t.len
+let is_empty t = t.len = 0
+
+let grow t =
+  let cap = Array.length t.seqs in
+  if t.len = cap then begin
+    let cap' = max 16 (2 * cap) in
+    let times = Array.make cap' 0.0 in
+    let seqs = Array.make cap' 0 in
+    let data = Array.make cap' t.dummy in
+    Array.blit t.times 0 times 0 t.len;
+    Array.blit t.seqs 0 seqs 0 t.len;
+    Array.blit t.data 0 data 0 t.len;
+    t.times <- times;
+    t.seqs <- seqs;
+    t.data <- data
+  end
+
+(* Strict (time, seq) lexicographic order; seqs are distinct, so this is a
+   total order and the queue is deterministic. *)
+let[@inline] less t i j =
+  let ti = Array.unsafe_get t.times i and tj = Array.unsafe_get t.times j in
+  ti < tj
+  || (ti = tj && Array.unsafe_get t.seqs i < Array.unsafe_get t.seqs j)
+
+let[@inline] swap t i j =
+  let ft = Array.unsafe_get t.times i in
+  Array.unsafe_set t.times i (Array.unsafe_get t.times j);
+  Array.unsafe_set t.times j ft;
+  let s = Array.unsafe_get t.seqs i in
+  Array.unsafe_set t.seqs i (Array.unsafe_get t.seqs j);
+  Array.unsafe_set t.seqs j s;
+  let d = Array.unsafe_get t.data i in
+  Array.unsafe_set t.data i (Array.unsafe_get t.data j);
+  Array.unsafe_set t.data j d
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 4 in
+    if less t i parent then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let len = t.len in
+  let c = (4 * i) + 1 in
+  if c < len then begin
+    let best = c in
+    let best = if c + 1 < len && less t (c + 1) best then c + 1 else best in
+    let best = if c + 2 < len && less t (c + 2) best then c + 2 else best in
+    let best = if c + 3 < len && less t (c + 3) best then c + 3 else best in
+    if less t best i then begin
+      swap t i best;
+      sift_down t best
+    end
+  end
+
+let add t ~time ~seq x =
+  grow t;
+  let i = t.len in
+  t.times.(i) <- time;
+  t.seqs.(i) <- seq;
+  t.data.(i) <- x;
+  t.len <- i + 1;
+  sift_up t i
+
+let min_time t =
+  if t.len = 0 then invalid_arg "Event_queue.min_time: empty";
+  t.times.(0)
+
+let pop t =
+  if t.len = 0 then invalid_arg "Event_queue.pop: empty";
+  let x = t.data.(0) in
+  let last = t.len - 1 in
+  t.len <- last;
+  t.times.(0) <- t.times.(last);
+  t.seqs.(0) <- t.seqs.(last);
+  t.data.(0) <- t.data.(last);
+  t.data.(last) <- t.dummy;
+  if last > 0 then sift_down t 0;
+  x

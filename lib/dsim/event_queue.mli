@@ -1,0 +1,25 @@
+(** Allocation-free event priority queue for the engine's hot loop.
+
+    A binary min-heap keyed by [(time, seq)] — earliest time first, send
+    order breaking ties — kept in structure-of-arrays layout so pushes
+    and pops neither allocate nor call a comparison closure. *)
+
+type 'a t
+
+(** [create ~dummy] is an empty queue; [dummy] back-fills vacated payload
+    slots so popped values can be collected. *)
+val create : dummy:'a -> 'a t
+
+val size : 'a t -> int
+val is_empty : 'a t -> bool
+
+(** [add t ~time ~seq x] enqueues [x]. [seq] values must be distinct (the
+    engine uses its send counter), making the pop order a total order. *)
+val add : 'a t -> time:float -> seq:int -> 'a -> unit
+
+(** Earliest queued time. Raises [Invalid_argument] when empty. *)
+val min_time : 'a t -> float
+
+(** Removes and returns the payload with the least [(time, seq)] key.
+    Raises [Invalid_argument] when empty. *)
+val pop : 'a t -> 'a

@@ -2,9 +2,21 @@ type edge = { u : int; v : int; w : int }
 
 type t = {
   n : int;
+  id : int;
   edges : edge array;
   adj : (int * int * int) array array;
+  (* Hot-path edge index, built once in [create]: per-vertex neighbour ids
+     sorted ascending, with the incident edge id kept aligned. Plain int
+     arrays so lookups allocate nothing and the structure can be shared
+     freely across domains. *)
+  idx_nbr : int array array;
+  idx_eid : int array array;
+  idx_pos : int array array;  (* position of the neighbour in [adj] *)
 }
+
+let next_id =
+  let counter = Atomic.make 0 in
+  fun () -> Atomic.fetch_and_add counter 1
 
 let normalise_edge n (u, v, w) =
   if u = v then invalid_arg "Graph.create: self-loop";
@@ -38,24 +50,93 @@ let create ~n edge_list =
       adj.(e.v).(fill.(e.v)) <- (e.u, e.w, id);
       fill.(e.v) <- fill.(e.v) + 1)
     edges;
-  { n; edges; adj }
+  (* Sorted-adjacency index: sort each vertex's (neighbour, edge id) pairs
+     by neighbour id so membership queries binary-search instead of
+     scanning the whole adjacency list. *)
+  let idx_nbr = Array.make n [||]
+  and idx_eid = Array.make n [||]
+  and idx_pos = Array.make n [||] in
+  let pairs = Array.make (Array.fold_left max 0 deg) (0, 0, 0) in
+  for v = 0 to n - 1 do
+    let d = deg.(v) in
+    for i = 0 to d - 1 do
+      let u, _, id = adj.(v).(i) in
+      pairs.(i) <- (u, id, i)
+    done;
+    let slice = Array.sub pairs 0 d in
+    Array.sort compare slice;
+    idx_nbr.(v) <- Array.map (fun (u, _, _) -> u) slice;
+    idx_eid.(v) <- Array.map (fun (_, id, _) -> id) slice;
+    idx_pos.(v) <- Array.map (fun (_, _, i) -> i) slice
+  done;
+  { n; id = next_id (); edges; adj; idx_nbr; idx_eid; idx_pos }
 
 let n t = t.n
 let m t = Array.length t.edges
+let id t = t.id
 let edges t = t.edges
 let edge t id = t.edges.(id)
 let neighbors t v = t.adj.(v)
 let degree t v = Array.length t.adj.(v)
 
-let edge_between t u v =
+(* Below this degree a linear scan over the (cache-resident) adjacency
+   array beats the binary search's branching. *)
+let small_degree = 8
+
+let edge_id_between_scan t u v =
   let nbrs = t.adj.(u) in
+  let len = Array.length nbrs in
   let rec scan i =
-    if i >= Array.length nbrs then None
+    if i >= len then -1
     else
-      let x, w, id = nbrs.(i) in
-      if x = v then Some (w, id) else scan (i + 1)
+      let x, _, id = nbrs.(i) in
+      if x = v then id else scan (i + 1)
   in
   scan 0
+
+let edge_id_between t u v =
+  (* Query from the endpoint with the smaller degree. *)
+  let u, v =
+    if Array.length t.adj.(u) <= Array.length t.adj.(v) then (u, v)
+    else (v, u)
+  in
+  let nbrs = t.idx_nbr.(u) in
+  let len = Array.length nbrs in
+  if len <= small_degree then edge_id_between_scan t u v
+  else begin
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if nbrs.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    if !lo < len && nbrs.(!lo) = v then t.idx_eid.(u).(!lo) else -1
+  end
+
+let edge_between t u v =
+  let id = edge_id_between t u v in
+  if id < 0 then None else Some (t.edges.(id).w, id)
+
+let neighbor_index t u v =
+  let nbrs = t.idx_nbr.(u) in
+  let len = Array.length nbrs in
+  if len <= small_degree then begin
+    let adj = t.adj.(u) in
+    let rec scan i =
+      if i >= len then -1
+      else
+        let x, _, _ = adj.(i) in
+        if x = v then i else scan (i + 1)
+    in
+    scan 0
+  end
+  else begin
+    let lo = ref 0 and hi = ref len in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if nbrs.(mid) < v then lo := mid + 1 else hi := mid
+    done;
+    if !lo < len && nbrs.(!lo) = v then t.idx_pos.(u).(!lo) else -1
+  end
 
 let other_endpoint e x =
   if e.u = x then e.v

@@ -26,6 +26,11 @@ val n : t -> int
 (** Number of edges. *)
 val m : t -> int
 
+(** A unique identity for this graph value, assigned at construction.
+    Monotonically increasing and domain-safe; used to key per-instance
+    memoization caches (see {!Params.compute}). *)
+val id : t -> int
+
 (** All edges, in a fixed order; the index of an edge in this array is its
     stable edge id. *)
 val edges : t -> edge array
@@ -40,8 +45,28 @@ val neighbors : t -> int -> (int * int * int) array
 (** [degree t v] is the number of incident edges. *)
 val degree : t -> int -> int
 
-(** [edge_between t u v] is [Some (w, edge_id)] when [{u,v}] is an edge. *)
+(** [edge_between t u v] is [Some (w, edge_id)] when [{u,v}] is an edge.
+
+    Served by a per-vertex edge index built once in [create]: O(1) for
+    bounded-degree vertices, O(log deg) by sorted-adjacency binary search
+    for high-degree ones. Allocation-free callers should prefer
+    {!edge_id_between}. *)
 val edge_between : t -> int -> int -> (int * int) option
+
+(** [edge_id_between t u v] is the id of edge [{u,v}], or [-1] when absent.
+    Same complexity as {!edge_between} but allocates nothing — this is the
+    simulator's per-message lookup (see [Engine.send]). *)
+val edge_id_between : t -> int -> int -> int
+
+(** The pre-index reference lookup: a linear scan of [u]'s adjacency list,
+    O(degree u). Kept for the before/after microbenchmarks and as a test
+    oracle for the indexed path. *)
+val edge_id_between_scan : t -> int -> int -> int
+
+(** [neighbor_index t u v] is the position of [v] in [neighbors t u], or
+    [-1] when [{u,v}] is not an edge. Same indexed complexity as
+    {!edge_between}; used by protocols that keep per-port state. *)
+val neighbor_index : t -> int -> int -> int
 
 (** [other_endpoint e x] is the endpoint of [e] that is not [x]. *)
 val other_endpoint : edge -> int -> int

@@ -1,0 +1,114 @@
+(* Indexed binary min-heap over int keys [0 .. capacity-1] with int
+   priorities. Each key appears at most once; [push] either inserts or
+   decreases, so Dijkstra-style loops allocate nothing per relaxation and
+   never hold duplicate entries (unlike the lazy-deletion pattern over
+   {!Heap}). Ties are broken by key, matching the [(dist, vertex)]
+   lexicographic order of the tuple-heap formulation. *)
+
+type t = {
+  capacity : int;
+  heap : int array;  (* position -> key *)
+  pos : int array;  (* key -> position, or -1 when absent *)
+  prio : int array;  (* key -> priority (meaningful when present) *)
+  mutable len : int;
+}
+
+let create capacity =
+  if capacity < 0 then invalid_arg "Indexed_heap.create: negative capacity";
+  {
+    capacity;
+    heap = Array.make capacity 0;
+    pos = Array.make capacity (-1);
+    prio = Array.make capacity 0;
+    len = 0;
+  }
+
+let capacity t = t.capacity
+let size t = t.len
+let is_empty t = t.len = 0
+
+let check_key t k =
+  if k < 0 || k >= t.capacity then invalid_arg "Indexed_heap: key out of range"
+
+let mem t k =
+  check_key t k;
+  t.pos.(k) >= 0
+
+let priority t k =
+  check_key t k;
+  if t.pos.(k) < 0 then invalid_arg "Indexed_heap.priority: absent key";
+  t.prio.(k)
+
+(* [less t a b] orders keys by (priority, key). *)
+let less t a b = t.prio.(a) < t.prio.(b) || (t.prio.(a) = t.prio.(b) && a < b)
+
+let swap t i j =
+  let ki = t.heap.(i) and kj = t.heap.(j) in
+  t.heap.(i) <- kj;
+  t.heap.(j) <- ki;
+  t.pos.(kj) <- i;
+  t.pos.(ki) <- j
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if less t t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.len && less t t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.len && less t t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let insert t k p =
+  check_key t k;
+  if t.pos.(k) >= 0 then invalid_arg "Indexed_heap.insert: key present";
+  t.heap.(t.len) <- k;
+  t.pos.(k) <- t.len;
+  t.prio.(k) <- p;
+  t.len <- t.len + 1;
+  sift_up t (t.len - 1)
+
+let decrease_key t k p =
+  check_key t k;
+  if t.pos.(k) < 0 then invalid_arg "Indexed_heap.decrease_key: absent key";
+  if p > t.prio.(k) then
+    invalid_arg "Indexed_heap.decrease_key: priority increase";
+  t.prio.(k) <- p;
+  sift_up t t.pos.(k)
+
+let push t k p =
+  check_key t k;
+  if t.pos.(k) < 0 then insert t k p
+  else if p < t.prio.(k) then decrease_key t k p
+
+let min_key t = if t.len = 0 then -1 else t.heap.(0)
+
+let pop_min t =
+  if t.len = 0 then -1
+  else begin
+    let k = t.heap.(0) in
+    t.pos.(k) <- -1;
+    t.len <- t.len - 1;
+    if t.len > 0 then begin
+      let last = t.heap.(t.len) in
+      t.heap.(0) <- last;
+      t.pos.(last) <- 0;
+      sift_down t 0
+    end;
+    k
+  end
+
+let clear t =
+  for i = 0 to t.len - 1 do
+    t.pos.(t.heap.(i)) <- -1
+  done;
+  t.len <- 0

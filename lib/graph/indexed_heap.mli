@@ -1,0 +1,48 @@
+(** Indexed binary min-heap over int keys [0 .. capacity-1] with int
+    priorities and [decrease_key].
+
+    Built for the Dijkstra/Prim hot paths: every operation is
+    allocation-free, each key occupies at most one slot (no lazy-deletion
+    duplicates), and ties are broken by key, so draining the heap yields
+    the same order as a tuple heap over [(priority, key)]. *)
+
+type t
+
+(** [create capacity] is an empty heap accepting keys [0..capacity-1]. *)
+val create : int -> t
+
+val capacity : t -> int
+val size : t -> int
+val is_empty : t -> bool
+
+(** [mem t k] is whether key [k] is currently in the heap. *)
+val mem : t -> int -> bool
+
+(** [priority t k] is [k]'s current priority. Raises [Invalid_argument]
+    when [k] is absent. *)
+val priority : t -> int -> int
+
+(** [insert t k p] adds the absent key [k] with priority [p]; O(log n).
+    Raises [Invalid_argument] if [k] is already present. *)
+val insert : t -> int -> int -> unit
+
+(** [decrease_key t k p] lowers the present key [k]'s priority to [p];
+    O(log n). Raises [Invalid_argument] when [k] is absent or [p] is
+    larger than the current priority. *)
+val decrease_key : t -> int -> int -> unit
+
+(** [push t k p] is [insert] when [k] is absent, [decrease_key] when
+    present with a larger priority, and a no-op otherwise — the Dijkstra
+    relaxation primitive. *)
+val push : t -> int -> int -> unit
+
+(** [min_key t] is the key with the smallest [(priority, key)], without
+    removing it; [-1] when empty. *)
+val min_key : t -> int
+
+(** [pop_min t] removes and returns the key with the smallest
+    [(priority, key)]; [-1] when empty. O(log n). *)
+val pop_min : t -> int
+
+(** [clear t] empties the heap in O(size). *)
+val clear : t -> unit

@@ -8,16 +8,48 @@ type t = {
   w_max : int;
 }
 
+(* Computing the parameters costs n Dijkstras plus an MST; the benchmark
+   harness asks for them once per table row on the same instance. Memoize
+   per graph identity ({!Graph.id}), behind a mutex so the parallel bench
+   harness's domains can share the cache. The compute itself runs outside
+   the lock: two domains racing on the same graph both compute the same
+   pure value, and one insert wins. *)
+let cache : (int, t) Hashtbl.t = Hashtbl.create 64
+let cache_lock = Mutex.create ()
+
+let cache_find key =
+  Mutex.lock cache_lock;
+  let r = Hashtbl.find_opt cache key in
+  Mutex.unlock cache_lock;
+  r
+
+let cache_store key p =
+  Mutex.lock cache_lock;
+  (* Bound the cache: the harness creates thousands of short-lived
+     instances; entries are tiny but ids never repeat. *)
+  if Hashtbl.length cache >= 8192 then Hashtbl.reset cache;
+  if not (Hashtbl.mem cache key) then Hashtbl.add cache key p;
+  Mutex.unlock cache_lock
+
 let compute g =
-  {
-    n = Graph.n g;
-    m = Graph.m g;
-    script_e = Graph.total_weight g;
-    script_v = Mst.weight g;
-    script_d = Paths.diameter g;
-    d = Paths.max_neighbor_distance g;
-    w_max = Graph.max_weight g;
-  }
+  let key = Graph.id g in
+  match cache_find key with
+  | Some p -> p
+  | None ->
+    let e = Paths.extrema g in
+    let p =
+      {
+        n = Graph.n g;
+        m = Graph.m g;
+        script_e = Graph.total_weight g;
+        script_v = Mst.weight g;
+        script_d = e.Paths.diameter;
+        d = e.Paths.max_neighbor;
+        w_max = Graph.max_weight g;
+      }
+    in
+    cache_store key p;
+    p
 
 let pp ppf t =
   Format.fprintf ppf

@@ -18,7 +18,10 @@ type t = {
   w_max : int;
 }
 
-(** Compute every parameter; requires a connected graph. O(n m log n). *)
+(** Compute every parameter; requires a connected graph. O(n m log n) the
+    first time; results are memoized per graph instance (keyed by
+    {!Graph.id}, thread-safe), so repeated calls on the same graph — one
+    per benchmark row — are O(1). *)
 val compute : Graph.t -> t
 
 val pp : Format.formatter -> t -> unit

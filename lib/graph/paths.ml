@@ -4,7 +4,54 @@ type sssp = {
   parent : int array;
 }
 
+(* The hot-path Dijkstra: indexed heap with decrease_key, so each vertex
+   occupies at most one heap slot, relaxations allocate nothing, and the
+   pop order matches the historical (dist, vertex) tuple order (the heap
+   breaks priority ties by key).
+
+   A vertex popped from the heap is settled: every later relaxation
+   reaching it offers dv = du + w > du >= dist(v) (weights are >= 1), so
+   neither the improvement branch nor the equal-distance parent tie-break
+   can fire for it — no explicit [settled] array is needed. *)
+let dijkstra_into g ~src ~dist ~parent heap =
+  let n = Graph.n g in
+  Array.fill dist 0 n max_int;
+  Array.fill parent 0 n (-1);
+  Indexed_heap.clear heap;
+  dist.(src) <- 0;
+  Indexed_heap.insert heap src 0;
+  let rec loop () =
+    let u = Indexed_heap.pop_min heap in
+    if u >= 0 then begin
+      let du = dist.(u) in
+      let nbrs = Graph.neighbors g u in
+      for i = 0 to Array.length nbrs - 1 do
+        let v, w, _ = nbrs.(i) in
+        let dv = du + w in
+        if dv < dist.(v) then begin
+          dist.(v) <- dv;
+          parent.(v) <- u;
+          Indexed_heap.push heap v dv
+        end
+        else if dv = dist.(v) && u < parent.(v) then parent.(v) <- u
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
 let dijkstra g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  dijkstra_into g ~src ~dist ~parent (Indexed_heap.create n);
+  { src; dist; parent }
+
+(* The historical lazy-deletion formulation over the generic {!Heap},
+   kept as a reference: the regression tests check the indexed version
+   against it edge-for-edge, and the microbenchmarks report the
+   before/after speedup. *)
+let dijkstra_lazy g ~src =
   let n = Graph.n g in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
@@ -85,32 +132,65 @@ let dist g u v = (dijkstra g ~src:u).dist.(v)
 let eccentricity g v =
   Array.fold_left max 0 (dijkstra g ~src:v).dist
 
+type extrema = {
+  diameter : int;
+  radius : int;
+  center : int;
+  max_neighbor : int;
+}
+
+(* One sweep of n Dijkstras, reusing the distance/parent buffers and the
+   heap, yields every all-sources distance parameter at once. This is the
+   back-end for [diameter], [radius_and_center], [max_neighbor_distance]
+   and the memoized [Params.compute]. *)
+let extrema g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Paths.extrema: graph is disconnected";
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  let diameter = ref 0 in
+  let radius = ref max_int and center = ref 0 in
+  let max_neighbor = ref 0 in
+  for v = 0 to n - 1 do
+    dijkstra_into g ~src:v ~dist ~parent heap;
+    let ecc = Array.fold_left max 0 dist in
+    if ecc > !diameter then diameter := ecc;
+    if ecc < !radius then begin
+      radius := ecc;
+      center := v
+    end;
+    Array.iter
+      (fun (u, _, _) -> if dist.(u) > !max_neighbor then max_neighbor := dist.(u))
+      (Graph.neighbors g v)
+  done;
+  {
+    diameter = !diameter;
+    radius = !radius;
+    center = !center;
+    max_neighbor = !max_neighbor;
+  }
+
 let diameter g =
   if not (Graph.is_connected g) then
     invalid_arg "Paths.diameter: graph is disconnected";
-  let best = ref 0 in
-  for v = 0 to Graph.n g - 1 do
-    best := max !best (eccentricity g v)
-  done;
-  !best
+  (extrema g).diameter
 
 let radius_and_center g =
   if not (Graph.is_connected g) then
     invalid_arg "Paths.radius_and_center: graph is disconnected";
-  let best = ref max_int and center = ref 0 in
-  for v = 0 to Graph.n g - 1 do
-    let e = eccentricity g v in
-    if e < !best then begin
-      best := e;
-      center := v
-    end
-  done;
-  (!best, !center)
+  let e = extrema g in
+  (e.radius, e.center)
 
 let max_neighbor_distance g =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
   let best = ref 0 in
-  for v = 0 to Graph.n g - 1 do
-    let { dist; _ } = dijkstra g ~src:v in
+  for v = 0 to n - 1 do
+    dijkstra_into g ~src:v ~dist ~parent heap;
     Array.iter
       (fun (u, _, _) -> if dist.(u) > !best then best := dist.(u))
       (Graph.neighbors g v)

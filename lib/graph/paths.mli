@@ -8,8 +8,16 @@ type sssp = {
   parent : int array;
 }
 
-(** Dijkstra's algorithm; O((m + n) log n). *)
+(** Dijkstra's algorithm over an indexed heap with [decrease_key]:
+    O((m + n) log n) with no per-relaxation allocation and no duplicate
+    heap entries. *)
 val dijkstra : Graph.t -> src:int -> sssp
+
+(** The historical lazy-deletion Dijkstra over the generic {!Heap}. Kept
+    as a reference implementation: regression tests check that
+    {!dijkstra} reproduces its [dist] {e and} [parent] arrays exactly,
+    and the microbenchmarks report the before/after speedup. *)
+val dijkstra_lazy : Graph.t -> src:int -> sssp
 
 (** Bellman-Ford, used as an independent reference in tests; O(nm). *)
 val bellman_ford : Graph.t -> src:int -> sssp
@@ -25,6 +33,21 @@ val dist : Graph.t -> int -> int -> int
 
 (** Weighted eccentricity of a vertex. *)
 val eccentricity : Graph.t -> int -> int
+
+(** Every all-sources distance parameter, from one sweep of [n] Dijkstras
+    sharing their buffers. *)
+type extrema = {
+  diameter : int;  (** the paper's script-D *)
+  radius : int;  (** [min_v Rad(v, G)] *)
+  center : int;  (** a vertex attaining the radius *)
+  max_neighbor : int;  (** the paper's [d] *)
+}
+
+(** [extrema g] computes diameter, radius/centre and [d] in a single
+    all-sources sweep — the back-end of {!diameter},
+    {!radius_and_center} and the memoized [Params.compute]. Requires a
+    connected graph. O(n (m + n) log n). *)
+val extrema : Graph.t -> extrema
 
 (** Weighted diameter [Diam(G)]; the paper's script-D. Requires a connected
     graph. O(n (m + n) log n). *)

@@ -23,14 +23,16 @@ let test_delivery_and_cost () =
 let test_non_edge_rejected () =
   let g = Gen.path 3 ~w:1 in
   let eng = E.create g in
-  Alcotest.check_raises "non-edge" (Invalid_argument "Engine.send: no such edge")
-    (fun () -> E.send eng ~src:0 ~dst:2 (Ping 0))
+  Alcotest.check_raises "non-edge"
+    (Invalid_argument "Engine.send: no edge between 0 and 2") (fun () ->
+      E.send eng ~src:0 ~dst:2 (Ping 0))
 
 let test_missing_handler () =
   let g = Gen.path 2 ~w:1 in
   let eng = E.create g in
   E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
-  Alcotest.check_raises "no handler" (Failure "Engine: no handler at vertex 1")
+  Alcotest.check_raises "no handler"
+    (Failure "Engine: no handler at vertex 1 (message sent from 0)")
     (fun () -> ignore (E.run eng))
 
 let test_fifo_order () =
@@ -146,6 +148,48 @@ let test_delay_models_bounds () =
       done)
     models
 
+(* The packed event queue and the historical boxed heap implement the
+   same (time, send-order) total order, so a full execution — delivery
+   sequence and metrics — must be identical under either. *)
+let test_event_queue_equivalence () =
+  let trace queue =
+    let g =
+      Gen.random_connected (Csap_graph.Rng.create 7) 24 ~extra_edges:30
+        ~wmax:8
+    in
+    let eng = E.create ~event_queue:queue g in
+    let log = ref [] in
+    let seen = Array.make (G.n g) false in
+    for v = 0 to G.n g - 1 do
+      E.set_handler eng v (fun ~src (Ping k) ->
+          log := (v, src, k) :: !log;
+          if not seen.(v) then begin
+            seen.(v) <- true;
+            Array.iter
+              (fun (u, _, _) ->
+                if u <> src then E.send eng ~src:v ~dst:u (Ping (k + 1)))
+              (G.neighbors g v)
+          end)
+    done;
+    E.schedule eng ~delay:0.0 (fun () ->
+        seen.(0) <- true;
+        Array.iter
+          (fun (u, _, _) -> E.send eng ~src:0 ~dst:u (Ping 0))
+          (G.neighbors g 0));
+    ignore (E.run eng);
+    let m = E.metrics eng in
+    ( List.rev !log,
+      m.Csap_dsim.Metrics.messages,
+      m.Csap_dsim.Metrics.weighted_comm,
+      m.Csap_dsim.Metrics.completion_time )
+  in
+  let log_p, msg_p, comm_p, t_p = trace E.Packed in
+  let log_b, msg_b, comm_b, t_b = trace E.Boxed in
+  Alcotest.(check bool) "same delivery sequence" true (log_p = log_b);
+  Alcotest.(check int) "same messages" msg_b msg_p;
+  Alcotest.(check int) "same weighted comm" comm_b comm_p;
+  Alcotest.(check (float 1e-9)) "same completion time" t_b t_p
+
 let suite =
   [
     Alcotest.test_case "delivery and cost accounting" `Quick
@@ -162,4 +206,6 @@ let suite =
     Alcotest.test_case "deterministic executions" `Quick test_determinism;
     Alcotest.test_case "delay models respect (0,w]" `Quick
       test_delay_models_bounds;
+    Alcotest.test_case "packed and boxed event queues agree" `Quick
+      test_event_queue_equivalence;
   ]

@@ -80,6 +80,42 @@ let test_compare_edges () =
   Alcotest.(check bool) "w ties broken" true (G.compare_edges a b < 0);
   Alcotest.(check int) "equal" 0 (G.compare_edges a a)
 
+(* The sorted per-vertex edge index must answer exactly like the plain
+   adjacency scan, on edges and non-edges alike — including the
+   binary-search path taken above the small-degree cutoff. *)
+let check_index_agrees g =
+  let n = G.n g in
+  let ok = ref true in
+  for u = 0 to n - 1 do
+    for v = 0 to n - 1 do
+      let scan = if u = v then -1 else G.edge_id_between_scan g u v in
+      if G.edge_id_between g u v <> scan then ok := false;
+      (* neighbor_index points back into adj(u). *)
+      let i = G.neighbor_index g u v in
+      if scan >= 0 then begin
+        let x, _, id = (G.neighbors g u).(i) in
+        if x <> v || id <> scan then ok := false
+      end
+      else if i <> -1 then ok := false
+    done
+  done;
+  !ok
+
+let test_edge_index_high_degree () =
+  (* Complete graphs force every lookup through the binary search. *)
+  List.iter
+    (fun n ->
+      Alcotest.(check bool)
+        (Printf.sprintf "complete %d" n)
+        true
+        (check_index_agrees (Csap_graph.Generators.complete n ~w:2)))
+    [ 2; 9; 10; 17 ]
+
+let prop_edge_index_agrees_with_scan =
+  QCheck.Test.make ~count:100 ~name:"edge index = adjacency scan"
+    (Gen_qcheck.connected_graph_gen ())
+    check_index_agrees
+
 let suite =
   [
     Alcotest.test_case "create and measures" `Quick test_create;
@@ -92,4 +128,7 @@ let suite =
     Alcotest.test_case "subgraph" `Quick test_subgraph;
     Alcotest.test_case "other_endpoint" `Quick test_other_endpoint;
     Alcotest.test_case "canonical edge order" `Quick test_compare_edges;
+    Alcotest.test_case "edge index on high degree" `Quick
+      test_edge_index_high_degree;
+    QCheck_alcotest.to_alcotest prop_edge_index_agrees_with_scan;
   ]

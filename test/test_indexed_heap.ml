@@ -1,0 +1,148 @@
+(* The indexed heap behind the Dijkstra/Prim hot paths: unit tests for
+   the decrease_key semantics, plus qcheck properties checking it
+   against the generic lazy-deletion [Heap] over (priority, key) tuples
+   on random operation sequences. *)
+
+module IH = Csap_graph.Indexed_heap
+module H = Csap_graph.Heap
+
+let test_empty () =
+  let h = IH.create 8 in
+  Alcotest.(check bool) "is_empty" true (IH.is_empty h);
+  Alcotest.(check int) "capacity" 8 (IH.capacity h);
+  Alcotest.(check int) "size" 0 (IH.size h);
+  Alcotest.(check int) "min_key" (-1) (IH.min_key h);
+  Alcotest.(check int) "pop_min" (-1) (IH.pop_min h)
+
+let test_order_and_ties () =
+  let h = IH.create 8 in
+  (* Keys 3 and 5 tie on priority 2: key order breaks the tie. *)
+  List.iter
+    (fun (k, p) -> IH.insert h k p)
+    [ (0, 9); (5, 2); (3, 2); (7, 1); (1, 4) ];
+  let drained = List.init 5 (fun _ -> IH.pop_min h) in
+  Alcotest.(check (list int)) "drain order" [ 7; 3; 5; 1; 0 ] drained;
+  Alcotest.(check bool) "empty after" true (IH.is_empty h)
+
+let test_decrease_key () =
+  let h = IH.create 4 in
+  IH.insert h 0 10;
+  IH.insert h 1 5;
+  IH.decrease_key h 0 3;
+  Alcotest.(check int) "priority updated" 3 (IH.priority h 0);
+  Alcotest.(check int) "new min" 0 (IH.min_key h);
+  (* Raising a priority is rejected. *)
+  Alcotest.check_raises "increase rejected"
+    (Invalid_argument "Indexed_heap.decrease_key: priority increase") (fun () ->
+      IH.decrease_key h 0 7);
+  (* Absent keys are rejected. *)
+  Alcotest.check_raises "absent rejected"
+    (Invalid_argument "Indexed_heap.decrease_key: absent key") (fun () ->
+      IH.decrease_key h 2 1)
+
+let test_insert_duplicate_rejected () =
+  let h = IH.create 4 in
+  IH.insert h 1 5;
+  Alcotest.check_raises "duplicate insert"
+    (Invalid_argument "Indexed_heap.insert: key present") (fun () ->
+      IH.insert h 1 3)
+
+let test_push_semantics () =
+  let h = IH.create 4 in
+  IH.push h 2 10;
+  Alcotest.(check int) "inserted" 10 (IH.priority h 2);
+  IH.push h 2 4;
+  Alcotest.(check int) "decreased" 4 (IH.priority h 2);
+  IH.push h 2 9;
+  Alcotest.(check int) "no-op on larger" 4 (IH.priority h 2);
+  Alcotest.(check int) "size stays 1" 1 (IH.size h)
+
+let test_clear () =
+  let h = IH.create 6 in
+  List.iter (fun k -> IH.insert h k (10 - k)) [ 0; 2; 4 ];
+  IH.clear h;
+  Alcotest.(check bool) "cleared" true (IH.is_empty h);
+  Alcotest.(check bool) "mem false" false (IH.mem h 2);
+  (* Reusable after clear. *)
+  IH.insert h 2 1;
+  Alcotest.(check int) "reinsert" 2 (IH.pop_min h)
+
+(* An operation sequence: for each (key, prio) pair, push into the
+   indexed heap and add into a lazy-deletion tuple heap; interleave pops.
+   Both must drain keys in the same order — the equivalence the Dijkstra
+   rewrite relies on. *)
+let prop_matches_lazy_heap =
+  QCheck.Test.make ~count:300
+    ~name:"indexed heap drains like a lazy (priority, key) heap"
+    QCheck.(
+      pair (int_range 1 32)
+        (small_list (pair (int_bound 31) (int_bound 100))))
+    (fun (capacity, ops) ->
+      let ih = IH.create capacity in
+      let lazy_heap = H.create ~cmp:compare in
+      (* best.(k) mirrors the indexed heap's current priority; the tuple
+         heap keeps stale entries, dropped when popped. *)
+      let best = Array.make capacity max_int in
+      let popped = Array.make capacity false in
+      List.iter
+        (fun (k, p) ->
+          let k = k mod capacity in
+          if (not popped.(k)) && p < best.(k) then begin
+            best.(k) <- p;
+            H.add lazy_heap (p, k)
+          end;
+          if not popped.(k) then IH.push ih k p)
+        ops;
+      let rec drain acc =
+        match IH.pop_min ih with
+        | -1 -> List.rev acc
+        | k -> drain (k :: acc)
+      in
+      let indexed_order = drain [] in
+      let rec drain_lazy acc =
+        match H.pop_min lazy_heap with
+        | None -> List.rev acc
+        | Some (_, k) ->
+          if popped.(k) then drain_lazy acc
+          else begin
+            popped.(k) <- true;
+            drain_lazy (k :: acc)
+          end
+      in
+      let lazy_order = drain_lazy [] in
+      indexed_order = lazy_order)
+
+(* After a run of pushes, pop_min yields (priority, key) pairs in
+   non-decreasing lexicographic order and each key at most once. *)
+let prop_sorted_drain =
+  QCheck.Test.make ~count:300 ~name:"pop_min is sorted and duplicate-free"
+    QCheck.(small_list (pair (int_bound 15) (int_bound 50)))
+    (fun ops ->
+      let h = IH.create 16 in
+      List.iter (fun (k, p) -> IH.push h k p) ops;
+      let rec drain acc =
+        match IH.min_key h with
+        | -1 -> List.rev acc
+        | k ->
+          let p = IH.priority h k in
+          let k' = IH.pop_min h in
+          if k' <> k then failwith "min_key / pop_min disagree";
+          drain ((p, k) :: acc)
+      in
+      let drained = drain [] in
+      let keys = List.map snd drained in
+      List.sort_uniq compare keys = List.sort compare keys
+      && List.sort compare drained = drained)
+
+let suite =
+  [
+    Alcotest.test_case "empty heap" `Quick test_empty;
+    Alcotest.test_case "drain order with ties" `Quick test_order_and_ties;
+    Alcotest.test_case "decrease_key" `Quick test_decrease_key;
+    Alcotest.test_case "duplicate insert rejected" `Quick
+      test_insert_duplicate_rejected;
+    Alcotest.test_case "push insert/decrease/no-op" `Quick test_push_semantics;
+    Alcotest.test_case "clear" `Quick test_clear;
+    QCheck_alcotest.to_alcotest prop_matches_lazy_heap;
+    QCheck_alcotest.to_alcotest prop_sorted_drain;
+  ]

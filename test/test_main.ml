@@ -3,6 +3,7 @@ let () =
     [
       ("rng", Test_rng.suite);
       ("heap", Test_heap.suite);
+      ("indexed-heap", Test_indexed_heap.suite);
       ("union-find", Test_union_find.suite);
       ("graph", Test_graph_basic.suite);
       ("tree", Test_tree.suite);

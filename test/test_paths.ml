@@ -97,9 +97,61 @@ let prop_spt_weight_bound =
       Csap_graph.Tree.total_weight t
       <= (G.n g - 1) * Csap_graph.Mst.weight g)
 
+(* The indexed-heap Dijkstra must reproduce the historical lazy-deletion
+   implementation bit for bit — distances AND the parent tie-breaking. *)
+let check_dijkstra_matches_lazy g ~src =
+  let a = P.dijkstra g ~src in
+  let b = P.dijkstra_lazy g ~src in
+  a.P.dist = b.P.dist && a.P.parent = b.P.parent
+
+let test_dijkstra_regression_families () =
+  let families =
+    [
+      ("grid", Csap_graph.Generators.grid 6 7 ~w:5);
+      ("bkj", Csap_graph.Generators.bkj_star_cycle 24 ~heavy:40);
+      ("chorded", Csap_graph.Generators.chorded_cycle 20 ~chord_w:64);
+      ("gn", Csap_graph.Generators.lower_bound_gn 12 ~x:4);
+      ("complete", Csap_graph.Generators.complete 12 ~w:3);
+      ( "random",
+        Csap_graph.Generators.random_connected (Csap_graph.Rng.create 42) 40
+          ~extra_edges:60 ~wmax:9 );
+    ]
+  in
+  List.iter
+    (fun (name, g) ->
+      for src = 0 to min 4 (G.n g - 1) do
+        Alcotest.(check bool)
+          (Printf.sprintf "%s src=%d dist+parent unchanged" name src)
+          true
+          (check_dijkstra_matches_lazy g ~src)
+      done)
+    families
+
+let prop_dijkstra_matches_lazy =
+  QCheck.Test.make ~count:150
+    ~name:"indexed-heap dijkstra = lazy dijkstra (dist and parent)"
+    (Gen_qcheck.graph_and_vertex ())
+    (fun (g, src) -> check_dijkstra_matches_lazy g ~src)
+
+let prop_extrema_consistent =
+  QCheck.Test.make ~count:80
+    ~name:"extrema agrees with per-vertex eccentricities"
+    (Gen_qcheck.connected_graph_gen ())
+    (fun g ->
+      let e = P.extrema g in
+      let ecc = Array.init (G.n g) (P.eccentricity g) in
+      let diameter = Array.fold_left max 0 ecc in
+      let radius = Array.fold_left min max_int ecc in
+      e.P.diameter = diameter
+      && e.P.radius = radius
+      && ecc.(e.P.center) = radius
+      && e.P.max_neighbor = P.max_neighbor_distance g)
+
 let suite =
   [
     Alcotest.test_case "dijkstra on square" `Quick test_dijkstra_simple;
+    Alcotest.test_case "dijkstra regression vs lazy heap" `Quick
+      test_dijkstra_regression_families;
     Alcotest.test_case "dijkstra unreachable" `Quick test_dijkstra_unreachable;
     Alcotest.test_case "SPT structure" `Quick test_spt_structure;
     Alcotest.test_case "SPT rejects disconnected" `Quick test_spt_disconnected;
@@ -108,6 +160,8 @@ let suite =
     Alcotest.test_case "max neighbour distance d" `Quick
       test_max_neighbor_distance;
     Alcotest.test_case "pairwise dist" `Quick test_dist;
+    QCheck_alcotest.to_alcotest prop_dijkstra_matches_lazy;
+    QCheck_alcotest.to_alcotest prop_extrema_consistent;
     QCheck_alcotest.to_alcotest prop_dijkstra_vs_bellman_ford;
     QCheck_alcotest.to_alcotest prop_triangle_inequality;
     QCheck_alcotest.to_alcotest prop_spt_depth_is_distance;
