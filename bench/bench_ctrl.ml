@@ -17,10 +17,8 @@ let controlled_flood g ~threshold ~buggy =
   in
   let seen = Array.make (G.n g) false in
   let forward v ~except =
-    Array.iter
-      (fun (u, _, _) ->
+    G.iter_neighbors g v (fun u _ _ ->
         if u <> except then Csap.Controller.send ctl ~src:v ~dst:u Wave)
-      (G.neighbors g v)
   in
   for v = 0 to G.n g - 1 do
     E.set_handler eng v (fun ~src wire ->

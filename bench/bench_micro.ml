@@ -28,6 +28,17 @@ let sparse256 =
     (Gen.random_connected (Csap_graph.Rng.create 9) 256 ~extra_edges:512
        ~wmax:32)
 
+(* Instances for the PR-2 before/after pairs: the CSR relaxation scan
+   (flat rows vs boxed tuples) at n = 256, the pool-sharded all-sources
+   extrema at n = 512 over >= 4 domains, and the engine reset-vs-recreate
+   multi-seed trial loop. *)
+let sparse512 =
+  lazy
+    (Gen.random_connected (Csap_graph.Rng.create 13) 512 ~extra_edges:1024
+       ~wmax:32)
+
+let extrema_pool = lazy (Csap_pool.create ~domains:4 ())
+
 type msg = Wave
 
 (* A bare flood (no tree bookkeeping): ~2 sends per edge, so the run cost
@@ -39,9 +50,8 @@ let flood_with lookup queue g =
   let eng = E.create ~edge_lookup:lookup ~event_queue:queue g in
   let reached = Array.make n false in
   let forward v ~except =
-    Array.iter
-      (fun (u, _, _) -> if u <> except then E.send eng ~src:v ~dst:u Wave)
-      (G.neighbors g v)
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then E.send eng ~src:v ~dst:u Wave)
   in
   for v = 0 to n - 1 do
     E.set_handler eng v (fun ~src Wave ->
@@ -54,6 +64,22 @@ let flood_with lookup queue g =
       reached.(0) <- true;
       forward 0 ~except:(-1));
   ignore (E.run eng)
+
+(* The reset-vs-recreate trial loop: [trials] floods over the same graph
+   under per-trial seeded delays. The reset path reuses one engine
+   (rewound between trials); the recreate path rebuilds the O(n + m)
+   engine state every trial — the before/after pair for Engine.reset. *)
+let trials = 8
+
+let flood_trials ~reuse g =
+  let engine = if reuse then Some (Csap.Flood.make_engine g) else None in
+  let acc = ref 0 in
+  for seed = 1 to trials do
+    let delay = Csap_dsim.Delay.Uniform (Csap_graph.Rng.create seed) in
+    let r = Csap.Flood.run ~delay ?engine g ~source:0 in
+    acc := !acc + r.Csap.Flood.measures.Csap.Measures.comm
+  done;
+  !acc
 
 (* The pre-index diameter: n independent lazy-deletion Dijkstras, fresh
    buffers each time. *)
@@ -114,6 +140,32 @@ let tests =
     Test.make ~name:"spt: diameter n256 indexed"
       (Staged.stage (fun () ->
            ignore (Csap_graph.Paths.diameter (Lazy.force sparse256))));
+    (* Before/after: the relaxation scan — boxed tuple rows vs flat CSR. *)
+    Test.make ~name:"csr: dijkstra n256 tuple"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Paths.dijkstra_tuple (Lazy.force sparse256) ~src:0)));
+    Test.make ~name:"csr: dijkstra n256 flat"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Paths.dijkstra (Lazy.force sparse256) ~src:0)));
+    (* Before/after: the n-source extrema sweep, sequential vs sharded
+       over the 4-domain pool. *)
+    Test.make ~name:"extrema: n512 seq"
+      (Staged.stage (fun () ->
+           ignore (Csap_graph.Paths.extrema_seq (Lazy.force sparse512))));
+    Test.make ~name:"extrema: n512 par4"
+      (Staged.stage (fun () ->
+           ignore
+             (Csap_graph.Paths.extrema
+                ~pool:(Lazy.force extrema_pool)
+                (Lazy.force sparse512))));
+    (* Before/after: multi-seed trial loops — fresh engine per trial vs
+       one engine rewound by Engine.reset. *)
+    Test.make ~name:"engine: trial-loop recreate"
+      (Staged.stage (fun () ->
+           ignore (flood_trials ~reuse:false (Lazy.force dense96))));
+    Test.make ~name:"engine: trial-loop reset"
+      (Staged.stage (fun () ->
+           ignore (flood_trials ~reuse:true (Lazy.force dense96))));
   ]
 
 let contains s sub =
@@ -159,6 +211,13 @@ let run () =
       ( "speedup: diameter n256 (lazy/indexed)",
         find_ns rows "diameter n256 lazy" /. find_ns rows "diameter n256 indexed"
       );
+      ( "speedup: dijkstra n256 (tuple/csr)",
+        find_ns rows "dijkstra n256 tuple" /. find_ns rows "dijkstra n256 flat"
+      );
+      ( "speedup: extrema n512 (seq/parallel)",
+        find_ns rows "extrema: n512 seq" /. find_ns rows "extrema: n512 par4" );
+      ( "speedup: engine trial-loop (recreate/reset)",
+        find_ns rows "trial-loop recreate" /. find_ns rows "trial-loop reset" );
     ]
   in
   Report.subheading "hot-path before/after (ratios > 1 mean faster now)";

@@ -79,9 +79,10 @@ let gossip =
           List.fold_left (fun acc (src, x) -> (acc * 31) + x + src) state inbox
         in
         let sends =
-          Array.to_list (G.neighbors g me)
-          |> List.filter (fun (_, w, _) -> pulse mod w = 0)
-          |> List.map (fun (u, _, _) -> (u, state))
+          List.rev
+            (G.fold_neighbors g me
+               (fun acc u w _ -> if pulse mod w = 0 then (u, state) :: acc else acc)
+               [])
         in
         (state, sends))
   }

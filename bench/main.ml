@@ -1,11 +1,12 @@
 (* Benchmark harness regenerating every table and figure of the paper's
    evaluation (see DESIGN.md section 3 for the index).
 
-   Figures declare independent jobs (see [Report.figure]); a work-stealing
-   pool runs them on OCaml 5 domains, then every figure is rendered in
-   declaration order from the collected rows — so the printed tables are
-   byte-identical whatever the parallelism. Per-job wall-clock times and
-   all table cells are also dumped to BENCH_RESULTS.json.
+   Figures declare independent jobs (see [Report.figure]); the
+   work-stealing [Csap_pool] runs them on OCaml 5 domains, then every
+   figure is rendered in declaration order from the collected rows — so
+   the printed tables are byte-identical whatever the parallelism.
+   Per-job wall-clock times, per-domain pool busy times and all table
+   cells are also dumped to BENCH_RESULTS.json.
 
    Usage:
      dune exec bench/main.exe                 # all figures, parallel
@@ -71,34 +72,12 @@ let rec parse opts = function
       usage ()
     end
 
-(* ---- the domain pool --------------------------------------------------- *)
+(* ---- job slots --------------------------------------------------------- *)
 
 type slot =
   | Pending
   | Done of Report.job_result
   | Failed of string
-
-(* Each task writes exactly one slot; [Domain.join] publishes the writes,
-   so the post-join reads race with nothing. *)
-let run_pool ~jobs (tasks : (unit -> unit) array) =
-  let next = Atomic.make 0 in
-  let worker () =
-    let rec loop () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < Array.length tasks then begin
-        tasks.(i) ();
-        loop ()
-      end
-    in
-    loop ()
-  in
-  if jobs <= 1 || Array.length tasks <= 1 then worker ()
-  else begin
-    let spawned = min (jobs - 1) (Array.length tasks - 1) in
-    let doms = Array.init spawned (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join doms
-  end
 
 let () =
   let opts =
@@ -145,9 +124,14 @@ let () =
          figures slots)
     |> Array.of_list
   in
+  (* Each task writes exactly one slot; the pool joins every domain
+     before returning, so the post-run reads race with nothing. *)
+  let pool = Csap_pool.create ~domains:opts.jobs () in
   let t0 = Unix.gettimeofday () in
-  run_pool ~jobs:opts.jobs tasks;
+  Csap_pool.run pool ~tasks:(Array.length tasks) (fun ~worker:_ i ->
+      tasks.(i) ());
   let pool_wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let pool_busy_ms = Csap_pool.busy_ms pool in
   let figure_results =
     List.map2
       (fun fig fig_slots ->
@@ -190,10 +174,17 @@ let () =
             (Report.json_of_cell (Report.Float v)))
         micro_rows
     in
+    let busy_json =
+      "["
+      ^ String.concat ","
+          (Array.to_list
+             (Array.map (Printf.sprintf "%.3f") pool_busy_ms))
+      ^ "]"
+    in
     let doc =
       Printf.sprintf
-        "{\"harness\":\"csap-bench\",\"pool_domains\":%d,\"pool_wall_ms\":%.3f,\"figures\":%s,\"micro\":%s}\n"
-        opts.jobs pool_wall_ms figures_json micro_json
+        "{\"harness\":\"csap-bench\",\"pool_domains\":%d,\"pool_wall_ms\":%.3f,\"pool_busy_ms\":%s,\"figures\":%s,\"micro\":%s}\n"
+        opts.jobs pool_wall_ms busy_json figures_json micro_json
     in
     let oc = open_out path in
     output_string oc doc;

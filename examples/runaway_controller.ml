@@ -24,13 +24,10 @@ let run ~buggy ~controlled () =
   in
   let seen = Array.make (G.n g) false in
   let forward v ~except x =
-    Array.iter
-      (fun (u, _, _) ->
+    G.iter_neighbors g v (fun u _ _ ->
         if u <> except then
           if controlled then Csap.Controller.send ctl ~src:v ~dst:u (Gossip x)
-          else
-            E.send eng ~src:v ~dst:u (Csap.Controller.Payload (Gossip x)))
-      (G.neighbors g v)
+          else E.send eng ~src:v ~dst:u (Csap.Controller.Payload (Gossip x)))
   in
   let deliver v src (Gossip x) =
     if buggy && x = 42 then forward v ~except:(-1) x (* echo storm *)

@@ -89,8 +89,8 @@ let better a b =
    its view of the member set. *)
 let own_candidate t v =
   let g = Engine.graph t.engine in
-  Array.fold_left
-    (fun acc (u, w, _) ->
+  G.fold_neighbors g v
+    (fun acc u w _ ->
       if t.members.(v).(u) then acc
       else
         let cand =
@@ -101,7 +101,7 @@ let own_candidate t v =
             { key = (d, u, v); x = u; y = v; w; label = d }
         in
         better acc (Some cand))
-    None (G.neighbors g v)
+    None
 
 let rec report_up t v =
   let combined = better t.best.(v) (own_candidate t v) in

@@ -50,9 +50,10 @@ let run_alpha ?delay g ~pulses =
   let heard = Array.init n (fun v -> Array.make (G.degree g v) (-1)) in
   let neighbor_index = Array.init n (fun _ -> Hashtbl.create 4) in
   for v = 0 to n - 1 do
-    Array.iteri
-      (fun i (u, _, _) -> Hashtbl.replace neighbor_index.(v) u i)
-      (G.neighbors g v)
+    let i = ref 0 in
+    G.iter_neighbors g v (fun u _ _ ->
+        Hashtbl.replace neighbor_index.(v) u !i;
+        incr i)
   done;
   let rec try_pulse v =
     let p = current.(v) + 1 in
@@ -61,9 +62,8 @@ let run_alpha ?delay g ~pulses =
         current.(v) <- p;
         pulse_times.(v).(p) <- Engine.now eng;
         if p < pulses then
-          Array.iter
-            (fun (u, _, _) -> Engine.send eng ~src:v ~dst:u (Pulse p))
-            (G.neighbors g v);
+          G.iter_neighbors g v (fun u _ _ ->
+              Engine.send eng ~src:v ~dst:u (Pulse p));
         try_pulse v
       end
   in
@@ -309,11 +309,9 @@ let check_causality g r =
   let ok = ref true in
   for v = 0 to G.n g - 1 do
     for p = 1 to r.pulses do
-      Array.iter
-        (fun (u, _, _) ->
+      G.iter_neighbors g v (fun u _ _ ->
           if r.pulse_times.(v).(p) < r.pulse_times.(u).(p - 1) -. 1e-9 then
             ok := false)
-        (G.neighbors g v)
     done
   done;
   !ok

@@ -1,3 +1,8 @@
+(* Cold call site of the deprecated tuple [Graph.neighbors]: the token
+   walk addresses a vertex's ports by position ([iter.(v)]-th neighbour),
+   which wants the random-access array the shim provides. *)
+[@@@alert "-deprecated"]
+
 module Engine = Csap_dsim.Engine
 module G = Csap_graph.Graph
 

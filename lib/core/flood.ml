@@ -9,17 +9,28 @@ type result = {
 
 type msg = Wave
 
-let run ?delay g ~source =
+type engine = msg Engine.t
+
+let make_engine ?delay g = Engine.create ?delay g
+
+let run ?delay ?engine g ~source =
   let n = G.n g in
-  let eng = Engine.create ?delay g in
+  let eng =
+    match engine with
+    | None -> Engine.create ?delay g
+    | Some eng ->
+      if G.id (Engine.graph eng) <> G.id g then
+        invalid_arg "Flood.run: engine built over a different graph";
+      Engine.reset ?delay eng;
+      eng
+  in
   let parent = Array.make n (-1) in
   let parent_w = Array.make n 0 in
   let reached = Array.make n false in
   let arrival = Array.make n infinity in
   let forward v ~except =
-    Array.iter
-      (fun (u, _, _) -> if u <> except then Engine.send eng ~src:v ~dst:u Wave)
-      (G.neighbors g v)
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then Engine.send eng ~src:v ~dst:u Wave)
   in
   for v = 0 to n - 1 do
     Engine.set_handler eng v (fun ~src Wave ->

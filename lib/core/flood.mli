@@ -13,6 +13,23 @@ type result = {
   measures : Measures.t;
 }
 
-(** [run ?delay g ~source] floods from [source]; requires a connected
-    graph. *)
-val run : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> source:int -> result
+(** A reusable engine for multi-trial flood loops; see {!make_engine}. *)
+type engine
+
+(** [make_engine ?delay g] builds the engine [run ~engine] reuses across
+    trials on the same [g] — one allocation of the per-vertex and
+    per-edge state per (instance) point instead of one per trial. *)
+val make_engine : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> engine
+
+(** [run ?delay ?engine g ~source] floods from [source]; requires a
+    connected graph. When [engine] is given it must have been built over
+    [g] (checked by graph identity; raises [Invalid_argument]
+    otherwise); it is {!Csap_dsim.Engine.reset} — installing [delay] if
+    provided — and reused instead of creating a fresh engine, which
+    multi-seed trial loops exploit to skip per-trial reconstruction. *)
+val run :
+  ?delay:Csap_dsim.Delay.t ->
+  ?engine:engine ->
+  Csap_graph.Graph.t ->
+  source:int ->
+  result

@@ -1,3 +1,8 @@
+(* Cold call site of the deprecated tuple [Graph.neighbors]: like
+   [Mst_ghs], per-port state is kept aligned with the adjacency rows and
+   indexed randomly, which wants the shim's arrays. *)
+[@@@alert "-deprecated"]
+
 module Engine = Csap_dsim.Engine
 module G = Csap_graph.Graph
 module Tree = Csap_graph.Tree

@@ -1,3 +1,8 @@
+(* Cold call site of the deprecated tuple [Graph.neighbors]: the GHS
+   state machine keeps per-port arrays aligned with the adjacency rows
+   and indexes them randomly, which wants the shim's arrays. *)
+[@@@alert "-deprecated"]
+
 module Engine = Csap_dsim.Engine
 module G = Csap_graph.Graph
 

@@ -54,19 +54,20 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
   (* Announce every due offer that improves on what was already sent;
      each announcement joins the strip's diffusing computation. *)
   let announce v =
-    Array.iteri
-      (fun i (u, w, _) ->
+    let i = ref 0 in
+    G.iter_neighbors g v (fun u w _ ->
+        let slot = !i in
+        incr i;
         if dist.(v) < max_int then begin
           let value = dist.(v) + w in
-          if value <= threshold.(v) && value < offered.(v).(i) then begin
-            offered.(v).(i) <- value;
+          if value <= threshold.(v) && value < offered.(v).(slot) then begin
+            offered.(v).(slot) <- value;
             offer_comm := !offer_comm + w;
             deficit.(v) <- deficit.(v) + 1;
             Engine.send eng ~src:v ~dst:u
               (Offer { value; threshold = threshold.(v) })
           end
         end)
-      (G.neighbors g v)
   in
   let rec strip_complete () =
     (* The source's engagement closed: the strip's relaxation has quiesced

@@ -15,7 +15,7 @@ let protocol ~source =
     on_pulse =
       (fun g ~me ~pulse ~inbox state ->
         let announce d =
-          Array.to_list (G.neighbors g me) |> List.map (fun (u, _, _) -> (u, d))
+          List.rev (G.fold_neighbors g me (fun acc u _ _ -> (u, d) :: acc) [])
         in
         if me = source && pulse = 0 then (state, announce 0)
         else begin

@@ -280,9 +280,10 @@ let run_alpha ?delay g protocol ~pulses =
   let heard = Array.init n (fun v -> Array.make (G.degree g v) (-1)) in
   let neighbor_index = Array.init n (fun _ -> Hashtbl.create 4) in
   for v = 0 to n - 1 do
-    Array.iteri
-      (fun i (u, _, _) -> Hashtbl.replace neighbor_index.(v) u i)
-      (G.neighbors g v)
+    let i = ref 0 in
+    G.iter_neighbors g v (fun u _ _ ->
+        Hashtbl.replace neighbor_index.(v) u !i;
+        incr i)
   done;
   let cleared v p =
     p = 0 || Array.for_all (fun h -> h >= p - 1) heard.(v)
@@ -290,9 +291,7 @@ let run_alpha ?delay g protocol ~pulses =
   let core = make_core eng g protocol ~pulses ~cleared in
   core.on_safe <-
     (fun v p ->
-      Array.iter
-        (fun (u, _, _) -> Engine.send eng ~src:v ~dst:u (Ctrl p))
-        (G.neighbors g v));
+      G.iter_neighbors g v (fun u _ _ -> Engine.send eng ~src:v ~dst:u (Ctrl p)));
   for v = 0 to n - 1 do
     Engine.set_handler eng v (fun ~src msg ->
         match msg with

@@ -16,13 +16,11 @@ let is_connected g s =
       | [] -> ()
       | v :: rest ->
         stack := rest;
-        Array.iter
-          (fun (u, _, _) ->
+        Csap_graph.Graph.iter_neighbors g v (fun u _ _ ->
             if Vset.mem u s && not (Hashtbl.mem visited u) then begin
               Hashtbl.replace visited u ();
               stack := u :: !stack
-            end)
-          (Csap_graph.Graph.neighbors g v);
+            end);
         loop ()
     in
     loop ();
@@ -40,13 +38,11 @@ let dijkstra_within g s ~src =
     let u = Csap_graph.Indexed_heap.pop_min heap in
     if u >= 0 then begin
       let du = dist.(u) in
-      Array.iter
-        (fun (v, w, _) ->
+      Csap_graph.Graph.iter_neighbors g u (fun v w _ ->
           if Vset.mem v s && du + w < dist.(v) then begin
             dist.(v) <- du + w;
             Csap_graph.Indexed_heap.push heap v (du + w)
-          end)
-        (Csap_graph.Graph.neighbors g u);
+          end);
       loop ()
     end
   in

@@ -37,8 +37,7 @@ let spt_of_cluster g ~tree_id c ~center =
     let u = Csap_graph.Indexed_heap.pop_min heap in
     if u >= 0 then begin
       let du = dist.(u) in
-      Array.iter
-        (fun (v, w, _) ->
+      Csap_graph.Graph.iter_neighbors g u (fun v w _ ->
           if Cluster.Vset.mem v c then begin
             let dv = du + w in
             (* A settled [v] has dist(v) <= du < dv, so neither branch
@@ -53,8 +52,7 @@ let spt_of_cluster g ~tree_id c ~center =
               parent.(v) <- u;
               parent_weight.(v) <- w
             end
-          end)
-        (Csap_graph.Graph.neighbors g u);
+          end);
       loop ()
     end
   in

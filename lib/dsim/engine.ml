@@ -23,7 +23,7 @@ type 'msg queue =
 
 type 'msg t = {
   g : Csap_graph.Graph.t;
-  delay : Delay.t;
+  mutable delay : Delay.t;
   lookup : edge_lookup;
   queue : 'msg queue;
   handlers : (src:int -> 'msg -> unit) option array;
@@ -57,6 +57,23 @@ let create ?(delay = Delay.Exact) ?(edge_lookup = Indexed)
     clock = 0.0;
     seq = 0;
   }
+
+(* Rewinds the engine to its just-created state without reallocating any
+   of the per-vertex / per-edge arrays (handlers, traffic, FIFO stamps)
+   or shedding the event queue's grown capacity — multi-seed trial loops
+   reuse one engine per instance instead of rebuilding O(n + m) state
+   per trial. *)
+let reset ?delay t =
+  (match delay with Some d -> t.delay <- d | None -> ());
+  (match t.queue with
+  | Q_packed q -> Event_queue.clear q
+  | Q_boxed q -> Csap_graph.Heap.clear q);
+  Array.fill t.handlers 0 (Array.length t.handlers) None;
+  Metrics.reset t.metrics;
+  Array.fill t.traffic 0 (Array.length t.traffic) 0;
+  Array.fill t.last_delivery 0 (Array.length t.last_delivery) 0.0;
+  t.clock <- 0.0;
+  t.seq <- 0
 
 let graph t = t.g
 let now t = t.clock

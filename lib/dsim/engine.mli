@@ -39,6 +39,17 @@ val create :
   Csap_graph.Graph.t ->
   'msg t
 
+(** [reset ?delay t] rewinds [t] to the state [create] left it in —
+    clock and send counter to zero, metrics and per-edge traffic
+    zeroed, FIFO delivery stamps cleared, every handler uninstalled and
+    the event queue emptied — without reallocating any per-vertex or
+    per-edge array (the event queue also keeps its grown capacity).
+    [?delay] optionally installs a new delay model, so multi-seed trial
+    loops can reuse one engine per instance, swapping the seeded model
+    each trial. A run after [reset] is indistinguishable from a run on
+    a freshly created engine. *)
+val reset : ?delay:Delay.t -> 'msg t -> unit
+
 val graph : 'msg t -> Csap_graph.Graph.t
 
 (** Current simulated time. *)

@@ -18,6 +18,13 @@ type 'a t = {
 
 let create ~dummy = { times = [||]; seqs = [||]; data = [||]; len = 0; dummy }
 
+(* Keeps the grown capacity, so a reused queue never re-pays the doubling
+   copies; the payload tail is overwritten with [dummy] so popped values
+   don't leak. *)
+let clear t =
+  Array.fill t.data 0 t.len t.dummy;
+  t.len <- 0
+
 let size t = t.len
 let is_empty t = t.len = 0
 

@@ -13,6 +13,10 @@ val create : dummy:'a -> 'a t
 val size : 'a t -> int
 val is_empty : 'a t -> bool
 
+(** [clear t] empties the queue in O(size), keeping the grown capacity —
+    a reused queue never re-pays the doubling copies. *)
+val clear : 'a t -> unit
+
 (** [add t ~time ~seq x] enqueues [x]. [seq] values must be distinct (the
     engine uses its send counter), making the pop order a total order. *)
 val add : 'a t -> time:float -> seq:int -> 'a -> unit

@@ -1,17 +1,33 @@
 type edge = { u : int; v : int; w : int }
 
+(* Adjacency is compressed-sparse-row: vertex [v]'s incident edges live in
+   slots [off.(v) .. off.(v+1) - 1] of the flat parallel arrays [nbr]
+   (other endpoint), [wt] (weight) and [eid] (edge id), in per-vertex
+   edge-id order — the same order the historical boxed
+   [(nbr, w, eid) array array] used, so every traversal that migrated to
+   the flat rows visits neighbours in the identical sequence. Plain int
+   arrays: neighbour loops touch three cache-friendly flat arrays instead
+   of pointer-chasing boxed tuples, allocate nothing, and the whole
+   structure can be shared freely across domains (immutable after
+   [create]). *)
 type t = {
   n : int;
   id : int;
   edges : edge array;
+  off : int array;  (* length n + 1; off.(n) = 2m *)
+  nbr : int array;
+  wt : int array;
+  eid : int array;
+  (* Compatibility shim for the deprecated tuple API: the same rows
+     materialised as boxed tuples, built once in [create]. *)
   adj : (int * int * int) array array;
-  (* Hot-path edge index, built once in [create]: per-vertex neighbour ids
-     sorted ascending, with the incident edge id kept aligned. Plain int
-     arrays so lookups allocate nothing and the structure can be shared
-     freely across domains. *)
-  idx_nbr : int array array;
-  idx_eid : int array array;
-  idx_pos : int array array;  (* position of the neighbour in [adj] *)
+  (* Hot-path edge index: per-vertex neighbour ids sorted ascending (flat,
+     sharing [off]), with the incident edge id and the position of the
+     neighbour within the vertex's CSR row kept aligned, so membership
+     queries binary-search instead of scanning the whole row. *)
+  sorted_nbr : int array;
+  sorted_eid : int array;
+  sorted_pos : int array;
 }
 
 let next_id =
@@ -28,48 +44,89 @@ let normalise_edge n (u, v, w) =
 let create ~n edge_list =
   if n < 0 then invalid_arg "Graph.create: negative n";
   let edges = Array.of_list (List.map (normalise_edge n) edge_list) in
-  let seen = Hashtbl.create (Array.length edges) in
+  let m = Array.length edges in
+  let seen = Hashtbl.create m in
   Array.iter
     (fun e ->
       if Hashtbl.mem seen (e.u, e.v) then
         invalid_arg "Graph.create: duplicate edge";
       Hashtbl.add seen (e.u, e.v) ())
     edges;
-  let deg = Array.make n 0 in
+  let off = Array.make (n + 1) 0 in
   Array.iter
     (fun e ->
-      deg.(e.u) <- deg.(e.u) + 1;
-      deg.(e.v) <- deg.(e.v) + 1)
+      off.(e.u) <- off.(e.u) + 1;
+      off.(e.v) <- off.(e.v) + 1)
     edges;
-  let adj = Array.init n (fun v -> Array.make deg.(v) (0, 0, 0)) in
+  (* Prefix-sum the degrees into row offsets. *)
+  let total = ref 0 in
+  for v = 0 to n do
+    let d = off.(v) in
+    off.(v) <- !total;
+    if v < n then total := !total + d
+  done;
+  let nbr = Array.make (2 * m) 0
+  and wt = Array.make (2 * m) 0
+  and eid = Array.make (2 * m) 0 in
   let fill = Array.make n 0 in
   Array.iteri
     (fun id e ->
-      adj.(e.u).(fill.(e.u)) <- (e.v, e.w, id);
-      fill.(e.u) <- fill.(e.u) + 1;
-      adj.(e.v).(fill.(e.v)) <- (e.u, e.w, id);
-      fill.(e.v) <- fill.(e.v) + 1)
+      let slot v x =
+        let i = off.(v) + fill.(v) in
+        fill.(v) <- fill.(v) + 1;
+        nbr.(i) <- x;
+        wt.(i) <- e.w;
+        eid.(i) <- id
+      in
+      slot e.u e.v;
+      slot e.v e.u)
     edges;
-  (* Sorted-adjacency index: sort each vertex's (neighbour, edge id) pairs
-     by neighbour id so membership queries binary-search instead of
-     scanning the whole adjacency list. *)
-  let idx_nbr = Array.make n [||]
-  and idx_eid = Array.make n [||]
-  and idx_pos = Array.make n [||] in
-  let pairs = Array.make (Array.fold_left max 0 deg) (0, 0, 0) in
+  (* The tuple compatibility shim shares nothing mutable: each row is its
+     own tuple array over the flat data. *)
+  let adj =
+    Array.init n (fun v ->
+        let lo = off.(v) in
+        Array.init (off.(v + 1) - lo) (fun i ->
+            (nbr.(lo + i), wt.(lo + i), eid.(lo + i))))
+  in
+  (* Sorted-adjacency index: sort each row's (neighbour, edge id, position)
+     triples by neighbour id. *)
+  let sorted_nbr = Array.make (2 * m) 0
+  and sorted_eid = Array.make (2 * m) 0
+  and sorted_pos = Array.make (2 * m) 0 in
+  let max_deg = ref 0 in
   for v = 0 to n - 1 do
-    let d = deg.(v) in
-    for i = 0 to d - 1 do
-      let u, _, id = adj.(v).(i) in
-      pairs.(i) <- (u, id, i)
-    done;
-    let slice = Array.sub pairs 0 d in
-    Array.sort compare slice;
-    idx_nbr.(v) <- Array.map (fun (u, _, _) -> u) slice;
-    idx_eid.(v) <- Array.map (fun (_, id, _) -> id) slice;
-    idx_pos.(v) <- Array.map (fun (_, _, i) -> i) slice
+    max_deg := max !max_deg (off.(v + 1) - off.(v))
   done;
-  { n; id = next_id (); edges; adj; idx_nbr; idx_eid; idx_pos }
+  let triples = Array.make !max_deg (0, 0, 0) in
+  for v = 0 to n - 1 do
+    let lo = off.(v) in
+    let d = off.(v + 1) - lo in
+    for i = 0 to d - 1 do
+      triples.(i) <- (nbr.(lo + i), eid.(lo + i), i)
+    done;
+    let slice = Array.sub triples 0 d in
+    Array.sort compare slice;
+    Array.iteri
+      (fun i (u, id, pos) ->
+        sorted_nbr.(lo + i) <- u;
+        sorted_eid.(lo + i) <- id;
+        sorted_pos.(lo + i) <- pos)
+      slice
+  done;
+  {
+    n;
+    id = next_id ();
+    edges;
+    off;
+    nbr;
+    wt;
+    eid;
+    adj;
+    sorted_nbr;
+    sorted_eid;
+    sorted_pos;
+  }
 
 let n t = t.n
 let m t = Array.length t.edges
@@ -77,66 +134,84 @@ let id t = t.id
 let edges t = t.edges
 let edge t id = t.edges.(id)
 let neighbors t v = t.adj.(v)
-let degree t v = Array.length t.adj.(v)
+let degree t v = t.off.(v + 1) - t.off.(v)
 
-(* Below this degree a linear scan over the (cache-resident) adjacency
-   array beats the binary search's branching. *)
+let csr_offsets t = t.off
+let csr_neighbors t = t.nbr
+let csr_weights t = t.wt
+let csr_edge_ids t = t.eid
+
+(* The row bounds come from [off], which the shape invariant keeps within
+   [0 .. 2m], so the unchecked reads below stay in range. *)
+let[@inline] iter_neighbors t v f =
+  let hi = Array.unsafe_get t.off (v + 1) in
+  for i = Array.unsafe_get t.off v to hi - 1 do
+    f
+      (Array.unsafe_get t.nbr i)
+      (Array.unsafe_get t.wt i)
+      (Array.unsafe_get t.eid i)
+  done
+
+let[@inline] fold_neighbors t v f init =
+  let acc = ref init in
+  let hi = Array.unsafe_get t.off (v + 1) in
+  for i = Array.unsafe_get t.off v to hi - 1 do
+    acc :=
+      f !acc
+        (Array.unsafe_get t.nbr i)
+        (Array.unsafe_get t.wt i)
+        (Array.unsafe_get t.eid i)
+  done;
+  !acc
+
+(* Below this degree a linear scan over the (cache-resident) CSR row beats
+   the binary search's branching. *)
 let small_degree = 8
 
 let edge_id_between_scan t u v =
-  let nbrs = t.adj.(u) in
-  let len = Array.length nbrs in
+  let hi = t.off.(u + 1) in
   let rec scan i =
-    if i >= len then -1
-    else
-      let x, _, id = nbrs.(i) in
-      if x = v then id else scan (i + 1)
+    if i >= hi then -1
+    else if t.nbr.(i) = v then t.eid.(i)
+    else scan (i + 1)
   in
-  scan 0
+  scan t.off.(u)
+
+(* Binary search for [v] in [u]'s sorted neighbour row; returns the slot
+   in the sorted arrays, or -1. *)
+let sorted_slot t u v =
+  let base = t.off.(u) in
+  let lo = ref base and hi = ref t.off.(u + 1) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if t.sorted_nbr.(mid) < v then lo := mid + 1 else hi := mid
+  done;
+  if !lo < t.off.(u + 1) && t.sorted_nbr.(!lo) = v then !lo else -1
 
 let edge_id_between t u v =
   (* Query from the endpoint with the smaller degree. *)
-  let u, v =
-    if Array.length t.adj.(u) <= Array.length t.adj.(v) then (u, v)
-    else (v, u)
-  in
-  let nbrs = t.idx_nbr.(u) in
-  let len = Array.length nbrs in
-  if len <= small_degree then edge_id_between_scan t u v
-  else begin
-    let lo = ref 0 and hi = ref len in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if nbrs.(mid) < v then lo := mid + 1 else hi := mid
-    done;
-    if !lo < len && nbrs.(!lo) = v then t.idx_eid.(u).(!lo) else -1
-  end
+  let u, v = if degree t u <= degree t v then (u, v) else (v, u) in
+  if degree t u <= small_degree then edge_id_between_scan t u v
+  else
+    let s = sorted_slot t u v in
+    if s < 0 then -1 else t.sorted_eid.(s)
 
 let edge_between t u v =
   let id = edge_id_between t u v in
   if id < 0 then None else Some (t.edges.(id).w, id)
 
 let neighbor_index t u v =
-  let nbrs = t.idx_nbr.(u) in
-  let len = Array.length nbrs in
-  if len <= small_degree then begin
-    let adj = t.adj.(u) in
+  if degree t u <= small_degree then begin
+    let lo = t.off.(u) in
+    let hi = t.off.(u + 1) in
     let rec scan i =
-      if i >= len then -1
-      else
-        let x, _, _ = adj.(i) in
-        if x = v then i else scan (i + 1)
+      if i >= hi then -1 else if t.nbr.(i) = v then i - lo else scan (i + 1)
     in
-    scan 0
+    scan lo
   end
-  else begin
-    let lo = ref 0 and hi = ref len in
-    while !lo < !hi do
-      let mid = (!lo + !hi) / 2 in
-      if nbrs.(mid) < v then lo := mid + 1 else hi := mid
-    done;
-    if !lo < len && nbrs.(!lo) = v then t.idx_pos.(u).(!lo) else -1
-  end
+  else
+    let s = sorted_slot t u v in
+    if s < 0 then -1 else t.sorted_pos.(s)
 
 let other_endpoint e x =
   if e.u = x then e.v
@@ -156,19 +231,17 @@ let is_connected t =
     let stack = ref [ 0 ] in
     visited.(0) <- true;
     let count = ref 1 in
-    let visit (u, _, _) =
-      if not visited.(u) then begin
-        visited.(u) <- true;
-        incr count;
-        stack := u :: !stack
-      end
-    in
     let rec loop () =
       match !stack with
       | [] -> ()
       | v :: rest ->
         stack := rest;
-        Array.iter visit t.adj.(v);
+        iter_neighbors t v (fun u _ _ ->
+            if not visited.(u) then begin
+              visited.(u) <- true;
+              incr count;
+              stack := u :: !stack
+            end);
         loop ()
     in
     loop ();

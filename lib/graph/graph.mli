@@ -39,11 +39,50 @@ val edges : t -> edge array
 val edge : t -> int -> edge
 
 (** [neighbors t v] lists [(u, w, edge_id)] for every edge [{v,u}] incident
-    to [v]. The returned array is shared: do not mutate. *)
-val neighbors : t -> int -> (int * int * int) array
+    to [v].
 
-(** [degree t v] is the number of incident edges. *)
+    Deprecated compatibility shim over the flat CSR rows: the returned
+    array is shared — mutating it corrupts the graph for every other
+    caller, the footgun that motivated the allocation-free
+    {!iter_neighbors} / {!fold_neighbors} replacements. New code should
+    use those; remaining cold call sites silence the alert explicitly. *)
+val neighbors : t -> int -> (int * int * int) array
+[@@alert
+  deprecated
+    "shared-array footgun: use iter_neighbors / fold_neighbors instead"]
+
+(** [iter_neighbors t v f] calls [f u w edge_id] for every edge [{v,u}]
+    incident to [v], in the same per-vertex edge-id order {!neighbors}
+    uses. Allocation-free: the loop reads the graph's flat CSR rows. *)
+val iter_neighbors : t -> int -> (int -> int -> int -> unit) -> unit
+
+(** [fold_neighbors t v f init] folds [f acc u w edge_id] over [v]'s
+    incident edges in the same order as {!iter_neighbors}. *)
+val fold_neighbors : t -> int -> ('a -> int -> int -> int -> 'a) -> 'a -> 'a
+
+(** [degree t v] is the number of incident edges; O(1) from the CSR row
+    offsets. *)
 val degree : t -> int -> int
+
+(** {2 Raw CSR rows}
+
+    The adjacency lives in compressed-sparse-row form: vertex [v]'s
+    incident edges occupy slots [csr_offsets t .(v) .. csr_offsets t
+    .(v+1) - 1] of the flat parallel arrays below, in per-vertex edge-id
+    order. Exposed for same-repo hot loops (Dijkstra's relaxation scan)
+    and layout tests; the arrays are the graph's own — do not mutate. *)
+
+(** Row offsets; length [n + 1], with [csr_offsets t .(n) = 2 * m]. *)
+val csr_offsets : t -> int array
+
+(** Other endpoint per slot; length [2 * m]. *)
+val csr_neighbors : t -> int array
+
+(** Edge weight per slot; length [2 * m]. *)
+val csr_weights : t -> int array
+
+(** Edge id per slot; length [2 * m]. *)
+val csr_edge_ids : t -> int array
 
 (** [edge_between t u v] is [Some (w, edge_id)] when [{u,v}] is an edge.
 

@@ -9,10 +9,8 @@ let prim g ~root =
   let heap = Heap.create ~cmp in
   let absorb v =
     in_tree.(v) <- true;
-    Array.iter
-      (fun (u, _, id) ->
+    Graph.iter_neighbors g v (fun u _ id ->
         if not in_tree.(u) then Heap.add heap (Graph.edge g id, u))
-      (Graph.neighbors g v)
   in
   absorb root;
   let count = ref 1 in

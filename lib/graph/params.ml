@@ -13,9 +13,26 @@ type t = {
    per graph identity ({!Graph.id}), behind a mutex so the parallel bench
    harness's domains can share the cache. The compute itself runs outside
    the lock: two domains racing on the same graph both compute the same
-   pure value, and one insert wins. *)
+   pure value, and one insert wins.
+
+   The cache is bounded: graph ids never repeat, so long bench runs over
+   thousands of generated graphs would otherwise grow it without limit.
+   Eviction is insertion-order (FIFO) — [order] queues keys as they are
+   first stored, and once over capacity the oldest entries are dropped.
+   Recency is irrelevant here: the harness computes each instance's
+   parameters in a burst of nearby table rows and never returns to it. *)
+let default_cache_capacity = 4096
+
 let cache : (int, t) Hashtbl.t = Hashtbl.create 64
+let order : int Queue.t = Queue.create ()
+let capacity = ref default_cache_capacity
 let cache_lock = Mutex.create ()
+
+(* Call with [cache_lock] held. *)
+let evict_over_capacity () =
+  while Hashtbl.length cache > !capacity do
+    Hashtbl.remove cache (Queue.pop order)
+  done
 
 let cache_find key =
   Mutex.lock cache_lock;
@@ -25,10 +42,34 @@ let cache_find key =
 
 let cache_store key p =
   Mutex.lock cache_lock;
-  (* Bound the cache: the harness creates thousands of short-lived
-     instances; entries are tiny but ids never repeat. *)
-  if Hashtbl.length cache >= 8192 then Hashtbl.reset cache;
-  if not (Hashtbl.mem cache key) then Hashtbl.add cache key p;
+  if not (Hashtbl.mem cache key) then begin
+    Hashtbl.add cache key p;
+    Queue.push key order;
+    evict_over_capacity ()
+  end;
+  Mutex.unlock cache_lock
+
+let cache_capacity () = !capacity
+
+let set_cache_capacity c =
+  if c < 1 then invalid_arg "Params.set_cache_capacity: capacity < 1";
+  Mutex.lock cache_lock;
+  capacity := c;
+  evict_over_capacity ();
+  Mutex.unlock cache_lock
+
+let cache_size () =
+  Mutex.lock cache_lock;
+  let s = Hashtbl.length cache in
+  Mutex.unlock cache_lock;
+  s
+
+let cached g = cache_find (Graph.id g) <> None
+
+let cache_clear () =
+  Mutex.lock cache_lock;
+  Hashtbl.reset cache;
+  Queue.clear order;
   Mutex.unlock cache_lock
 
 let compute g =

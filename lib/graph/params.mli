@@ -21,8 +21,31 @@ type t = {
 (** Compute every parameter; requires a connected graph. O(n m log n) the
     first time; results are memoized per graph instance (keyed by
     {!Graph.id}, thread-safe), so repeated calls on the same graph — one
-    per benchmark row — are O(1). *)
+    per benchmark row — are O(1).
+
+    The memo cache holds at most {!cache_capacity} entries; beyond that
+    the oldest insertions are evicted (FIFO), so bench runs over
+    thousands of generated graphs don't grow it without limit. *)
 val compute : Graph.t -> t
+
+(** {2 Memo-cache controls} *)
+
+(** Current capacity bound (default 4096 entries). *)
+val cache_capacity : unit -> int
+
+(** [set_cache_capacity c] rebounds the cache to [c >= 1] entries,
+    evicting oldest-first if it is currently over. Raises
+    [Invalid_argument] on [c < 1]. *)
+val set_cache_capacity : int -> unit
+
+(** Number of memoized entries right now. *)
+val cache_size : unit -> int
+
+(** Whether [g]'s parameters are currently memoized. *)
+val cached : Graph.t -> bool
+
+(** Drop every memoized entry (used by tests). *)
+val cache_clear : unit -> unit
 
 val pp : Format.formatter -> t -> unit
 

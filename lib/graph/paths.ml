@@ -7,7 +7,9 @@ type sssp = {
 (* The hot-path Dijkstra: indexed heap with decrease_key, so each vertex
    occupies at most one heap slot, relaxations allocate nothing, and the
    pop order matches the historical (dist, vertex) tuple order (the heap
-   breaks priority ties by key).
+   breaks priority ties by key). The relaxation scan reads the graph's
+   raw CSR rows — three flat int arrays — instead of walking boxed
+   adjacency tuples.
 
    A vertex popped from the heap is settled: every later relaxation
    reaching it offers dv = du + w > du >= dist(v) (weights are >= 1), so
@@ -20,11 +22,57 @@ let dijkstra_into g ~src ~dist ~parent heap =
   Indexed_heap.clear heap;
   dist.(src) <- 0;
   Indexed_heap.insert heap src 0;
+  let off = Graph.csr_offsets g in
+  let nbr = Graph.csr_neighbors g in
+  let wt = Graph.csr_weights g in
   let rec loop () =
     let u = Indexed_heap.pop_min heap in
     if u >= 0 then begin
       let du = dist.(u) in
-      let nbrs = Graph.neighbors g u in
+      (* Row bounds come from [off] and neighbor ids are < n by the CSR
+         shape invariant, so the unchecked reads stay in range. *)
+      let hi = Array.unsafe_get off (u + 1) in
+      for i = Array.unsafe_get off u to hi - 1 do
+        let v = Array.unsafe_get nbr i in
+        let dv = du + Array.unsafe_get wt i in
+        let dcur = Array.unsafe_get dist v in
+        if dv < dcur then begin
+          Array.unsafe_set dist v dv;
+          Array.unsafe_set parent v u;
+          Indexed_heap.push heap v dv
+        end
+        else if dv = dcur && u < Array.unsafe_get parent v then
+          Array.unsafe_set parent v u
+      done;
+      loop ()
+    end
+  in
+  loop ()
+
+let dijkstra g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  dijkstra_into g ~src ~dist ~parent (Indexed_heap.create n);
+  { src; dist; parent }
+
+(* The pre-CSR formulation of [dijkstra_into]: same indexed heap, but the
+   relaxation scan walks the boxed tuple rows of [Graph.neighbors]. Kept
+   as the before side of the CSR microbenchmark and as a test oracle for
+   the flat-row path. *)
+let dijkstra_tuple g ~src =
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  dist.(src) <- 0;
+  Indexed_heap.insert heap src 0;
+  let neighbors = (Graph.neighbors [@alert "-deprecated"]) in
+  let rec loop () =
+    let u = Indexed_heap.pop_min heap in
+    if u >= 0 then begin
+      let du = dist.(u) in
+      let nbrs = neighbors g u in
       for i = 0 to Array.length nbrs - 1 do
         let v, w, _ = nbrs.(i) in
         let dv = du + w in
@@ -38,13 +86,7 @@ let dijkstra_into g ~src ~dist ~parent heap =
       loop ()
     end
   in
-  loop ()
-
-let dijkstra g ~src =
-  let n = Graph.n g in
-  let dist = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  dijkstra_into g ~src ~dist ~parent (Indexed_heap.create n);
+  loop ();
   { src; dist; parent }
 
 (* The historical lazy-deletion formulation over the generic {!Heap},
@@ -63,7 +105,7 @@ let dijkstra_lazy g ~src =
   let heap = Heap.create ~cmp in
   dist.(src) <- 0;
   Heap.add heap (0, src);
-  let relax u du (v, w, _) =
+  let relax u du v w =
     let dv = du + w in
     if
       (not settled.(v))
@@ -81,7 +123,7 @@ let dijkstra_lazy g ~src =
       if not settled.(u) then begin
         settled.(u) <- true;
         assert (du = dist.(u));
-        Array.iter (relax u du) (Graph.neighbors g u);
+        Graph.iter_neighbors g u (fun v w _ -> relax u du v w);
         loop ()
       end
       else loop ()
@@ -139,31 +181,31 @@ type extrema = {
   max_neighbor : int;
 }
 
-(* One sweep of n Dijkstras, reusing the distance/parent buffers and the
-   heap, yields every all-sources distance parameter at once. This is the
-   back-end for [diameter], [radius_and_center], [max_neighbor_distance]
-   and the memoized [Params.compute]. *)
-let extrema g =
-  if not (Graph.is_connected g) then
-    invalid_arg "Paths.extrema: graph is disconnected";
-  let n = Graph.n g in
-  let dist = Array.make n max_int in
-  let parent = Array.make n (-1) in
-  let heap = Indexed_heap.create n in
+(* Per-source summaries of one Dijkstra, shared by the sequential and the
+   pool-sharded sweeps so both reduce the very same numbers. *)
+let source_summaries g ~src ~dist =
+  let ecc = Array.fold_left max 0 dist in
+  let local_max = ref 0 in
+  Graph.iter_neighbors g src (fun u _ _ ->
+      if dist.(u) > !local_max then local_max := dist.(u));
+  (ecc, !local_max)
+
+(* The deterministic reduction over per-source summaries, in source
+   order — shared by both sweeps, so the parallel result is bit-identical
+   to the sequential one (the centre is the smallest vertex attaining the
+   radius either way). *)
+let reduce_extrema ~ecc ~local_max =
+  let n = Array.length ecc in
   let diameter = ref 0 in
   let radius = ref max_int and center = ref 0 in
   let max_neighbor = ref 0 in
   for v = 0 to n - 1 do
-    dijkstra_into g ~src:v ~dist ~parent heap;
-    let ecc = Array.fold_left max 0 dist in
-    if ecc > !diameter then diameter := ecc;
-    if ecc < !radius then begin
-      radius := ecc;
+    if ecc.(v) > !diameter then diameter := ecc.(v);
+    if ecc.(v) < !radius then begin
+      radius := ecc.(v);
       center := v
     end;
-    Array.iter
-      (fun (u, _, _) -> if dist.(u) > !max_neighbor then max_neighbor := dist.(u))
-      (Graph.neighbors g v)
+    if local_max.(v) > !max_neighbor then max_neighbor := local_max.(v)
   done;
   {
     diameter = !diameter;
@@ -171,6 +213,86 @@ let extrema g =
     center = !center;
     max_neighbor = !max_neighbor;
   }
+
+(* One sweep of n Dijkstras, reusing the distance/parent buffers and the
+   heap, yields every all-sources distance parameter at once. Kept as
+   the sequential oracle for the pool-sharded [extrema]. *)
+let extrema_seq g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Paths.extrema: graph is disconnected";
+  let n = Graph.n g in
+  let dist = Array.make n max_int in
+  let parent = Array.make n (-1) in
+  let heap = Indexed_heap.create n in
+  let ecc = Array.make n 0 in
+  let local_max = Array.make n 0 in
+  for v = 0 to n - 1 do
+    dijkstra_into g ~src:v ~dist ~parent heap;
+    let e, lm = source_summaries g ~src:v ~dist in
+    ecc.(v) <- e;
+    local_max.(v) <- lm
+  done;
+  reduce_extrema ~ecc ~local_max
+
+(* Sources sharded over the domain pool: each worker owns one scratch
+   (dist, parent, heap) triple, every source writes only its own summary
+   slots, and the reduction runs sequentially in source order after the
+   join — so the result is bit-identical whatever the pool's schedule
+   (checked against [extrema_seq] by the qcheck suite). Small sweeps stay
+   on the calling domain: below ~64 sources the Dijkstras are cheaper
+   than spawning. *)
+let parallel_cutoff = 64
+
+let extrema ?pool g =
+  if not (Graph.is_connected g) then
+    invalid_arg "Paths.extrema: graph is disconnected";
+  let n = Graph.n g in
+  let pool =
+    match pool with Some p -> p | None -> Csap_pool.default ()
+  in
+  if n < parallel_cutoff || Csap_pool.domains pool <= 1 then extrema_seq g
+  else begin
+    let ecc = Array.make n 0 in
+    let local_max = Array.make n 0 in
+    let scratch =
+      Array.init (Csap_pool.domains pool) (fun _ ->
+          (Array.make n max_int, Array.make n (-1), Indexed_heap.create n))
+    in
+    Csap_pool.run pool ~tasks:n (fun ~worker v ->
+        let dist, parent, heap = scratch.(worker) in
+        dijkstra_into g ~src:v ~dist ~parent heap;
+        let e, lm = source_summaries g ~src:v ~dist in
+        ecc.(v) <- e;
+        local_max.(v) <- lm);
+    reduce_extrema ~ecc ~local_max
+  end
+
+let all_pairs ?pool g =
+  let n = Graph.n g in
+  let pool =
+    match pool with Some p -> p | None -> Csap_pool.default ()
+  in
+  let rows = Array.make n [||] in
+  if n < parallel_cutoff || Csap_pool.domains pool <= 1 then begin
+    let dist = Array.make n max_int in
+    let parent = Array.make n (-1) in
+    let heap = Indexed_heap.create n in
+    for v = 0 to n - 1 do
+      dijkstra_into g ~src:v ~dist ~parent heap;
+      rows.(v) <- Array.copy dist
+    done
+  end
+  else begin
+    let scratch =
+      Array.init (Csap_pool.domains pool) (fun _ ->
+          (Array.make n max_int, Array.make n (-1), Indexed_heap.create n))
+    in
+    Csap_pool.run pool ~tasks:n (fun ~worker v ->
+        let dist, parent, heap = scratch.(worker) in
+        dijkstra_into g ~src:v ~dist ~parent heap;
+        rows.(v) <- Array.copy dist)
+  end;
+  rows
 
 let diameter g =
   if not (Graph.is_connected g) then
@@ -191,8 +313,7 @@ let max_neighbor_distance g =
   let best = ref 0 in
   for v = 0 to n - 1 do
     dijkstra_into g ~src:v ~dist ~parent heap;
-    Array.iter
-      (fun (u, _, _) -> if dist.(u) > !best then best := dist.(u))
-      (Graph.neighbors g v)
+    Graph.iter_neighbors g v (fun u _ _ ->
+        if dist.(u) > !best then best := dist.(u))
   done;
   !best

@@ -10,8 +10,15 @@ type sssp = {
 
 (** Dijkstra's algorithm over an indexed heap with [decrease_key]:
     O((m + n) log n) with no per-relaxation allocation and no duplicate
-    heap entries. *)
+    heap entries. The relaxation scan reads the graph's flat CSR rows. *)
 val dijkstra : Graph.t -> src:int -> sssp
+
+(** The pre-CSR indexed-heap Dijkstra, walking the boxed tuple rows of
+    [Graph.neighbors]. Kept as the before side of the CSR
+    microbenchmark ([bench_micro]'s "dijkstra n256 tuple" kernel) and as
+    a test oracle: {!dijkstra} must reproduce its [dist] {e and}
+    [parent] arrays exactly. *)
+val dijkstra_tuple : Graph.t -> src:int -> sssp
 
 (** The historical lazy-deletion Dijkstra over the generic {!Heap}. Kept
     as a reference implementation: regression tests check that
@@ -43,11 +50,30 @@ type extrema = {
   max_neighbor : int;  (** the paper's [d] *)
 }
 
-(** [extrema g] computes diameter, radius/centre and [d] in a single
+(** [extrema g] computes diameter, radius/centre and [d] from an
     all-sources sweep — the back-end of {!diameter},
     {!radius_and_center} and the memoized [Params.compute]. Requires a
-    connected graph. O(n (m + n) log n). *)
-val extrema : Graph.t -> extrema
+    connected graph. O(n (m + n) log n) work.
+
+    The n source Dijkstras are sharded across [pool] (default:
+    {!Csap_pool.default}) with per-domain scratch buffers; each source
+    writes its own summary slot and the reduction runs sequentially in
+    source order, so the result is bit-identical to {!extrema_seq}
+    whatever the pool's schedule. Sweeps below ~64 sources, pools of one
+    domain, and calls from inside a pool worker all run sequentially on
+    the calling domain. *)
+val extrema : ?pool:Csap_pool.t -> Graph.t -> extrema
+
+(** The sequential sweep, kept as the oracle the parallel {!extrema} is
+    property-tested against. *)
+val extrema_seq : Graph.t -> extrema
+
+(** [all_pairs g] is the full distance matrix: row [v] holds
+    [dist(v, u)] for every [u], [max_int] when unreachable. Rows are
+    computed by the same pool-sharded Dijkstra sweep as {!extrema};
+    row [v] is identical to [(dijkstra g ~src:v).dist] regardless of
+    schedule. *)
+val all_pairs : ?pool:Csap_pool.t -> Graph.t -> int array array
 
 (** Weighted diameter [Diam(G)]; the paper's script-D. Requires a connected
     graph. O(n (m + n) log n). *)

@@ -6,13 +6,11 @@ let bfs_hops g ~src =
   Queue.add src queue;
   while not (Queue.is_empty queue) do
     let v = Queue.pop queue in
-    Array.iter
-      (fun (u, _, _) ->
+    Graph.iter_neighbors g v (fun u _ _ ->
         if dist.(u) < 0 then begin
           dist.(u) <- dist.(v) + 1;
           Queue.add u queue
         end)
-      (Graph.neighbors g v)
   done;
   dist
 
@@ -31,6 +29,8 @@ let dfs_preorder g ~src =
   let order = ref [] in
   let count = ref 0 in
   let stack = ref [ src ] in
+  let off = Graph.csr_offsets g in
+  let nbr = Graph.csr_neighbors g in
   let rec loop () =
     match !stack with
     | [] -> ()
@@ -41,9 +41,8 @@ let dfs_preorder g ~src =
         order := v :: !order;
         incr count;
         (* Push in reverse adjacency order so exploration follows it. *)
-        let nbrs = Graph.neighbors g v in
-        for i = Array.length nbrs - 1 downto 0 do
-          let u, _, _ = nbrs.(i) in
+        for i = off.(v + 1) - 1 downto off.(v) do
+          let u = nbr.(i) in
           if not visited.(u) then stack := u :: !stack
         done
       end;
@@ -67,13 +66,11 @@ let components g =
         | [] -> ()
         | x :: rest ->
           stack := rest;
-          Array.iter
-            (fun (u, _, _) ->
+          Graph.iter_neighbors g x (fun u _ _ ->
               if ids.(u) < 0 then begin
                 ids.(u) <- id;
                 stack := u :: !stack
-              end)
-            (Graph.neighbors g x);
+              end);
           loop ()
       in
       loop ()
@@ -94,16 +91,14 @@ let spanning_tree_dfs g ~root =
     | [] -> ()
     | v :: rest ->
       stack := rest;
-      Array.iter
-        (fun (u, w, _) ->
+      Graph.iter_neighbors g v (fun u w _ ->
           if not visited.(u) then begin
             visited.(u) <- true;
             parents.(u) <- v;
             weights.(u) <- w;
             incr count;
             stack := u :: !stack
-          end)
-        (Graph.neighbors g v);
+          end);
       loop ()
   in
   loop ();

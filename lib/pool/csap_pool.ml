@@ -1,0 +1,77 @@
+type t = {
+  domains : int;
+  busy : float array;  (* cumulative per-worker busy time, in ms *)
+}
+
+let create ?domains () =
+  let domains =
+    match domains with
+    | None -> max 1 (Domain.recommended_domain_count ())
+    | Some d ->
+      if d < 1 then invalid_arg "Csap_pool.create: domains < 1";
+      d
+  in
+  { domains; busy = Array.make domains 0.0 }
+
+let domains t = t.domains
+
+let default_pool = ref None
+let default_lock = Mutex.create ()
+
+let default () =
+  Mutex.lock default_lock;
+  let t =
+    match !default_pool with
+    | Some t -> t
+    | None ->
+      let t = create () in
+      default_pool := Some t;
+      t
+  in
+  Mutex.unlock default_lock;
+  t
+
+let busy_ms t = Array.copy t.busy
+let reset_stats t = Array.fill t.busy 0 (Array.length t.busy) 0.0
+
+(* Each worker claims task indices from [next] until exhaustion and adds
+   its busy time to its own [busy] slot; [Domain.join] publishes the
+   writes, so the post-join reads race with nothing. The first exception
+   (by worker claim order) is stashed and re-raised after every worker
+   has joined, keeping the "all tasks attempted or abandoned, no domain
+   leaked" invariant. *)
+let run t ~tasks f =
+  if tasks < 0 then invalid_arg "Csap_pool.run: negative tasks";
+  if tasks > 0 then begin
+    let next = Atomic.make 0 in
+    let failed : exn option Atomic.t = Atomic.make None in
+    let worker w =
+      let t0 = Unix.gettimeofday () in
+      let rec loop () =
+        if Atomic.get failed = None then begin
+          let i = Atomic.fetch_and_add next 1 in
+          if i < tasks then begin
+            (try f ~worker:w i
+             with e ->
+               ignore (Atomic.compare_and_set failed None (Some e)));
+            loop ()
+          end
+        end
+      in
+      loop ();
+      t.busy.(w) <- t.busy.(w) +. ((Unix.gettimeofday () -. t0) *. 1000.0)
+    in
+    let spawned =
+      if t.domains <= 1 || tasks <= 1 || not (Domain.is_main_domain ()) then 0
+      else min (t.domains - 1) (tasks - 1)
+    in
+    if spawned = 0 then worker 0
+    else begin
+      let doms = Array.init spawned (fun i -> Domain.spawn (fun () -> worker (i + 1))) in
+      worker 0;
+      Array.iter Domain.join doms
+    end;
+    match Atomic.get failed with
+    | Some e -> raise e
+    | None -> ()
+  end

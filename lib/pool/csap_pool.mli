@@ -1,0 +1,52 @@
+(** A reusable work-stealing pool of OCaml 5 domains.
+
+    Extracted and generalised from the benchmark harness's ad-hoc pool:
+    a [run] fans a fixed number of independent tasks out over the pool's
+    domains, claiming task indices from a shared atomic counter, and
+    joins every worker before returning — so the caller may freely read
+    anything the tasks wrote. Spawning happens per [run] (domains are
+    not parked between runs); what persists in a [t] is the
+    configuration and the cumulative per-domain busy time, which the
+    benchmark harness reports next to its wall-clock numbers.
+
+    Determinism: tasks are claimed in an arbitrary order, so tasks must
+    be independent; callers wanting deterministic results should have
+    task [i] write only slot [i] of a preallocated result array and
+    reduce sequentially after [run] returns (see [Paths.extrema]).
+
+    Nesting: [run] only spawns from the main domain. Called from a
+    worker domain (e.g. a parallel analysis inside a pooled benchmark
+    job) it degrades to a sequential loop on the calling domain rather
+    than oversubscribing the machine. *)
+
+type t
+
+(** [create ?domains ()] is a pool of [domains] workers (the calling
+    domain counts as worker 0; [domains - 1] further domains are spawned
+    per [run]). Default: [Domain.recommended_domain_count ()]. Raises
+    [Invalid_argument] when [domains < 1]. *)
+val create : ?domains:int -> unit -> t
+
+(** Number of workers, including the calling domain. *)
+val domains : t -> int
+
+(** The shared default pool, sized [Domain.recommended_domain_count ()];
+    created on first use. *)
+val default : unit -> t
+
+(** [run t ~tasks f] executes [f ~worker i] for every [i] in
+    [0 .. tasks - 1] exactly once and returns when all have finished.
+    [worker] is the index ([0 .. domains t - 1]) of the domain running
+    the task — use it to pick a per-domain scratch buffer. If any task
+    raises, one of the exceptions is re-raised in the caller after all
+    workers have joined.
+
+    A [t] must not be shared by two concurrent [run]s. *)
+val run : t -> tasks:int -> (worker:int -> int -> unit) -> unit
+
+(** Cumulative wall-clock ms each worker slot has spent executing tasks
+    across every [run] so far (a fresh copy; index = worker). *)
+val busy_ms : t -> float array
+
+(** Reset the cumulative busy counters to zero. *)
+val reset_stats : t -> unit

@@ -18,9 +18,8 @@ let run_controlled_flood ?delay g ~source ~threshold =
   in
   let reached = Array.make n false in
   let forward v ~except =
-    Array.iter
-      (fun (u, _, _) -> if u <> except then C.send ctl ~src:v ~dst:u Wave)
-      (G.neighbors g v)
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then C.send ctl ~src:v ~dst:u Wave)
   in
   for v = 0 to n - 1 do
     E.set_handler eng v (fun ~src wire ->
@@ -161,9 +160,8 @@ let run_multi_source_flood g ~t0 ~t1 =
   in
   let seen = Array.make n false in
   let forward v ~except =
-    Array.iter
-      (fun (u, _, _) -> if u <> except then C.send ctl ~src:v ~dst:u Spark)
-      (G.neighbors g v)
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then C.send ctl ~src:v ~dst:u Spark)
   in
   for v = 0 to n - 1 do
     E.set_handler eng v (fun ~src wire ->

@@ -45,9 +45,7 @@ let test_traffic_vs_messages () =
   done;
   E.schedule eng ~delay:0.0 (fun () ->
       for v = 0 to 5 do
-        Array.iter
-          (fun (u, _, _) -> E.send eng ~src:v ~dst:u (Tick v))
-          (G.neighbors g v)
+        G.iter_neighbors g v (fun u _ _ -> E.send eng ~src:v ~dst:u (Tick v))
       done);
   ignore (E.run eng);
   let total_traffic = Array.fold_left ( + ) 0 (E.edge_traffic eng) in

@@ -1,3 +1,7 @@
+(* This suite exercises the deprecated tuple [neighbors] shim on
+   purpose (it must stay consistent with the CSR rows). *)
+[@@@alert "-deprecated"]
+
 module G = Csap_graph.Graph
 
 let triangle () = G.create ~n:3 [ (0, 1, 2); (1, 2, 3); (0, 2, 7) ]

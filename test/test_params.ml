@@ -28,6 +28,40 @@ let test_chorded_params () =
   Alcotest.(check int) "d" 2 p.Params.d;
   Alcotest.(check int) "W" 77 p.Params.w_max
 
+let test_cache_eviction () =
+  let old = Params.cache_capacity () in
+  Params.cache_clear ();
+  Params.set_cache_capacity 3;
+  Fun.protect
+    ~finally:(fun () ->
+      Params.set_cache_capacity old;
+      Params.cache_clear ())
+    (fun () ->
+      let gs = Array.init 4 (fun i -> Gen.path (3 + i) ~w:1) in
+      Array.iter (fun g -> ignore (Params.compute g)) gs;
+      (* Capacity 3: the oldest insertion is gone, the newest three stay. *)
+      Alcotest.(check int) "size bounded" 3 (Params.cache_size ());
+      Alcotest.(check bool) "oldest evicted" false (Params.cached gs.(0));
+      for i = 1 to 3 do
+        Alcotest.(check bool)
+          (Printf.sprintf "recent %d cached" i)
+          true
+          (Params.cached gs.(i))
+      done;
+      (* Recomputing an evicted graph re-enters it at the back of the
+         FIFO, pushing out the now-oldest entry. *)
+      ignore (Params.compute gs.(0));
+      Alcotest.(check bool) "re-entered" true (Params.cached gs.(0));
+      Alcotest.(check bool) "next-oldest evicted" false (Params.cached gs.(1));
+      Alcotest.(check int) "still bounded" 3 (Params.cache_size ());
+      (* Shrinking the capacity evicts down immediately. *)
+      Params.set_cache_capacity 1;
+      Alcotest.(check int) "shrunk" 1 (Params.cache_size ());
+      Alcotest.(check bool) "newest survives" true (Params.cached gs.(0));
+      Alcotest.check_raises "capacity must be >= 1"
+        (Invalid_argument "Params.set_cache_capacity: capacity < 1")
+        (fun () -> Params.set_cache_capacity 0))
+
 let prop_invariants =
   QCheck.Test.make ~count:120 ~name:"paper parameter relations hold"
     (Gen_qcheck.connected_graph_gen ())
@@ -39,5 +73,6 @@ let suite =
     Alcotest.test_case "star parameters" `Quick test_star_params;
     Alcotest.test_case "lower-bound separation" `Quick test_gn_params;
     Alcotest.test_case "d vs W separation" `Quick test_chorded_params;
+    Alcotest.test_case "memo cache FIFO eviction" `Quick test_cache_eviction;
     QCheck_alcotest.to_alcotest prop_invariants;
   ]

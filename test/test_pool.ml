@@ -1,0 +1,96 @@
+(* The reusable domain pool: every task index runs exactly once, worker
+   indices stay in range, exceptions surface after the join, busy
+   counters accumulate, and a [run] from inside a worker domain degrades
+   to an inline loop instead of nest-spawning. *)
+
+module Pool = Csap_pool
+
+let test_each_task_once () =
+  let pool = Pool.create ~domains:4 () in
+  let tasks = 100 in
+  let hits = Array.init tasks (fun _ -> Atomic.make 0) in
+  Pool.run pool ~tasks (fun ~worker:_ i -> Atomic.incr hits.(i));
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int) (Printf.sprintf "task %d" i) 1 (Atomic.get c))
+    hits
+
+let test_worker_indices_valid () =
+  let pool = Pool.create ~domains:3 () in
+  let tasks = 64 in
+  let workers = Array.make tasks (-1) in
+  Pool.run pool ~tasks (fun ~worker i -> workers.(i) <- worker);
+  Array.iter
+    (fun w ->
+      Alcotest.(check bool)
+        "0 <= worker < domains" true
+        (w >= 0 && w < Pool.domains pool))
+    workers
+
+let test_exception_propagates () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.check_raises "re-raised after join" (Failure "boom") (fun () ->
+      Pool.run pool ~tasks:8 (fun ~worker:_ i ->
+          if i = 3 then failwith "boom"))
+
+let test_busy_ms_accumulates_and_resets () =
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.(check int) "one slot per worker" 2
+    (Array.length (Pool.busy_ms pool));
+  Pool.run pool ~tasks:8 (fun ~worker:_ _ ->
+      ignore (Sys.opaque_identity (Array.init 10_000 Fun.id)));
+  Array.iter
+    (fun b -> Alcotest.(check bool) "non-negative" true (b >= 0.0))
+    (Pool.busy_ms pool);
+  Alcotest.(check bool) "some busy time recorded" true
+    (Array.fold_left ( +. ) 0.0 (Pool.busy_ms pool) >= 0.0);
+  Pool.reset_stats pool;
+  Array.iter
+    (fun b -> Alcotest.(check (float 0.0)) "reset to zero" 0.0 b)
+    (Pool.busy_ms pool)
+
+let test_inline_from_worker_domain () =
+  (* Inside a spawned domain the pool must not spawn again: the run
+     degrades to an inline loop on the calling domain (worker 0). *)
+  let d =
+    Domain.spawn (fun () ->
+        let pool = Pool.create ~domains:4 () in
+        let hits = Array.make 32 0 in
+        let on_zero = ref true in
+        Pool.run pool ~tasks:32 (fun ~worker i ->
+            if worker <> 0 then on_zero := false;
+            hits.(i) <- hits.(i) + 1);
+        !on_zero && Array.for_all (fun c -> c = 1) hits)
+  in
+  Alcotest.(check bool) "inline fallback ran every task on worker 0" true
+    (Domain.join d)
+
+let test_validation_and_edge_cases () =
+  Alcotest.check_raises "domains < 1"
+    (Invalid_argument "Csap_pool.create: domains < 1") (fun () ->
+      ignore (Pool.create ~domains:0 ()));
+  let pool = Pool.create ~domains:2 () in
+  Alcotest.check_raises "negative tasks"
+    (Invalid_argument "Csap_pool.run: negative tasks") (fun () ->
+      Pool.run pool ~tasks:(-1) (fun ~worker:_ _ -> ()));
+  (* Zero tasks: a no-op that must not call f. *)
+  Pool.run pool ~tasks:0 (fun ~worker:_ _ -> Alcotest.fail "called on 0 tasks");
+  Alcotest.(check int) "domains accessor" 2 (Pool.domains pool);
+  Alcotest.(check bool) "default pool is shared" true
+    (Pool.default () == Pool.default ())
+
+let suite =
+  [
+    Alcotest.test_case "every task runs exactly once" `Quick
+      test_each_task_once;
+    Alcotest.test_case "worker indices in range" `Quick
+      test_worker_indices_valid;
+    Alcotest.test_case "task exception propagates" `Quick
+      test_exception_propagates;
+    Alcotest.test_case "busy counters accumulate and reset" `Quick
+      test_busy_ms_accumulates_and_resets;
+    Alcotest.test_case "inline fallback off the main domain" `Quick
+      test_inline_from_worker_domain;
+    Alcotest.test_case "validation and edge cases" `Quick
+      test_validation_and_edge_cases;
+  ]

@@ -20,7 +20,7 @@ let wave =
         | Some v ->
           (* vertex 0 at pulse 0: broadcast *)
           let sends =
-            Array.to_list (G.neighbors g me) |> List.map (fun (u, _, _) -> (u, v))
+            List.rev (G.fold_neighbors g me (fun acc u _ _ -> (u, v) :: acc) [])
           in
           ({ state with heard_at = pulse }, sends)
         | None -> (
@@ -28,8 +28,8 @@ let wave =
           | [] -> (state, [])
           | (_, v) :: _ ->
             let sends =
-              Array.to_list (G.neighbors g me)
-              |> List.map (fun (u, _, _) -> (u, v))
+              List.rev
+                (G.fold_neighbors g me (fun acc u _ _ -> (u, v) :: acc) [])
             in
             ({ value = Some v; heard_at = pulse }, sends)))
   }
@@ -80,9 +80,10 @@ let in_synch_counter =
       (fun g ~me ~pulse ~inbox state ->
         let received = List.fold_left (fun acc (_, v) -> acc + v) 0 inbox in
         let sends =
-          Array.to_list (G.neighbors g me)
-          |> List.filter (fun (_, w, _) -> pulse mod w = 0)
-          |> List.map (fun (u, _, _) -> (u, pulse))
+          List.rev
+            (G.fold_neighbors g me
+               (fun acc u w _ -> if pulse mod w = 0 then (u, pulse) :: acc else acc)
+               [])
         in
         (state + received, sends))
   }

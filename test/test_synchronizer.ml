@@ -19,9 +19,11 @@ let tick_protocol =
             state inbox
         in
         let sends =
-          Array.to_list (G.neighbors g me)
-          |> List.filter (fun (_, w, _) -> pulse mod w = 0)
-          |> List.map (fun (u, _, _) -> (u, (me * 100) + pulse))
+          List.rev
+            (G.fold_neighbors g me
+               (fun acc u w _ ->
+                 if pulse mod w = 0 then (u, (me * 100) + pulse) :: acc else acc)
+               [])
         in
         (state, sends))
   }
