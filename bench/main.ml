@@ -30,6 +30,7 @@ let benches =
     ("cs", Bench_sync.cs);
     ("sy", Bench_sync.sy);
     ("ct", Bench_ctrl.ct);
+    ("sx", Bench_sched.sx);
   ]
 
 type options = {

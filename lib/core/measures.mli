@@ -1,8 +1,9 @@
 (** Cost-sensitive complexity measures (Section 1.3).
 
     The communication complexity of an execution is the sum of [w(e)] over
-    all messages sent; the time complexity is the physical completion time
-    under delays bounded by the edge weights. *)
+    all messages sent; the time complexity is the physical time of the last
+    message delivery under delays bounded by the edge weights (local timers
+    firing after the last delivery are free, like all local computation). *)
 
 type t = {
   comm : int;  (** weighted communication: sum of w(e) per message *)

@@ -1,9 +1,15 @@
+type oracle = {
+  name : string;
+  fn : edge_id:int -> dir:int -> nth:int -> w:int -> float;
+}
+
 type t =
   | Exact
   | Uniform of Csap_graph.Rng.t
   | Scaled of float
   | Near_zero
   | Jitter of Csap_graph.Rng.t
+  | Oracle of oracle
 
 let epsilon = 1e-6
 
@@ -23,6 +29,72 @@ let sample t ~w =
   | Jitter rng ->
     let u = Csap_graph.Rng.float rng in
     (0.5 +. (0.5 *. (1.0 -. u))) *. fw
+  | Oracle { name; _ } ->
+    invalid_arg
+      (Printf.sprintf
+         "Delay.sample: oracle %S needs per-message context (use sample_on)"
+         name)
+
+let sample_on t ~edge_id ~dir ~nth ~w =
+  match t with
+  | Oracle { fn; _ } -> fn ~edge_id ~dir ~nth ~w
+  | _ -> sample t ~w
+
+let oracle ~name fn = Oracle { name; fn }
+
+let slow_edge ?(slow = 1.0) ?(fast = epsilon) target =
+  if not (slow > 0.0 && slow <= 1.0) then
+    invalid_arg "Delay.slow_edge: slow must be in (0, 1]";
+  if not (fast > 0.0 && fast <= 1.0) then
+    invalid_arg "Delay.slow_edge: fast must be in (0, 1]";
+  Oracle
+    {
+      name = Printf.sprintf "slow-edge-%d" target;
+      fn =
+        (fun ~edge_id ~dir:_ ~nth:_ ~w ->
+          if edge_id = target then slow *. float_of_int w else fast);
+    }
+
+let race_crossing =
+  Oracle
+    {
+      name = "race-crossing";
+      fn =
+        (fun ~edge_id:_ ~dir ~nth:_ ~w ->
+          if dir = 0 then float_of_int w else epsilon);
+    }
+
+(* splitmix64 finalizer; the per-message seeded oracle hashes
+   (seed, edge, dir, nth) so the delay of a message depends only on its
+   identity, never on the global sampling order — which is what makes
+   seeded schedules shardable across domains and replayable. *)
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xbf58476d1ce4e5b9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94d049bb133111ebL in
+  logxor z (shift_right_logical z 31)
+
+let golden = 0x9e3779b97f4a7c15L
+
+let hash4 a b c d =
+  let feed acc v =
+    mix64 (Int64.add (Int64.logxor acc (Int64.of_int v)) golden)
+  in
+  feed (feed (feed (feed golden a) b) c) d
+
+(* Top 53 bits -> [0, 1). *)
+let to_unit h =
+  Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
+
+let seeded seed =
+  Oracle
+    {
+      name = Printf.sprintf "seeded-%d" seed;
+      fn =
+        (fun ~edge_id ~dir ~nth ~w ->
+          let u = to_unit (hash4 seed edge_id dir nth) in
+          (1.0 -. u) *. float_of_int w);
+    }
 
 let pp ppf = function
   | Exact -> Format.fprintf ppf "exact"
@@ -30,3 +102,4 @@ let pp ppf = function
   | Scaled c -> Format.fprintf ppf "scaled(%g)" c
   | Near_zero -> Format.fprintf ppf "near-zero"
   | Jitter _ -> Format.fprintf ppf "jitter[w/2,w]"
+  | Oracle { name; _ } -> Format.fprintf ppf "oracle(%s)" name

@@ -3,7 +3,27 @@
     The paper's model lets the delay of a message on edge [e] vary in
     [(0, w(e)]]. Every model below respects those bounds; protocols must be
     correct under all of them, while complexity measurements use [Exact]
-    (the [w(e)]-normalised execution the paper's time bounds refer to). *)
+    (the [w(e)]-normalised execution the paper's time bounds refer to).
+
+    The paper's time bounds carry a universal quantifier — they must hold
+    for {e every} delay assignment in [(0, w(e)]] — so besides the five
+    fixed policies this module exposes a programmable {!Oracle}: an
+    arbitrary function of the message's identity (edge id, direction,
+    ordinal on that directed edge) that the schedule-adversary harness
+    ({!Csap_sched.Sched_explore}) and trace replay ({!Trace.recorded})
+    plug their schedules into. *)
+
+(** A programmable schedule: [fn ~edge_id ~dir ~nth ~w] is the delay of
+    the [nth] message (0-based) sent on the directed edge
+    [(edge_id, dir)] of weight [w]. [dir] is [0] when the sender is the
+    edge's smaller endpoint. The function must be pure — replay and
+    sharded exploration call it in arbitrary order — and should return
+    values in [(0, w]] (the engine rejects NaN/infinite/negative
+    results). [name] appears in {!pp} and error messages. *)
+type oracle = {
+  name : string;
+  fn : edge_id:int -> dir:int -> nth:int -> w:int -> float;
+}
 
 type t =
   | Exact  (** delay is exactly [w(e)] — the normalised schedule *)
@@ -17,8 +37,42 @@ type t =
           exposes algorithms relying on weights for timing *)
   | Jitter of Csap_graph.Rng.t
       (** delay in [[w(e)/2, w(e)]] — bounded jitter around the weight *)
+  | Oracle of oracle  (** programmable per-message schedule *)
 
-(** [sample t ~w] draws a delay in [(0, w]]; [w >= 1] required. *)
+(** [sample t ~w] draws a delay in [(0, w]]; [w >= 1] required. Raises
+    [Invalid_argument] on {!Oracle} (an oracle needs the per-message
+    context; use {!sample_on}). *)
 val sample : t -> w:int -> float
+
+(** [sample_on t ~edge_id ~dir ~nth ~w] draws the delay of the [nth]
+    message on directed edge [(edge_id, dir)]. For the five fixed
+    policies this is exactly {!sample} (bit-identical; the context is
+    ignored); for {!Oracle} it applies the oracle function. *)
+val sample_on : t -> edge_id:int -> dir:int -> nth:int -> w:int -> float
+
+(** [oracle ~name fn] is [Oracle {name; fn}]. *)
+val oracle :
+  name:string -> (edge_id:int -> dir:int -> nth:int -> w:int -> float) -> t
+
+(** {2 Built-in adversaries} *)
+
+(** [slow_edge id] delays every message on edge [id] by its full weight
+    (times [slow], default 1) while all other edges deliver almost
+    instantly ([fast * w], default a tiny epsilon): the adversary that
+    races the rest of the network past one straggling link. Both factors
+    must lie in [(0, 1]]. *)
+val slow_edge : ?slow:float -> ?fast:float -> int -> t
+
+(** Direction-asymmetric schedule: messages from the smaller endpoint
+    ([dir = 0]) take their full weight, replies cross almost instantly —
+    the adversary that makes waves crossing an edge in opposite
+    directions meet as unfairly as the model allows. *)
+val race_crossing : t
+
+(** [seeded seed] draws the delay of each message in [(0, w]] from a hash
+    of [(seed, edge_id, dir, nth)]: deterministic per message {e identity}
+    rather than per sampling order, so runs are reproducible under
+    sharding and replay. Distinct seeds give independent schedules. *)
+val seeded : int -> t
 
 val pp : Format.formatter -> t -> unit

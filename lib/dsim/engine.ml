@@ -32,6 +32,13 @@ type 'msg t = {
   (* Last scheduled delivery time per directed edge, to keep links FIFO.
      Index: 2 * edge_id + direction (0 when src = edge.u). *)
   last_delivery : float array;
+  (* Messages sent so far per directed edge — the [nth] fed to delay
+     oracles and trace records. *)
+  send_counts : int array;
+  (* Messages delivered so far per directed edge; only advanced while a
+     trace is attached (FIFO links make the nth delivery the nth send). *)
+  deliver_counts : int array;
+  mutable trace : Trace.t option;
   mutable clock : float;
   mutable seq : int;
 }
@@ -54,6 +61,9 @@ let create ?(delay = Delay.Exact) ?(edge_lookup = Indexed)
     metrics = Metrics.create ();
     traffic = Array.make (Csap_graph.Graph.m g) 0;
     last_delivery = Array.make (2 * Csap_graph.Graph.m g) 0.0;
+    send_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
+    deliver_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
+    trace = Trace.register ();
     clock = 0.0;
     seq = 0;
   }
@@ -72,11 +82,17 @@ let reset ?delay t =
   Metrics.reset t.metrics;
   Array.fill t.traffic 0 (Array.length t.traffic) 0;
   Array.fill t.last_delivery 0 (Array.length t.last_delivery) 0.0;
+  Array.fill t.send_counts 0 (Array.length t.send_counts) 0;
+  Array.fill t.deliver_counts 0 (Array.length t.deliver_counts) 0;
+  (match t.trace with Some tr -> Trace.clear tr | None -> ());
   t.clock <- 0.0;
   t.seq <- 0
 
 let graph t = t.g
 let now t = t.clock
+
+let set_trace t trace = t.trace <- trace
+let trace t = t.trace
 
 let set_handler t v f = t.handlers.(v) <- Some f
 
@@ -98,6 +114,16 @@ let next_time t =
   | Q_boxed q -> (
     match Csap_graph.Heap.peek_min q with
     | Some e -> e.time
+    | None -> assert false)
+
+(* Sequence number of the next event; only called when the queue is
+   non-empty (the tracer's event stamp). *)
+let next_seq t =
+  match t.queue with
+  | Q_packed q -> Event_queue.min_seq q
+  | Q_boxed q -> (
+    match Csap_graph.Heap.peek_min q with
+    | Some e -> e.seq
     | None -> assert false)
 
 let pop_action t =
@@ -125,13 +151,42 @@ let send t ~src ~dst payload =
   t.traffic.(id) <- t.traffic.(id) + 1;
   let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
   let slot = (2 * id) + dir in
-  let arrival = t.clock +. Delay.sample t.delay ~w in
+  let nth = t.send_counts.(slot) in
+  t.send_counts.(slot) <- nth + 1;
+  let d = Delay.sample_on t.delay ~edge_id:id ~dir ~nth ~w in
+  (* Validate the sample once, at the send site: NaN fails every
+     comparison (it would corrupt the heap's strict (<) order), infinities
+     stall the clock, negatives run time backwards. *)
+  if not (d >= 0.0 && d < infinity) then
+    invalid_arg
+      (Printf.sprintf
+         "Engine.send: delay model produced invalid delay %g on edge %d" d
+         id);
+  (match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.add tr
+      {
+        Trace.kind = Trace.Send;
+        time = t.clock;
+        seq = t.seq;
+        edge = id;
+        dir;
+        nth;
+        src;
+        dst;
+        delay = d;
+      });
+  let arrival = t.clock +. d in
   let arrival = Float.max arrival t.last_delivery.(slot) in
   t.last_delivery.(slot) <- arrival;
   push t arrival (Deliver { src; dst; payload })
 
 let schedule t ~delay f =
-  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  if not (delay >= 0.0 && delay < infinity) then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule: invalid delay %g (must be finite, >= 0)"
+         delay);
   push t (t.clock +. delay) (Local f)
 
 let quiescent t = queue_empty t
@@ -146,28 +201,91 @@ let dispatch t = function
         (Printf.sprintf
            "Engine: no handler at vertex %d (message sent from %d)" dst src))
 
+let record_dispatch t tr seq action =
+  match action with
+  | Deliver { src; dst; _ } ->
+    let id =
+      match t.lookup with
+      | Indexed -> Csap_graph.Graph.edge_id_between t.g src dst
+      | Scan -> Csap_graph.Graph.edge_id_between_scan t.g src dst
+    in
+    let e = Csap_graph.Graph.edge t.g id in
+    let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
+    let slot = (2 * id) + dir in
+    let nth = t.deliver_counts.(slot) in
+    t.deliver_counts.(slot) <- nth + 1;
+    Trace.add tr
+      {
+        Trace.kind = Trace.Deliver;
+        time = t.clock;
+        seq;
+        edge = id;
+        dir;
+        nth;
+        src;
+        dst;
+        delay = 0.0;
+      }
+  | Local _ ->
+    Trace.add tr
+      {
+        Trace.kind = Trace.Local;
+        time = t.clock;
+        seq;
+        edge = -1;
+        dir = -1;
+        nth = -1;
+        src = -1;
+        dst = -1;
+        delay = 0.0;
+      }
+
 let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
   let processed = ref 0 in
   let continue = ref true in
+  (* True when the run stopped because it exhausted everything up to
+     [until] (queue drained, or next event beyond the limit) — the cases
+     where the clock may legitimately advance to the limit. *)
+  let limit_reached = ref false in
   while
     !continue && !processed < max_events
     && t.metrics.Metrics.weighted_comm < comm_budget
   do
-    if queue_empty t then continue := false
+    if queue_empty t then begin
+      limit_reached := true;
+      continue := false
+    end
     else
       let time = next_time t in
       match until with
       | Some limit when time > limit ->
-        t.clock <- limit;
+        limit_reached := true;
         continue := false
       | _ ->
+        let seq =
+          match t.trace with Some _ -> next_seq t | None -> 0
+        in
         let action = pop_action t in
         t.clock <- Float.max t.clock time;
+        (match t.trace with
+        | Some tr -> record_dispatch t tr seq action
+        | None -> ());
         dispatch t action;
         incr processed;
         t.metrics.Metrics.events <- t.metrics.Metrics.events + 1;
-        t.metrics.Metrics.completion_time <- t.clock
+        t.metrics.Metrics.completion_time <- t.clock;
+        (match action with
+        | Deliver _ -> t.metrics.Metrics.last_delivery_time <- t.clock
+        | Local _ -> ())
   done;
+  (* Sliced runs compose: after [run ~until:t1] the clock sits at [t1]
+     even on quiescence (so relative timers scheduled between slices land
+     where a continuous run puts them), and a stale [until < now] never
+     moves the clock backwards. Runs cut short by [max_events] or
+     [comm_budget] stop at the last processed event instead. *)
+  (match until with
+  | Some limit when !limit_reached -> t.clock <- Float.max t.clock limit
+  | _ -> ());
   !processed
 
 let metrics t = t.metrics

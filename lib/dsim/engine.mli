@@ -41,7 +41,9 @@ val create :
 
 (** [reset ?delay t] rewinds [t] to the state [create] left it in —
     clock and send counter to zero, metrics and per-edge traffic
-    zeroed, FIFO delivery stamps cleared, every handler uninstalled and
+    zeroed, FIFO delivery stamps and per-edge send/delivery ordinals
+    cleared, any attached trace emptied (kept attached), every handler
+    uninstalled and
     the event queue emptied — without reallocating any per-vertex or
     per-edge array (the event queue also keeps its grown capacity).
     [?delay] optionally installs a new delay model, so multi-seed trial
@@ -61,19 +63,33 @@ val set_handler : 'msg t -> int -> (src:int -> 'msg -> unit) -> unit
 
 (** [send t ~src ~dst msg] transmits over the edge [{src, dst}]; raises
     [Invalid_argument] naming the offending [(src, dst)] pair when that
-    edge does not exist. *)
+    edge does not exist, or when the delay model produces a delay that is
+    not finite and non-negative (NaN would corrupt the event queue's
+    strict ordering; see {!Delay.sample_on}). *)
 val send : 'msg t -> src:int -> dst:int -> 'msg -> unit
 
-(** [schedule t ~delay f] runs the local event [f] after [delay >= 0] time;
+(** [schedule t ~delay f] runs the local event [f] after [delay] time;
     used to bootstrap protocols and for local timeouts. Local events cost no
-    communication. *)
+    communication. Raises [Invalid_argument] unless [delay] is finite and
+    non-negative (in particular, NaN is rejected). *)
 val schedule : 'msg t -> delay:float -> (unit -> unit) -> unit
 
-(** [run t] processes events until quiescence. [~until] stops the clock at a
-    given time (events beyond it stay queued); [~max_events] guards against
+(** [run t] processes events until quiescence. [~max_events] guards against
     runaway protocols; [~comm_budget] stops once the weighted communication
     reaches the budget (used by the budgeted-restart hybrids). Returns the
-    number of events processed. *)
+    number of events processed.
+
+    [~until] runs the slice of the execution up to a time limit: events at
+    times [<= until] are processed, later ones stay queued, and when the
+    slice completes — the queue drained or the next event lies beyond the
+    limit — the clock advances to [Float.max (now t) until]. Sliced runs
+    therefore compose: [run ~until:t1 t; run ~until:t2 t] visits the same
+    states as [run ~until:t2 t], and timers scheduled between slices
+    (relative to [now t = t1]) land where a continuous run puts them.
+    The clock never moves backwards: a stale [until < now t] processes
+    nothing and leaves the clock where it was. Runs cut short by
+    [~max_events] or [~comm_budget] leave the clock at the last processed
+    event. *)
 val run :
   ?until:float -> ?max_events:int -> ?comm_budget:int -> 'msg t -> int
 
@@ -88,3 +104,20 @@ val edge_traffic : 'msg t -> int array
 
 (** [send_count t] is the number of sends so far (= metrics messages). *)
 val send_count : 'msg t -> int
+
+(** {2 Tracing}
+
+    With a trace attached the engine appends a {!Trace.event} for every
+    send and every dispatched event (deliveries and locals), enough to
+    export the schedule and replay it via {!Trace.recorded}. [create]
+    attaches a trace automatically when an ambient {!Trace.with_collector}
+    scope is active on the current domain; [set_trace] attaches or
+    detaches one by hand. Tracing is off ([None]) otherwise and costs
+    nothing on the hot path. *)
+
+(** [set_trace t tr] attaches ([Some]) or detaches ([None]) a trace;
+    subsequent events are appended to it. *)
+val set_trace : 'msg t -> Trace.t option -> unit
+
+(** The currently attached trace, if any. *)
+val trace : 'msg t -> Trace.t option

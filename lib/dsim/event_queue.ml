@@ -97,6 +97,10 @@ let min_time t =
   if t.len = 0 then invalid_arg "Event_queue.min_time: empty";
   t.times.(0)
 
+let min_seq t =
+  if t.len = 0 then invalid_arg "Event_queue.min_seq: empty";
+  t.seqs.(0)
+
 let pop t =
   if t.len = 0 then invalid_arg "Event_queue.pop: empty";
   let x = t.data.(0) in

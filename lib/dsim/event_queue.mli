@@ -24,6 +24,11 @@ val add : 'a t -> time:float -> seq:int -> 'a -> unit
 (** Earliest queued time. Raises [Invalid_argument] when empty. *)
 val min_time : 'a t -> float
 
+(** Sequence number of the next pop (the tie-break key of the minimum).
+    Raises [Invalid_argument] when empty; used by the engine's tracer to
+    stamp dispatched events. *)
+val min_seq : 'a t -> int
+
 (** Removes and returns the payload with the least [(time, seq)] key.
     Raises [Invalid_argument] when empty. *)
 val pop : 'a t -> 'a

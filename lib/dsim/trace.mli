@@ -1,0 +1,101 @@
+(** Execution traces: record a run's schedule, export it, replay it.
+
+    A trace is a buffer of [Send]/[Deliver]/[Local] records stamped with
+    simulated times, event sequence numbers, edge ids and per-directed-edge
+    ordinals. The engine appends to an attached trace as it executes (see
+    {!Engine.set_trace} and the ambient {!with_collector}); a completed
+    trace can be exported as JSONL — the artifact the CI schedule-sweep
+    uploads on failure — and turned back into a {!Delay.t} oracle with
+    {!recorded}, which replays the exact recorded schedule: re-running the
+    same protocol under it reproduces the original execution event for
+    event (the replay contract, see DESIGN.md §10). *)
+
+type kind =
+  | Send  (** a message was sent (delay freshly sampled) *)
+  | Deliver  (** a message was delivered to its handler *)
+  | Local  (** a local event (timer/bootstrap) ran *)
+
+type event = {
+  kind : kind;
+  time : float;  (** simulated clock at the record *)
+  seq : int;  (** engine sequence number of the queued event *)
+  edge : int;  (** edge id; [-1] for [Local] *)
+  dir : int;  (** [0] when the sender is the smaller endpoint; [-1] local *)
+  nth : int;  (** ordinal of the message on its directed edge; [-1] local *)
+  src : int;  (** sender; [-1] for [Local] *)
+  dst : int;  (** receiver; [-1] for [Local] *)
+  delay : float;  (** sampled delay ([Send] only; [0] otherwise) *)
+}
+
+type t
+
+(** [create ()] is an unbounded trace; [create ~capacity ()] is a ring
+    keeping only the last [capacity] events (older ones are dropped and
+    counted — cheap enough to leave on in long sweeps, but not
+    replayable). *)
+val create : ?capacity:int -> unit -> t
+
+(** Empty the buffer (capacity and ring/unbounded mode are kept). *)
+val clear : t -> unit
+
+(** Number of events currently held. *)
+val length : t -> int
+
+(** Events overwritten by the ring so far; [0] for unbounded traces. *)
+val dropped : t -> int
+
+(** The configured ring capacity; [0] means unbounded. *)
+val capacity : t -> int
+
+(** Append one event (the engine's hook; exposed for tests). *)
+val add : t -> event -> unit
+
+(** The held events, oldest first (a fresh array). *)
+val events : t -> event array
+
+(** Event-for-event equality of the held events. *)
+val equal : t -> t -> bool
+
+(** {2 JSONL}
+
+    One JSON object per line, fields in fixed order; floats are printed
+    with enough digits to round-trip, so
+    [of_jsonl (to_jsonl t)] holds every event of [t] exactly. *)
+
+val to_jsonl : t -> string
+
+(** Parses traces produced by {!to_jsonl}. Raises [Invalid_argument] on
+    malformed lines. *)
+val of_jsonl : string -> t
+
+val save_jsonl : t -> string -> unit
+val load_jsonl : string -> t
+
+(** {2 Replay} *)
+
+(** [recorded t] is a {!Delay.t} oracle that replays the schedule recorded
+    in [t]: the [nth] send on a directed edge gets exactly the delay that
+    was sampled for it in the recorded run, so replaying the same
+    deterministic protocol reproduces the original execution — identical
+    event order and identical metrics. Raises [Invalid_argument] if [t]
+    is a ring that dropped events, or (at sample time) if the replayed
+    execution asks for a send the recording never made. *)
+val recorded : ?name:string -> t -> Delay.t
+
+(** {2 Ambient collection}
+
+    Protocol entry points ([Flood.run], [Mst_ghs.run], ...) build their
+    engines internally, so callers cannot attach traces by hand. Inside
+    [with_collector f], every engine created by the current domain
+    registers a fresh trace; the scope returns them in engine-creation
+    order. Scopes are domain-local and nest (the previous collector is
+    restored on exit), so pool workers exploring schedules in parallel
+    never mix their traces. *)
+
+(** [with_collector ?capacity f] runs [f], collecting a trace per engine
+    created within. *)
+val with_collector : ?capacity:int -> (unit -> 'a) -> 'a * t list
+
+(** Called by [Engine.create]: a fresh registered trace when a collector
+    is active on this domain, [None] otherwise. *)
+val register : unit -> t option

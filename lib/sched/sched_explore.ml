@@ -1,0 +1,306 @@
+module G = Csap_graph.Graph
+module Tree = Csap_graph.Tree
+module Paths = Csap_graph.Paths
+module Mst = Csap_graph.Mst
+module Delay = Csap_dsim.Delay
+module Trace = Csap_dsim.Trace
+module Measures = Csap.Measures
+
+type schedule = {
+  label : string;
+  make : unit -> Delay.t;
+}
+
+let seeded_schedules k =
+  if k < 0 then invalid_arg "Sched_explore.seeded_schedules: negative count";
+  List.init k (fun i ->
+      {
+        label = Printf.sprintf "seeded-%d" i;
+        (* Seeds spaced by a large odd constant so adjacent schedules don't
+           share splitmix streams. *)
+        make = (fun () -> Delay.seeded (0x5eed + (i * 0x10001)));
+      })
+
+(* Heaviest edge, lowest id on ties — a deterministic pick of the link the
+   slow-edge adversary stalls. *)
+let heaviest_edge g =
+  let best = ref 0 and best_w = ref min_int in
+  Array.iteri
+    (fun id e ->
+      if e.G.w > !best_w then begin
+        best := id;
+        best_w := e.G.w
+      end)
+    (G.edges g);
+  !best
+
+let adversarial_schedules g =
+  let heavy = heaviest_edge g in
+  [
+    {
+      label = Printf.sprintf "slow-edge-%d" heavy;
+      make = (fun () -> Delay.slow_edge heavy);
+    };
+    { label = "race-crossing"; make = (fun () -> Delay.race_crossing) };
+    { label = "near-zero"; make = (fun () -> Delay.Near_zero) };
+  ]
+
+type target = {
+  name : string;
+  execute : G.t -> Delay.t -> (Measures.t, string) result;
+}
+
+(* Weighted distance from the root along tree parent pointers. *)
+let tree_dist tree v =
+  let rec go v acc =
+    match Tree.parent tree v with
+    | None -> acc
+    | Some (p, w) -> go p (acc + w)
+  in
+  go v 0
+
+(* The tree must span [g] and place every vertex at exactly its Dijkstra
+   distance from [src] — the schedule-invariant definition of an SPT. *)
+let check_spt ~what g ~src tree =
+  if not (Tree.is_spanning_tree_of g tree) then
+    Error (Printf.sprintf "%s: result is not a spanning tree" what)
+  else begin
+    let sp = Paths.dijkstra g ~src in
+    let bad = ref (Ok ()) in
+    for v = 0 to G.n g - 1 do
+      match !bad with
+      | Error _ -> ()
+      | Ok () ->
+        let d = tree_dist tree v in
+        if d <> sp.Paths.dist.(v) then
+          bad :=
+            Error
+              (Printf.sprintf
+                 "%s: vertex %d at tree distance %d, Dijkstra says %d" what v
+                 d sp.Paths.dist.(v))
+    done;
+    !bad
+  end
+
+let flood_target ~source =
+  {
+    name = Printf.sprintf "flood-src%d" source;
+    execute =
+      (fun g delay ->
+        let r = Csap.Flood.run ~delay g ~source in
+        if not (Tree.is_spanning_tree_of g r.Csap.Flood.tree) then
+          Error "flood: first-contact tree is not a spanning tree"
+        else begin
+          let sp = Paths.dijkstra g ~src:source in
+          let bad = ref (Ok r.Csap.Flood.measures) in
+          Array.iteri
+            (fun v a ->
+              match !bad with
+              | Error _ -> ()
+              | Ok _ ->
+                (* Delays never exceed weights, so no schedule can make the
+                   wave slower than the weighted shortest path. *)
+                if a > float_of_int sp.Paths.dist.(v) +. 1e-9 then
+                  bad :=
+                    Error
+                      (Printf.sprintf
+                         "flood: wave reached %d at %g, after its weighted \
+                          distance %d"
+                         v a sp.Paths.dist.(v)))
+            r.Csap.Flood.arrival;
+          !bad
+        end);
+  }
+
+let mst_target =
+  {
+    name = "mst-ghs";
+    execute =
+      (fun g delay ->
+        let r = Csap.Mst_ghs.run ~delay g in
+        if not (Tree.is_spanning_tree_of g r.Csap.Mst_ghs.mst) then
+          Error "ghs: result is not a spanning tree"
+        else if not (Mst.is_mst g r.Csap.Mst_ghs.mst) then
+          Error "ghs: result tree is not the MST"
+        else Ok r.Csap.Mst_ghs.measures);
+  }
+
+let spt_synch_target ~source =
+  {
+    name = Printf.sprintf "spt-synch-src%d" source;
+    execute =
+      (fun g delay ->
+        let r = Csap.Spt_synch.run ~delay g ~source in
+        match check_spt ~what:"spt-synch" g ~src:source r.Csap.Spt_synch.tree
+        with
+        | Ok () -> Ok r.Csap.Spt_synch.measures
+        | Error e -> Error e);
+  }
+
+let spt_recur_target ~source ~strip =
+  {
+    name = Printf.sprintf "spt-recur-src%d-s%d" source strip;
+    execute =
+      (fun g delay ->
+        let r = Csap.Spt_recur.run ~delay g ~source ~strip in
+        match check_spt ~what:"spt-recur" g ~src:source r.Csap.Spt_recur.tree
+        with
+        | Ok () -> Ok r.Csap.Spt_recur.measures
+        | Error e -> Error e);
+  }
+
+let sync_alpha_target ~source ~pulses =
+  {
+    name = Printf.sprintf "sync-alpha-src%d" source;
+    execute =
+      (fun g delay ->
+        let proto = Csap.Spt_synch.protocol ~source in
+        let reference = Csap_dsim.Sync_runner.run g proto ~pulses in
+        let out = Csap.Synchronizer.run_alpha ~delay g proto ~pulses in
+        let ref_states = reference.Csap_dsim.Sync_runner.states in
+        let states = out.Csap.Synchronizer.states in
+        let mismatch = ref None in
+        Array.iteri
+          (fun v (s : Csap.Spt_synch.state) ->
+            if !mismatch = None && s <> ref_states.(v) then mismatch := Some v)
+          states;
+        match !mismatch with
+        | Some v ->
+          Error
+            (Printf.sprintf
+               "alpha: state at vertex %d differs from the synchronous \
+                reference"
+               v)
+        | None ->
+          if
+            out.Csap.Synchronizer.proto_comm
+            <> reference.Csap_dsim.Sync_runner.weighted_comm
+          then
+            Error
+              (Printf.sprintf
+                 "alpha: protocol sent %d weighted units, reference sent %d"
+                 out.Csap.Synchronizer.proto_comm
+                 reference.Csap_dsim.Sync_runner.weighted_comm)
+          else if out.Csap.Synchronizer.pulses <> pulses then
+            Error
+              (Printf.sprintf "alpha: ran %d pulses instead of %d"
+                 out.Csap.Synchronizer.pulses pulses)
+          else Ok out.Csap.Synchronizer.total);
+  }
+
+type run_result = {
+  target : string;
+  schedule : string;
+  ok : bool;
+  violation : string option;
+  measures : Measures.t;
+}
+
+type summary = {
+  target_name : string;
+  runs : run_result array;
+  worst_time : float;
+  worst_comm : int;
+  failures : int;
+}
+
+let sanitize label =
+  String.map
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '-' | '_' | '.' -> c
+      | _ -> '_')
+    label
+
+let mkdir_p dir =
+  if not (Sys.file_exists dir) then
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+
+let explore ?pool ?trace_dir g ~targets ~schedules =
+  let targets = Array.of_list targets in
+  let schedules = Array.of_list schedules in
+  let nt = Array.length targets and ns = Array.length schedules in
+  let results = Array.make (nt * ns) None in
+  let run_one (t : target) (s : schedule) =
+    match t.execute g (s.make ()) with
+    | Ok m ->
+      {
+        target = t.name;
+        schedule = s.label;
+        ok = true;
+        violation = None;
+        measures = m;
+      }
+    | Error e ->
+      {
+        target = t.name;
+        schedule = s.label;
+        ok = false;
+        violation = Some e;
+        measures = Measures.zero;
+      }
+    | exception e ->
+      {
+        target = t.name;
+        schedule = s.label;
+        ok = false;
+        violation = Some (Printexc.to_string e);
+        measures = Measures.zero;
+      }
+  in
+  if nt > 0 && ns > 0 then begin
+    let pool = match pool with Some p -> p | None -> Csap_pool.default () in
+    Csap_pool.run pool ~tasks:(nt * ns) (fun ~worker:_ i ->
+        results.(i) <- Some (run_one targets.(i / ns) schedules.(i mod ns)))
+  end;
+  (* Failures get their schedule dumped: re-run the same deterministic
+     (target, schedule) pair under a collector and write every engine's
+     trace, replayable via [Trace.recorded]. *)
+  (match trace_dir with
+  | None -> ()
+  | Some dir ->
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some r when not r.ok ->
+          mkdir_p dir;
+          let t = targets.(i / ns) and s = schedules.(i mod ns) in
+          let (), traces =
+            Trace.with_collector (fun () ->
+                try ignore (t.execute g (s.make ())) with _ -> ())
+          in
+          List.iteri
+            (fun j tr ->
+              Trace.save_jsonl tr
+                (Filename.concat dir
+                   (Printf.sprintf "%s--%s--%d.jsonl" (sanitize t.name)
+                      (sanitize s.label) j)))
+            traces
+        | _ -> ())
+      results);
+  Array.to_list
+    (Array.mapi
+       (fun ti (t : target) ->
+         let runs =
+           Array.init ns (fun si ->
+               match results.((ti * ns) + si) with
+               | Some r -> r
+               | None -> assert false)
+         in
+         let worst_time = ref 0.0 and worst_comm = ref 0 and failures = ref 0 in
+         Array.iter
+           (fun r ->
+             if r.ok then begin
+               worst_time := Float.max !worst_time r.measures.Measures.time;
+               worst_comm := max !worst_comm r.measures.Measures.comm
+             end
+             else incr failures)
+           runs;
+         {
+           target_name = t.name;
+           runs;
+           worst_time = !worst_time;
+           worst_comm = !worst_comm;
+           failures = !failures;
+         })
+       targets)

@@ -1,0 +1,108 @@
+(** Adversarial-schedule exploration.
+
+    The paper's complexity measures quantify over {e all} executions: the
+    adversary picks any delay in [(0, w(e)]] per message. A protocol's
+    correctness must therefore be schedule-invariant, and its worst-case
+    time/communication is a maximum over schedules. This harness runs
+    protocol targets under a battery of schedules — seeded pseudo-random
+    ones plus structured adversaries (see {!Delay.slow_edge},
+    {!Delay.race_crossing}) — checks each run's output against a
+    sequential oracle (Kruskal/Dijkstra/the synchronous reference
+    executor), and reports the worst time and communication observed.
+
+    Runs are sharded over a {!Csap_pool.t}; each run gets a fresh delay
+    model built by its schedule's [make], so the sweep is deterministic
+    regardless of how tasks land on workers. When a run violates its
+    invariant the failing execution is re-run under
+    {!Trace.with_collector} and its traces dumped as JSONL next to the
+    results — the artifact CI uploads, replayable with
+    {!Trace.recorded}. *)
+
+(** A named way to build a delay model. [make] is called once per run so
+    stateful models ([Recorded]-style oracles, RNG-backed models) never
+    leak state between runs. *)
+type schedule = {
+  label : string;
+  make : unit -> Csap_dsim.Delay.t;
+}
+
+(** [seeded_schedules k] is [k] per-message-seeded schedules (see
+    {!Delay.seeded}) with distinct seeds. *)
+val seeded_schedules : int -> schedule list
+
+(** [adversarial_schedules g] is the built-in adversary battery for [g]:
+    the heaviest edge slowed to its full weight while everything else
+    races ahead ({!Delay.slow_edge}), direction-asymmetric delays that
+    maximise message crossings ({!Delay.race_crossing}), and the
+    near-instantaneous schedule ({!Delay.Near_zero}). *)
+val adversarial_schedules : Csap_graph.Graph.t -> schedule list
+
+(** A protocol under test: [execute g delay] runs it on [g] under the
+    delay model, checks the schedule-invariant output against a
+    sequential oracle, and returns the run's measures — or a description
+    of the violated invariant. *)
+type target = {
+  name : string;
+  execute :
+    Csap_graph.Graph.t ->
+    Csap_dsim.Delay.t ->
+    (Csap.Measures.t, string) result;
+}
+
+(** Flood from [source]: the first-contact tree must span the graph and
+    the wave must reach every [v] by time [dist(source, v)] (delays are
+    bounded by weights, so no schedule can be slower than the weighted
+    shortest paths). *)
+val flood_target : source:int -> target
+
+(** GHS: the computed tree must be {e the} MST (weights are made distinct
+    by the canonical edge order, so the MST is unique). *)
+val mst_target : target
+
+(** SPT via the synchronizer pipeline: the tree must span the graph and
+    the tree path weight to every vertex must equal Dijkstra's
+    distance. *)
+val spt_synch_target : source:int -> target
+
+(** SPT via the strip method, same invariant; [strip] is the strip
+    depth. *)
+val spt_recur_target : source:int -> strip:int -> target
+
+(** Synchronizer alpha_w running the synchronous SPT wave: final states
+    must match the weighted synchronous reference executor exactly, the
+    protocol's own communication must equal the reference's, and the
+    pulse count must equal the requested bound. *)
+val sync_alpha_target : source:int -> pulses:int -> target
+
+(** One (target, schedule) run. *)
+type run_result = {
+  target : string;
+  schedule : string;
+  ok : bool;
+  violation : string option;  (** why the invariant failed, when [not ok] *)
+  measures : Csap.Measures.t;  (** zero when the run failed *)
+}
+
+(** Per-target aggregate over all schedules. *)
+type summary = {
+  target_name : string;
+  runs : run_result array;  (** in schedule order *)
+  worst_time : float;  (** max completion time over passing runs *)
+  worst_comm : int;  (** max weighted communication over passing runs *)
+  failures : int;
+}
+
+(** [explore ?pool ?trace_dir g ~targets ~schedules] runs every target
+    under every schedule, sharded over [pool] (default
+    {!Csap_pool.default}), and returns one summary per target, in target
+    order. With [trace_dir], each failing run is re-executed under a
+    trace collector and its traces written to
+    [trace_dir/<target>--<schedule>--<i>.jsonl] (the directory is
+    created if missing). *)
+val explore :
+  ?pool:Csap_pool.t ->
+  ?trace_dir:string ->
+  Csap_graph.Graph.t ->
+  targets:target list ->
+  schedules:schedule list ->
+  summary list

@@ -256,6 +256,116 @@ let test_reset_swaps_delay () =
   E.reset eng;
   Alcotest.(check (float 1e-9)) "delay kept when not given" 2.5 (one_send ())
 
+(* Regression: [run ~until] used to leave the clock at the last event on
+   quiescence, so a timer scheduled between slices fired earlier than in a
+   continuous run. *)
+let test_until_advances_on_quiescence () =
+  let g = Gen.path 2 ~w:1 in
+  let eng = E.create g in
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.set_handler eng 1 (fun ~src:_ _ -> ());
+  ignore (E.run ~until:5.0 eng);
+  Alcotest.(check (float 1e-9)) "clock at the slice end" 5.0 (E.now eng);
+  let fired_at = ref nan in
+  E.schedule eng ~delay:1.0 (fun () -> fired_at := E.now eng);
+  ignore (E.run eng);
+  Alcotest.(check (float 1e-9)) "timer relative to slice end" 6.0 !fired_at
+
+(* Regression: [run ~until] used to assign the limit to the clock even when
+   the limit was in the past, moving simulated time backwards. *)
+let test_until_never_backwards () =
+  let g = Gen.path 2 ~w:1 in
+  let eng = E.create g in
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.set_handler eng 1 (fun ~src:_ _ -> ());
+  E.schedule eng ~delay:6.0 (fun () -> ());
+  ignore (E.run eng);
+  Alcotest.(check (float 1e-9)) "clock at 6" 6.0 (E.now eng);
+  E.schedule eng ~delay:10.0 (fun () -> ());
+  let n = E.run ~until:2.0 eng in
+  Alcotest.(check int) "stale limit processes nothing" 0 n;
+  Alcotest.(check (float 1e-9)) "clock not moved backwards" 6.0 (E.now eng);
+  let n = E.run ~until:16.0 eng in
+  Alcotest.(check int) "pending event still delivered" 1 n;
+  Alcotest.(check (float 1e-9)) "clock at the limit" 16.0 (E.now eng)
+
+(* Sliced runs must visit the same states as one continuous run. *)
+let test_until_slices_compose () =
+  let g = Gen.path 5 ~w:3 in
+  let relay eng =
+    for v = 0 to 4 do
+      E.set_handler eng v (fun ~src:_ (Ping k) ->
+          if v < 4 then E.send eng ~src:v ~dst:(v + 1) (Ping (k + 1)))
+    done;
+    E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0))
+  in
+  let continuous = E.create g in
+  relay continuous;
+  ignore (E.run continuous);
+  let sliced = E.create g in
+  relay sliced;
+  let total = ref 0 in
+  for i = 1 to 12 do
+    total := !total + E.run ~until:(float_of_int i) sliced
+  done;
+  total := !total + E.run sliced;
+  Alcotest.(check int) "same event count"
+    (E.metrics continuous).Csap_dsim.Metrics.events !total;
+  Alcotest.(check (float 1e-9)) "same completion time"
+    (E.metrics continuous).Csap_dsim.Metrics.completion_time
+    (E.metrics sliced).Csap_dsim.Metrics.completion_time
+
+(* Regression: [completion_time] is bumped by every event, so a local timer
+   firing after the last delivery inflated the paper's time measure; the
+   measure must read the last *delivery* instead. *)
+let test_local_timer_is_free () =
+  let g = Gen.path 2 ~w:5 in
+  let eng = E.create g in
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.set_handler eng 1 (fun ~src:_ _ -> ());
+  E.schedule eng ~delay:0.0 (fun () -> E.send eng ~src:0 ~dst:1 (Ping 0));
+  E.schedule eng ~delay:100.0 (fun () -> ());
+  ignore (E.run eng);
+  let m = E.metrics eng in
+  Alcotest.(check (float 1e-9)) "last event at the timer" 100.0
+    m.Csap_dsim.Metrics.completion_time;
+  Alcotest.(check (float 1e-9)) "last delivery at the message" 5.0
+    m.Csap_dsim.Metrics.last_delivery_time;
+  Alcotest.(check (float 1e-9)) "paper time ignores the timer" 5.0
+    (Csap.Measures.of_metrics m).Csap.Measures.time
+
+(* Regression: NaN passed the [delay < 0] guard and corrupted the event
+   queue's strict ordering; non-finite delays must be rejected. *)
+let test_invalid_delays_rejected () =
+  let g = Gen.path 2 ~w:5 in
+  let eng = E.create g in
+  E.set_handler eng 0 (fun ~src:_ _ -> ());
+  E.set_handler eng 1 (fun ~src:_ _ -> ());
+  let rejected d =
+    match E.schedule eng ~delay:d (fun () -> ()) with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "NaN rejected" true (rejected nan);
+  Alcotest.(check bool) "inf rejected" true (rejected infinity);
+  Alcotest.(check bool) "negative rejected" true (rejected (-1.0));
+  Alcotest.(check bool) "zero accepted" false (rejected 0.0);
+  (* A broken delay model is caught at the send site. *)
+  let bad name v =
+    let eng =
+      E.create
+        ~delay:(Csap_dsim.Delay.oracle ~name (fun ~edge_id:_ ~dir:_ ~nth:_ ~w:_ -> v))
+        g
+    in
+    E.set_handler eng 1 (fun ~src:_ _ -> ());
+    match E.send eng ~src:0 ~dst:1 (Ping 0) with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  Alcotest.(check bool) "NaN sample rejected" true (bad "nan" nan);
+  Alcotest.(check bool) "inf sample rejected" true (bad "inf" infinity);
+  Alcotest.(check bool) "negative sample rejected" true (bad "neg" (-0.5))
+
 let suite =
   [
     Alcotest.test_case "delivery and cost accounting" `Quick
@@ -280,4 +390,13 @@ let suite =
       test_reset_boxed_queue;
     Alcotest.test_case "reset swaps the delay model" `Quick
       test_reset_swaps_delay;
+    Alcotest.test_case "run ~until advances on quiescence" `Quick
+      test_until_advances_on_quiescence;
+    Alcotest.test_case "run ~until never moves the clock back" `Quick
+      test_until_never_backwards;
+    Alcotest.test_case "sliced runs compose" `Quick test_until_slices_compose;
+    Alcotest.test_case "post-completion local timer is free" `Quick
+      test_local_timer_is_free;
+    Alcotest.test_case "NaN and infinite delays rejected" `Quick
+      test_invalid_delays_rejected;
   ]

@@ -1,0 +1,121 @@
+module Q = Csap_dsim.Event_queue
+
+(* Reference: drain order must equal the (time, seq) lexicographic sort of
+   the inserted keys. Seqs are distinct by construction (the engine's send
+   counter), so the order is total. *)
+let drain q n =
+  List.init n (fun _ ->
+      let t = Q.min_time q and s = Q.min_seq q in
+      let v = Q.pop q in
+      (t, s, v))
+
+let sorted_oracle entries =
+  List.sort
+    (fun (t1, s1, _) (t2, s2, _) ->
+      match compare t1 t2 with 0 -> compare s1 s2 | c -> c)
+    entries
+
+let fill q entries = List.iter (fun (t, s, v) -> Q.add q ~time:t ~seq:s v) entries
+
+let test_empty_raises () =
+  let q = Q.create ~dummy:(-1) in
+  Alcotest.check_raises "min_time" (Invalid_argument "Event_queue.min_time: empty")
+    (fun () -> ignore (Q.min_time q));
+  Alcotest.check_raises "min_seq" (Invalid_argument "Event_queue.min_seq: empty")
+    (fun () -> ignore (Q.min_seq q));
+  Alcotest.check_raises "pop" (Invalid_argument "Event_queue.pop: empty")
+    (fun () -> ignore (Q.pop q))
+
+let test_duplicate_times () =
+  (* Equal times drain in seq (insertion) order. *)
+  let q = Q.create ~dummy:(-1) in
+  let entries = [ (2.0, 3, 30); (1.0, 1, 10); (2.0, 2, 20); (1.0, 0, 0) ] in
+  fill q entries;
+  Alcotest.(check (list (triple (float 1e-9) int int)))
+    "seq breaks ties" (sorted_oracle entries) (drain q 4)
+
+let test_min_seq_tracks_min () =
+  let q = Q.create ~dummy:(-1) in
+  Q.add q ~time:5.0 ~seq:0 100;
+  Q.add q ~time:1.0 ~seq:1 101;
+  Alcotest.(check int) "seq of the earliest event" 1 (Q.min_seq q);
+  ignore (Q.pop q);
+  Alcotest.(check int) "after pop" 0 (Q.min_seq q)
+
+(* Random keys with possibly-duplicate times; distinct seqs. *)
+let entries_arb =
+  QCheck.(
+    make
+      ~print:(fun l ->
+        String.concat ";"
+          (List.map (fun (t, s, v) -> Printf.sprintf "(%g,%d,%d)" t s v) l))
+      Gen.(
+        map
+          (fun ts -> List.mapi (fun i t -> (float_of_int t /. 4.0, i, i)) ts)
+          (list_size (int_range 0 200) (int_range 0 40))))
+
+let prop_pop_order =
+  QCheck.Test.make ~count:300 ~name:"pop order = sorted (time, seq)"
+    entries_arb
+    (fun entries ->
+      let q = Q.create ~dummy:(-1) in
+      fill q entries;
+      drain q (List.length entries) = sorted_oracle entries)
+
+let prop_pop_order_after_clear =
+  (* A cleared, reused queue behaves exactly like a fresh one. *)
+  QCheck.Test.make ~count:300 ~name:"pop order after clear and reuse"
+    QCheck.(pair entries_arb entries_arb)
+    (fun (first, second) ->
+      let q = Q.create ~dummy:(-1) in
+      fill q first;
+      ignore (drain q (List.length first / 2));
+      Q.clear q;
+      Alcotest.(check bool) "cleared" true (Q.is_empty q);
+      fill q second;
+      drain q (List.length second) = sorted_oracle second)
+
+let prop_interleaved =
+  (* Interleaving adds and pops keeps the invariant: every pop returns the
+     least remaining (time, seq). *)
+  QCheck.Test.make ~count:300 ~name:"interleaved add/pop stays ordered"
+    QCheck.(list_of_size (Gen.int_range 1 120) (int_range 0 30))
+    (fun times ->
+      let q = Q.create ~dummy:(-1) in
+      let pending = ref [] in
+      let seq = ref 0 in
+      let ok = ref true in
+      List.iter
+        (fun t ->
+          let time = float_of_int t /. 2.0 in
+          Q.add q ~time ~seq:!seq !seq;
+          pending := (time, !seq) :: !pending;
+          incr seq;
+          (* Pop every other step. *)
+          if !seq mod 2 = 0 then begin
+            let expect =
+              List.sort
+                (fun (t1, s1) (t2, s2) ->
+                  match compare t1 t2 with 0 -> compare s1 s2 | c -> c)
+                !pending
+              |> List.hd
+            in
+            let t' = Q.min_time q and s' = Q.min_seq q in
+            ignore (Q.pop q);
+            if (t', s') <> expect then ok := false;
+            pending := List.filter (fun e -> e <> expect) !pending
+          end)
+        times;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "empty queue raises" `Quick test_empty_raises;
+    Alcotest.test_case "duplicate times drain in seq order" `Quick
+      test_duplicate_times;
+    Alcotest.test_case "min_seq tracks the minimum" `Quick
+      test_min_seq_tracks_min;
+    QCheck_alcotest.to_alcotest prop_pop_order;
+    QCheck_alcotest.to_alcotest prop_pop_order_after_clear;
+    QCheck_alcotest.to_alcotest prop_interleaved;
+  ]

@@ -1,0 +1,183 @@
+module T = Csap_dsim.Trace
+module E = Csap_dsim.Engine
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+
+let ev ?(kind = T.Send) ?(time = 0.0) ?(seq = 0) ?(edge = 0) ?(dir = 0)
+    ?(nth = 0) ?(src = 0) ?(dst = 1) ?(delay = 1.0) () =
+  { T.kind; time; seq; edge; dir; nth; src; dst; delay }
+
+let test_jsonl_roundtrip () =
+  let t = T.create () in
+  T.add t (ev ~time:0.1 ~seq:3 ~delay:0.30000000000000004 ());
+  T.add t
+    (ev ~kind:T.Deliver ~time:1.5e-7 ~seq:4 ~edge:7 ~dir:1 ~nth:2 ~src:9
+       ~dst:3 ~delay:0.0 ());
+  T.add t
+    (ev ~kind:T.Local ~time:12.0 ~seq:5 ~edge:(-1) ~dir:(-1) ~nth:(-1)
+       ~src:(-1) ~dst:(-1) ~delay:0.0 ());
+  let t' = T.of_jsonl (T.to_jsonl t) in
+  Alcotest.(check bool) "round-trips exactly" true (T.equal t t');
+  Alcotest.check_raises "malformed line rejected"
+    (Invalid_argument "Trace.of_jsonl: unparsable line \"{oops}\"") (fun () ->
+      ignore (T.of_jsonl "{oops}"))
+
+let test_jsonl_file_roundtrip () =
+  let t = T.create () in
+  for i = 0 to 9 do
+    T.add t (ev ~time:(float_of_int i /. 3.0) ~seq:i ())
+  done;
+  let path = Filename.temp_file "csap-trace" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      T.save_jsonl t path;
+      Alcotest.(check bool) "file round-trips" true
+        (T.equal t (T.load_jsonl path)))
+
+let test_ring_drops_oldest () =
+  let t = T.create ~capacity:3 () in
+  for i = 0 to 9 do
+    T.add t (ev ~seq:i ())
+  done;
+  Alcotest.(check int) "length capped" 3 (T.length t);
+  Alcotest.(check int) "dropped counted" 7 (T.dropped t);
+  Alcotest.(check (list int)) "last three kept" [ 7; 8; 9 ]
+    (Array.to_list (Array.map (fun e -> e.T.seq) (T.events t)));
+  (match T.recorded t with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "recorded on a lossy ring must raise");
+  T.clear t;
+  Alcotest.(check int) "clear resets length" 0 (T.length t);
+  Alcotest.(check int) "clear resets dropped" 0 (T.dropped t)
+
+let test_collector_scopes () =
+  (* Engines created inside a collector scope register traces, in creation
+     order; outside, none. *)
+  let g = Gen.path 3 ~w:2 in
+  let outside = E.create g in
+  Alcotest.(check bool) "no ambient trace" true (E.trace outside = None);
+  let (e1, e2), traces =
+    T.with_collector (fun () -> (E.create g, E.create g))
+  in
+  Alcotest.(check int) "one trace per engine" 2 (List.length traces);
+  Alcotest.(check bool) "attached in order" true
+    (E.trace e1 = Some (List.nth traces 0)
+    && E.trace e2 = Some (List.nth traces 1));
+  let (), nested =
+    T.with_collector (fun () ->
+        let (), inner = T.with_collector (fun () -> ignore (E.create g)) in
+        Alcotest.(check int) "inner scope sees its engine" 1
+          (List.length inner))
+  in
+  Alcotest.(check int) "outer scope does not see inner's" 0
+    (List.length nested)
+
+(* Record a run, rebuild the schedule with [recorded], re-run: the replay
+   must reproduce the execution event for event and metric for metric. *)
+let record_and_replay g ~source ~delay =
+  let r, traces =
+    T.with_collector (fun () -> Csap.Flood.run ~delay g ~source)
+  in
+  let tr = match traces with [ tr ] -> tr | _ -> Alcotest.fail "one engine" in
+  let r', traces' =
+    T.with_collector (fun () ->
+        Csap.Flood.run ~delay:(T.recorded tr) g ~source)
+  in
+  let tr' = match traces' with [ t ] -> t | _ -> Alcotest.fail "one engine" in
+  (r, tr, r', tr')
+
+let test_replay_reproduces () =
+  let g = Gen.grid 4 4 ~w:7 in
+  let rng = Csap_graph.Rng.create 42 in
+  let r, tr, r', tr' =
+    record_and_replay g ~source:0 ~delay:(Csap_dsim.Delay.Uniform rng)
+  in
+  Alcotest.(check bool) "identical event order" true (T.equal tr tr');
+  Alcotest.(check bool) "identical measures" true
+    (r.Csap.Flood.measures = r'.Csap.Flood.measures);
+  Alcotest.(check bool) "identical arrivals" true
+    (r.Csap.Flood.arrival = r'.Csap.Flood.arrival)
+
+let test_replay_through_jsonl () =
+  (* The JSONL round trip preserves enough precision that replay-from-file
+     is still exact. *)
+  let g = Gen.grid 3 5 ~w:9 in
+  let rng = Csap_graph.Rng.create 7 in
+  let delay = Csap_dsim.Delay.Uniform rng in
+  let r, traces =
+    T.with_collector (fun () -> Csap.Flood.run ~delay g ~source:2)
+  in
+  let tr = List.hd traces in
+  let tr = T.of_jsonl (T.to_jsonl tr) in
+  let r', traces' =
+    T.with_collector (fun () ->
+        Csap.Flood.run ~delay:(T.recorded tr) g ~source:2)
+  in
+  Alcotest.(check bool) "event order survives JSONL" true
+    (T.equal tr (List.hd traces'));
+  Alcotest.(check bool) "measures survive JSONL" true
+    (r.Csap.Flood.measures = r'.Csap.Flood.measures)
+
+let test_diverged_replay_detected () =
+  (* Replaying a recording on a different graph asks for sends the
+     recording never made. *)
+  let g = Gen.path 4 ~w:3 in
+  let _, traces =
+    T.with_collector (fun () -> Csap.Flood.run g ~source:0)
+  in
+  let oracle = T.recorded (List.hd traces) in
+  let bigger = Gen.grid 3 3 ~w:3 in
+  match Csap.Flood.run ~delay:oracle bigger ~source:0 with
+  | _ -> Alcotest.fail "diverged replay must raise"
+  | exception Invalid_argument _ -> ()
+
+let prop_replay =
+  QCheck.Test.make ~count:30 ~name:"record/replay reproduces any flood"
+    (Gen_qcheck.graph_and_vertex ~max_n:16 ())
+    (fun (g, source) ->
+      let r, tr, r', tr' =
+        record_and_replay g ~source
+          ~delay:(Csap_dsim.Delay.seeded (G.n g + source))
+      in
+      T.equal tr tr'
+      && r.Csap.Flood.measures = r'.Csap.Flood.measures
+      && r.Csap.Flood.arrival = r'.Csap.Flood.arrival)
+
+let prop_jsonl_roundtrip =
+  QCheck.Test.make ~count:100 ~name:"JSONL round-trips random events"
+    QCheck.(
+      list
+        (tup4 (int_range 0 2)
+           (pair (float_bound_inclusive 100.0) small_nat)
+           (pair small_nat small_nat)
+           (float_bound_inclusive 50.0)))
+    (fun entries ->
+      let t = T.create () in
+      List.iter
+        (fun (k, (time, seq), (edge, nth), delay) ->
+          let kind =
+            match k with 0 -> T.Send | 1 -> T.Deliver | _ -> T.Local
+          in
+          T.add t (ev ~kind ~time ~seq ~edge ~nth ~delay ()))
+        entries;
+      T.equal t (T.of_jsonl (T.to_jsonl t)))
+
+let suite =
+  [
+    Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
+    Alcotest.test_case "JSONL file round-trip" `Quick
+      test_jsonl_file_roundtrip;
+    Alcotest.test_case "ring keeps the newest events" `Quick
+      test_ring_drops_oldest;
+    Alcotest.test_case "collector scopes are nested and isolated" `Quick
+      test_collector_scopes;
+    Alcotest.test_case "replay reproduces the recorded run" `Quick
+      test_replay_reproduces;
+    Alcotest.test_case "replay survives the JSONL round-trip" `Quick
+      test_replay_through_jsonl;
+    Alcotest.test_case "diverged replay detected" `Quick
+      test_diverged_replay_detected;
+    QCheck_alcotest.to_alcotest prop_replay;
+    QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+  ]
