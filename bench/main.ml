@@ -31,6 +31,7 @@ let benches =
     ("sy", Bench_sync.sy);
     ("ct", Bench_ctrl.ct);
     ("sx", Bench_sched.sx);
+    ("fx", Bench_fault.fx);
   ]
 
 type options = {

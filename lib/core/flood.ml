@@ -1,4 +1,5 @@
 module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 
 type result = {
@@ -13,15 +14,15 @@ type engine = msg Engine.t
 
 let make_engine ?delay g = Engine.create ?delay g
 
-let run ?delay ?engine g ~source =
+let run ?delay ?faults ?engine g ~source =
   let n = G.n g in
   let eng =
     match engine with
-    | None -> Engine.create ?delay g
+    | None -> Engine.create ?delay ?faults g
     | Some eng ->
       if G.id (Engine.graph eng) <> G.id g then
         invalid_arg "Flood.run: engine built over a different graph";
-      Engine.reset ?delay eng;
+      Engine.reset ?delay ?faults eng;
       eng
   in
   let parent = Array.make n (-1) in
@@ -61,3 +62,67 @@ let run ?delay ?engine g ~source =
     { (Measures.of_metrics (Engine.metrics eng)) with Measures.time = completion }
   in
   { tree; arrival; measures }
+
+type reliable_result = {
+  result : result;
+  retransmissions : int;
+  restarts : int;
+}
+
+(* The same wave, through the reliable-delivery shim: correct under any
+   survivable fault plan (loss < 1, finite outages/crashes) because the
+   shim restores the exactly-once FIFO links the plain run assumes. The
+   wave state lives in stable storage — a crashed vertex keeps what it
+   learned, and [on_restart] (here: a restart counter plus an optional
+   caller hook) only rebuilds volatile state. Resetting [reached] instead
+   would be unsound: copies delivered before the crash are never
+   redelivered, and re-parenting on a late copy could close a cycle. *)
+let run_reliable ?delay ?faults ?rto ?max_rto ?on_restart g ~source =
+  let n = G.n g in
+  let net = Net.reliable ?delay ?faults ?rto ?max_rto g in
+  let parent = Array.make n (-1) in
+  let parent_w = Array.make n 0 in
+  let reached = Array.make n false in
+  let arrival = Array.make n infinity in
+  let restarts = ref 0 in
+  let forward v ~except =
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then net.Net.send ~src:v ~dst:u Wave)
+  in
+  for v = 0 to n - 1 do
+    net.Net.set_handler v (fun ~src Wave ->
+        if not reached.(v) then begin
+          reached.(v) <- true;
+          arrival.(v) <- net.Net.now ();
+          parent.(v) <- src;
+          (match G.edge_between g v src with
+          | Some (w, _) -> parent_w.(v) <- w
+          | None -> assert false);
+          forward v ~except:src
+        end);
+    net.Net.set_on_restart v (fun () ->
+        incr restarts;
+        match on_restart with Some f -> f v | None -> ())
+  done;
+  net.Net.schedule ~delay:0.0 (fun () ->
+      reached.(source) <- true;
+      arrival.(source) <- 0.0;
+      forward source ~except:(-1));
+  ignore (net.Net.run ());
+  if not (Array.for_all Fun.id reached) then
+    invalid_arg "Flood.run_reliable: wave did not cover the graph";
+  let tree =
+    Csap_graph.Tree.of_parents ~root:source ~parents:parent ~weights:parent_w
+  in
+  let completion = Array.fold_left Float.max 0.0 arrival in
+  let measures =
+    {
+      (Measures.of_metrics (net.Net.metrics ())) with
+      Measures.time = completion;
+    }
+  in
+  {
+    result = { tree; arrival; measures };
+    retransmissions = net.Net.retransmissions ();
+    restarts = !restarts;
+  }

@@ -21,15 +21,45 @@ type engine
     per-edge state per (instance) point instead of one per trial. *)
 val make_engine : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> engine
 
-(** [run ?delay ?engine g ~source] floods from [source]; requires a
-    connected graph. When [engine] is given it must have been built over
-    [g] (checked by graph identity; raises [Invalid_argument]
-    otherwise); it is {!Csap_dsim.Engine.reset} — installing [delay] if
-    provided — and reused instead of creating a fresh engine, which
-    multi-seed trial loops exploit to skip per-trial reconstruction. *)
+(** [run ?delay ?faults ?engine g ~source] floods from [source];
+    requires a connected graph. When [engine] is given it must have been
+    built over [g] (checked by graph identity; raises [Invalid_argument]
+    otherwise); it is {!Csap_dsim.Engine.reset} — installing [delay] and
+    [faults] if provided (and clearing any previous plan otherwise) —
+    and reused instead of creating a fresh engine, which multi-seed
+    trial loops exploit to skip per-trial reconstruction.
+
+    With [faults], messages run over the raw (unreliable) engine: a plan
+    that drops a first-contact copy can leave the wave short of some
+    vertices, in which case [run] raises [Invalid_argument] like it does
+    on a disconnected graph. Use {!run_reliable} for correctness under
+    faults. *)
 val run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
   ?engine:engine ->
   Csap_graph.Graph.t ->
   source:int ->
   result
+
+type reliable_result = {
+  result : result;
+  retransmissions : int;  (** timeout-driven data retransmissions *)
+  restarts : int;  (** crash-restart events observed *)
+}
+
+(** [run_reliable ?delay ?faults ?rto ?max_rto ?on_restart g ~source]
+    floods through the {!Csap_dsim.Reliable} shim: under any survivable
+    fault plan (loss < 1, finite outages and crashes) the wave covers
+    the graph and the first-contact tree is a valid spanning tree.
+    [on_restart v] is called each time vertex [v] restarts after a
+    crash, after the shim has re-armed its timers. *)
+val run_reliable :
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?rto:float ->
+  ?max_rto:float ->
+  ?on_restart:(int -> unit) ->
+  Csap_graph.Graph.t ->
+  source:int ->
+  reliable_result

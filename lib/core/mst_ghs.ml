@@ -271,8 +271,8 @@ let create g ~send:send_fn ~on_done =
     max_level_ = (fun () -> !max_level);
   }
 
-let run ?delay g =
-  let eng = Engine.create ?delay g in
+let run ?delay ?faults g =
+  let eng = Engine.create ?delay ?faults g in
   let t =
     create g
       ~send:(fun ~src ~dst m -> Engine.send eng ~src ~dst m)
@@ -291,4 +291,47 @@ let run ?delay g =
     mst = mst t;
     measures = Measures.of_metrics (Engine.metrics eng);
     max_level = max_level t;
+  }
+
+type reliable_result = {
+  result : result;
+  retransmissions : int;
+  restarts : int;
+}
+
+(* GHS through the reliable shim. The state machine above assumes
+   exactly-once FIFO links — exactly what the shim restores over a
+   faulty engine — and all its state is stable storage under the crash
+   model, so no crash-specific protocol logic is needed. *)
+let run_reliable ?delay ?faults ?rto ?max_rto ?on_restart g =
+  let module Net = Csap_dsim.Net in
+  let net = Net.reliable ?delay ?faults ?rto ?max_rto g in
+  let t =
+    create g
+      ~send:(fun ~src ~dst m -> net.Net.send ~src ~dst m)
+      ~on_done:(fun () -> ())
+  in
+  let restarts = ref 0 in
+  for v = 0 to G.n g - 1 do
+    net.Net.set_handler v (fun ~src m -> handle t ~me:v ~src m);
+    net.Net.set_on_restart v (fun () ->
+        incr restarts;
+        match on_restart with Some f -> f v | None -> ())
+  done;
+  net.Net.schedule ~delay:0.0 (fun () ->
+      for v = 0 to G.n g - 1 do
+        wake t v
+      done);
+  ignore (net.Net.run ());
+  if not (finished t) then
+    failwith "Mst_ghs.run_reliable: did not terminate";
+  {
+    result =
+      {
+        mst = mst t;
+        measures = Measures.of_metrics (net.Net.metrics ());
+        max_level = max_level t;
+      };
+    retransmissions = net.Net.retransmissions ();
+    restarts = !restarts;
   }

@@ -73,11 +73,11 @@ let tree_of_states g ~source states =
     states;
   Csap_graph.Tree.of_parents ~root:source ~parents ~weights
 
-let try_run ?delay ?comm_budget ?k g ~source =
+let try_run ?delay ?faults ?reliable ?comm_budget ?k g ~source =
   let d = Csap_graph.Paths.diameter g in
   let inner, outcome =
-    Synchronizer.run_transformed ?delay ?comm_budget ?k g (protocol ~source)
-      ~pulses:(d + 1)
+    Synchronizer.run_transformed ?delay ?faults ?reliable ?comm_budget ?k g
+      (protocol ~source) ~pulses:(d + 1)
   in
   let complete =
     Array.for_all (fun (s : state) -> s.dist < max_int) inner
@@ -95,7 +95,7 @@ let try_run ?delay ?comm_budget ?k g ~source =
         transformed_pulses = outcome.Synchronizer.pulses;
       }
 
-let run ?delay ?k g ~source =
-  match try_run ?delay ?k g ~source with
+let run ?delay ?faults ?reliable ?k g ~source =
+  match try_run ?delay ?faults ?reliable ?k g ~source with
   | Some r -> r
-  | None -> failwith "Spt_synch.run: incomplete (disconnected graph?)" 
+  | None -> failwith "Spt_synch.run: incomplete (disconnected graph?)"

@@ -36,12 +36,18 @@ type result = {
   transformed_pulses : int;
 }
 
-(** [run ?delay ?k g ~source] — the full asynchronous pipeline:
-    normalize, wrap with gamma_w, run, extract the SPT. The number of
-    synchronous pulses simulated is [script-D + 1] (the wave is complete by
-    then). *)
+(** [run ?delay ?faults ?reliable ?k g ~source] — the full asynchronous
+    pipeline: normalize, wrap with gamma_w, run, extract the SPT. The
+    number of synchronous pulses simulated is [script-D + 1] (the wave is
+    complete by then). [faults] injects a fault plan into the underlying
+    engine (the normalized graph keeps [g]'s topology and edge ids, so a
+    plan built for [g] applies unchanged); correctness under loss
+    requires [~reliable:true], which routes everything through the
+    {!Csap_dsim.Reliable} shim. *)
 val run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?k:int ->
   Csap_graph.Graph.t ->
   source:int ->
@@ -51,6 +57,8 @@ val run :
     ran out before every vertex was reached. *)
 val try_run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?comm_budget:int ->
   ?k:int ->
   Csap_graph.Graph.t ->

@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 module SP = Csap_dsim.Sync_protocol
 
@@ -12,6 +12,7 @@ type ('s, 'm) outcome = {
   total : Measures.t;
   amortized_comm : float;
   amortized_time : float;
+  retransmissions : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -125,7 +126,7 @@ type 'm wire =
    see the [encode_*] functions below. *)
 
 type ('s, 'm) core = {
-  eng : 'm wire Engine.t;
+  net : 'm wire Net.t;
   g : G.t;
   protocol : ('s, 'm) SP.t;
   pulses : int;
@@ -154,10 +155,10 @@ let tbl_add tbl key delta =
   if v = 0 then Hashtbl.remove tbl key else Hashtbl.replace tbl key v;
   v
 
-let make_core ?(check_in_synch = false) eng g protocol ~pulses ~cleared =
+let make_core ?(check_in_synch = false) net g protocol ~pulses ~cleared =
   let n = G.n g in
   {
-    eng;
+    net;
     g;
     protocol;
     pulses;
@@ -205,7 +206,7 @@ let rec core_try_execute c v =
           ignore (tbl_add c.outstanding_lvl (v, p, level) 1);
           if not (List.mem level !levels_touched) then
             levels_touched := level :: !levels_touched;
-          Engine.send c.eng ~src:v ~dst (Proto { sent_at = p; payload }))
+          c.net.Net.send ~src:v ~dst (Proto { sent_at = p; payload }))
       sends;
     ignore !levels_touched;
     c.on_executed v p;
@@ -228,7 +229,7 @@ let core_handle_proto c ~me ~src ~sent_at payload =
     Hashtbl.replace c.buffer (me, arrival) ((src, payload) :: old)
   end;
   c.ack_comm <- c.ack_comm + w;
-  Engine.send c.eng ~src:me ~dst:src (Ack { sent_at })
+  c.net.Net.send ~src:me ~dst:src (Ack { sent_at })
 
 let core_handle_ack c ~me ~src ~sent_at =
   let w =
@@ -244,14 +245,17 @@ let core_handle_ack c ~me ~src ~sent_at =
   if left = 0 then c.on_safe me sent_at;
   if left_lvl = 0 then c.on_safe_level me ~pulse:sent_at ~level
 
-let finish ?comm_budget c eng start_all =
-  Engine.schedule eng ~delay:0.0 (fun () ->
+let finish ?comm_budget c start_all =
+  c.net.Net.schedule ~delay:0.0 (fun () ->
       for v = 0 to G.n c.g - 1 do
         start_all v
       done);
-  ignore (Engine.run ?comm_budget eng);
-  let metrics = Engine.metrics eng in
-  let total = Measures.of_metrics metrics in
+  ignore (c.net.Net.run ?comm_budget ());
+  let total = Measures.of_metrics (c.net.Net.metrics ()) in
+  (* On a reliable transport, the shim's own traffic (transport-level
+     acks and retransmissions) lands in [control_comm] alongside the
+     synchronizer's control messages: it is overhead the protocol did
+     not ask for. *)
   let control_comm = total.Measures.comm - c.proto_comm - c.ack_comm in
   {
     states = c.states;
@@ -265,6 +269,7 @@ let finish ?comm_budget c eng start_all =
       float_of_int (c.ack_comm + control_comm)
       /. float_of_int (max 1 c.pulses);
     amortized_time = total.Measures.time /. float_of_int (max 1 c.pulses);
+    retransmissions = c.net.Net.retransmissions ();
   }
 
 (* ------------------------------------------------------------------ *)
@@ -273,9 +278,9 @@ let finish ?comm_budget c eng start_all =
 
 (* Ctrl encoding for alpha/beta: the pulse number. *)
 
-let run_alpha ?delay g protocol ~pulses =
+let run_alpha ?delay ?faults ?reliable g protocol ~pulses =
   let n = G.n g in
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
   (* heard.(v).(i): highest pulse for which neighbour i declared safe. *)
   let heard = Array.init n (fun v -> Array.make (G.degree g v) (-1)) in
   let neighbor_index = Array.init n (fun _ -> Hashtbl.create 4) in
@@ -288,12 +293,12 @@ let run_alpha ?delay g protocol ~pulses =
   let cleared v p =
     p = 0 || Array.for_all (fun h -> h >= p - 1) heard.(v)
   in
-  let core = make_core eng g protocol ~pulses ~cleared in
+  let core = make_core net g protocol ~pulses ~cleared in
   core.on_safe <-
     (fun v p ->
-      G.iter_neighbors g v (fun u _ _ -> Engine.send eng ~src:v ~dst:u (Ctrl p)));
+      G.iter_neighbors g v (fun u _ _ -> net.Net.send ~src:v ~dst:u (Ctrl p)));
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         match msg with
         | Proto { sent_at; payload } ->
           core_handle_proto core ~me:v ~src ~sent_at payload
@@ -304,14 +309,14 @@ let run_alpha ?delay g protocol ~pulses =
           heard.(v).(i) <- max heard.(v).(i) p;
           core_try_execute core v)
   done;
-  finish core eng (fun v -> core_try_execute core v)
+  finish core (fun v -> core_try_execute core v)
 
 (* ------------------------------------------------------------------ *)
 (* Synchronizer beta_w: one global tree with a leader.                 *)
 (* Ctrl encoding: 2p = Ready(p) upward, 2p+1 = Go(p) downward.         *)
 (* ------------------------------------------------------------------ *)
 
-let run_beta ?delay ?tree g protocol ~pulses =
+let run_beta ?delay ?faults ?reliable ?tree g protocol ~pulses =
   let tree =
     match tree with
     | Some t -> t
@@ -321,7 +326,7 @@ let run_beta ?delay ?tree g protocol ~pulses =
   in
   let n = G.n g in
   let root = Csap_graph.Tree.root tree in
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
   let n_children =
     Array.init n (fun v -> List.length (Csap_graph.Tree.children tree v))
   in
@@ -332,14 +337,14 @@ let run_beta ?delay ?tree g protocol ~pulses =
   let self_safe = Array.make n (-1) in
   let go = Array.make n 0 in
   let cleared v p = p <= go.(v) in
-  let core = make_core eng g protocol ~pulses ~cleared in
+  let core = make_core net g protocol ~pulses ~cleared in
   let subtree_check v p =
     if self_safe.(v) >= p && ready.(v) = n_children.(v) then begin
       ready.(v) <- 0;
       if v = root then begin
         if p < pulses then begin
           List.iter
-            (fun c -> Engine.send eng ~src:root ~dst:c (Ctrl ((2 * (p + 1)) + 1)))
+            (fun c -> net.Net.send ~src:root ~dst:c (Ctrl ((2 * (p + 1)) + 1)))
             (Csap_graph.Tree.children tree root);
           go.(root) <- p + 1;
           core_try_execute core root
@@ -347,7 +352,7 @@ let run_beta ?delay ?tree g protocol ~pulses =
       end
       else
         match Csap_graph.Tree.parent tree v with
-        | Some (parent, _) -> Engine.send eng ~src:v ~dst:parent (Ctrl (2 * p))
+        | Some (parent, _) -> net.Net.send ~src:v ~dst:parent (Ctrl (2 * p))
         | None -> assert false
     end
   in
@@ -356,7 +361,7 @@ let run_beta ?delay ?tree g protocol ~pulses =
       self_safe.(v) <- max self_safe.(v) p;
       subtree_check v p);
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         match msg with
         | Proto { sent_at; payload } ->
           core_handle_proto core ~me:v ~src ~sent_at payload
@@ -373,12 +378,12 @@ let run_beta ?delay ?tree g protocol ~pulses =
             let p = enc / 2 in
             go.(v) <- max go.(v) p;
             List.iter
-              (fun c -> Engine.send eng ~src:v ~dst:c (Ctrl ((2 * p) + 1)))
+              (fun c -> net.Net.send ~src:v ~dst:c (Ctrl ((2 * p) + 1)))
               (Csap_graph.Tree.children tree v);
             core_try_execute core v
           end)
   done;
-  finish core eng (fun v -> core_try_execute core v)
+  finish core (fun v -> core_try_execute core v)
 
 (* ------------------------------------------------------------------ *)
 (* Synchronizer gamma_w: per-weight-class cluster partitions.          *)
@@ -421,8 +426,8 @@ let decode_gamma enc =
   in
   (kind, level, round)
 
-let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
-    protocol ~pulses =
+let run_gamma_w ?delay ?faults ?reliable ?comm_budget ?(k = 2)
+    ?(levels = `Partition) g protocol ~pulses =
   if not (Normalize.is_normalized g) then
     invalid_arg "Synchronizer.run_gamma_w: network not normalized";
   let n = G.n g in
@@ -474,7 +479,7 @@ let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
         (fun v p -> if p >= 0 then trivial.(l).(v) <- false)
         part.Partition.parent)
     parts;
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
   (* go.(v).(l): latest round of level l released at v. *)
   let go = Array.init n (fun _ -> Array.make (max_level + 1) 0) in
   let cleared v p =
@@ -488,7 +493,7 @@ let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
     !ok
   in
   let core =
-    make_core ~check_in_synch:true eng g protocol ~pulses ~cleared
+    make_core ~check_in_synch:true net g protocol ~pulses ~cleared
   in
   (* Round bookkeeping, keyed by (level, round, vertex). *)
   let safe_got = Hashtbl.create 64 in
@@ -500,7 +505,7 @@ let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
   in
   let max_round l = (pulses / (1 lsl l)) + 1 in
   let send_ctrl v dst kind ~level ~round =
-    Engine.send eng ~src:v ~dst (Ctrl (encode_gamma kind ~level ~round))
+    net.Net.send ~src:v ~dst (Ctrl (encode_gamma kind ~level ~round))
   in
   (* Forward declarations via references to break the mutual recursion
      between the safety cascade and the release cascade. *)
@@ -620,7 +625,7 @@ let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
         try_contribute v p l
       done);
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         match msg with
         | Proto { sent_at; payload } ->
           core_handle_proto core ~me:v ~src ~sent_at payload
@@ -636,14 +641,18 @@ let run_gamma_w ?delay ?comm_budget ?(k = 2) ?(levels = `Partition) g
           | KReady -> ready_contribution level round v
           | KGo -> go_cascade level round v))
   done;
-  finish ?comm_budget core eng (fun v -> core_try_execute core v)
+  finish ?comm_budget core (fun v -> core_try_execute core v)
 
-let run_transformed ?delay ?comm_budget ?k g protocol ~pulses =
+let run_transformed ?delay ?faults ?reliable ?comm_budget ?k g protocol
+    ~pulses =
   let g' = Normalize.graph g in
   let p' = Normalize.protocol ~original:g protocol in
   let total_pulses =
     Normalize.pulses_needed ~original_pulses:pulses ~w_max:(G.max_weight g)
   in
-  let outcome = run_gamma_w ?delay ?comm_budget ?k g' p' ~pulses:total_pulses in
+  let outcome =
+    run_gamma_w ?delay ?faults ?reliable ?comm_budget ?k g' p'
+      ~pulses:total_pulses
+  in
   let inner = Array.map Normalize.inner_state outcome.states in
   (inner, outcome)

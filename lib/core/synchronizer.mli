@@ -42,12 +42,25 @@ type ('s, 'm) outcome = {
   total : Measures.t;
   amortized_comm : float;  (** (ack + control) / pulses — the paper's C_p *)
   amortized_time : float;  (** completion time / pulses — the paper's T_p *)
+  retransmissions : int;
+      (** transport-level retransmissions ([0] on a plain transport) *)
 }
+
+(** Every synchronizer below accepts [?faults] (a {!Csap_dsim.Fault.plan}
+    injected into the engine) and [?reliable] (default [false]; route all
+    traffic — protocol, acks and control alike — through the
+    {!Csap_dsim.Reliable} shim). A synchronizer is correct under message
+    loss only with [~reliable:true]: its safety detection assumes
+    exactly-once links, which the shim restores at the cost of
+    transport-level acks and retransmissions (reported in
+    [control_comm] / [retransmissions]). *)
 
 (** [run_alpha ?delay g p ~pulses] — synchronizer alpha_w. Works on any
     weighted network and synchronous protocol. *)
 val run_alpha :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   Csap_graph.Graph.t ->
   ('s, 'm) Csap_dsim.Sync_protocol.t ->
   pulses:int ->
@@ -57,6 +70,8 @@ val run_alpha :
     (default: shallow-light tree from a centre). *)
 val run_beta :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?tree:Csap_graph.Tree.t ->
   Csap_graph.Graph.t ->
   ('s, 'm) Csap_dsim.Sync_protocol.t ->
@@ -75,6 +90,8 @@ val run_beta :
     more control traffic; kept as a measurable ablation). *)
 val run_gamma_w :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?comm_budget:int ->
   ?k:int ->
   ?levels:[ `Partition | `Divisible ] ->
@@ -89,6 +106,8 @@ val run_gamma_w :
     network together with the inner states extracted. *)
 val run_transformed :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?comm_budget:int ->
   ?k:int ->
   Csap_graph.Graph.t ->

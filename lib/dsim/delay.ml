@@ -86,6 +86,8 @@ let hash4 a b c d =
 let to_unit h =
   Int64.to_float (Int64.shift_right_logical h 11) *. (1.0 /. 9007199254740992.0)
 
+let hash_unit a b c d = to_unit (hash4 a b c d)
+
 let seeded seed =
   Oracle
     {

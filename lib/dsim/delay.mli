@@ -69,6 +69,13 @@ val slow_edge : ?slow:float -> ?fast:float -> int -> t
     directions meet as unfairly as the model allows. *)
 val race_crossing : t
 
+(** [hash_unit a b c d] is the splitmix64 finalizer hash of the four ints
+    mapped into [[0, 1)] — the per-message-identity uniform that {!seeded}
+    is built on, exported so the fault layer ({!Fault.seeded}) draws its
+    Bernoulli coins from the same generator family without sharing any
+    stream state. *)
+val hash_unit : int -> int -> int -> int -> float
+
 (** [seeded seed] draws the delay of each message in [(0, w]] from a hash
     of [(seed, edge_id, dir, nth)]: deterministic per message {e identity}
     rather than per sampling order, so runs are reproducible under

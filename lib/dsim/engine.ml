@@ -1,5 +1,8 @@
 type 'msg action =
-  | Deliver of { src : int; dst : int; payload : 'msg }
+  | Deliver of { src : int; dst : int; payload : 'msg; epoch : int }
+    (* [epoch] is the receiver's crash epoch at send time: a crash bumps
+       the epoch, so deliveries pending at the crash arrive stale and are
+       dropped — without scanning the event queue at crash time. *)
   | Local of (unit -> unit)
 
 (* Boxed event records, used only by the historical [Boxed] queue. *)
@@ -41,39 +44,88 @@ type 'msg t = {
   mutable trace : Trace.t option;
   mutable clock : float;
   mutable seq : int;
+  (* Fault layer; [faults = None] keeps the historical reliable-network
+     semantics bit-for-bit (down/epoch stay all-false/zero). *)
+  mutable faults : Fault.plan option;
+  down : bool array;
+  epoch : int array;
+  restart_handlers : (unit -> unit) option array;
 }
 
 let compare_events a b =
   let c = compare a.time b.time in
   if c <> 0 then c else compare a.seq b.seq
 
-let create ?(delay = Delay.Exact) ?(edge_lookup = Indexed)
+let push t time action =
+  (match t.queue with
+  | Q_packed q -> Event_queue.add q ~time ~seq:t.seq action
+  | Q_boxed q -> Csap_graph.Heap.add q { time; seq = t.seq; action });
+  t.seq <- t.seq + 1
+
+(* Crash-restart events run as ordinary local events: at [at] the vertex
+   goes down and its epoch advances (dropping every pending delivery); at
+   [restart] it comes back up and its restart handler — looked up at fire
+   time, so handlers installed after [create] are seen — runs. Installed
+   at create/reset time, so they take the lowest sequence numbers and win
+   same-time ties against protocol bootstraps. *)
+let install_faults t = function
+  | None -> ()
+  | Some plan ->
+    let n = Array.length t.down in
+    List.iter
+      (fun { Fault.vertex = v; at; restart } ->
+        if v < 0 || v >= n then
+          invalid_arg
+            (Printf.sprintf "Engine: crash vertex %d out of range" v);
+        push t at
+          (Local
+             (fun () ->
+               t.down.(v) <- true;
+               t.epoch.(v) <- t.epoch.(v) + 1));
+        push t restart
+          (Local
+             (fun () ->
+               t.down.(v) <- false;
+               match t.restart_handlers.(v) with
+               | Some f -> f ()
+               | None -> ())))
+      plan.Fault.crashes
+
+let create ?(delay = Delay.Exact) ?faults ?(edge_lookup = Indexed)
     ?(event_queue = Packed) g =
-  {
-    g;
-    delay;
-    lookup = edge_lookup;
-    queue =
-      (match event_queue with
-      | Packed -> Q_packed (Event_queue.create ~dummy:(Local (fun () -> ())))
-      | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events));
-    handlers = Array.make (Csap_graph.Graph.n g) None;
-    metrics = Metrics.create ();
-    traffic = Array.make (Csap_graph.Graph.m g) 0;
-    last_delivery = Array.make (2 * Csap_graph.Graph.m g) 0.0;
-    send_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
-    deliver_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
-    trace = Trace.register ();
-    clock = 0.0;
-    seq = 0;
-  }
+  let t =
+    {
+      g;
+      delay;
+      lookup = edge_lookup;
+      queue =
+        (match event_queue with
+        | Packed -> Q_packed (Event_queue.create ~dummy:(Local (fun () -> ())))
+        | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events));
+      handlers = Array.make (Csap_graph.Graph.n g) None;
+      metrics = Metrics.create ();
+      traffic = Array.make (Csap_graph.Graph.m g) 0;
+      last_delivery = Array.make (2 * Csap_graph.Graph.m g) 0.0;
+      send_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
+      deliver_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
+      trace = Trace.register ();
+      clock = 0.0;
+      seq = 0;
+      faults;
+      down = Array.make (Csap_graph.Graph.n g) false;
+      epoch = Array.make (Csap_graph.Graph.n g) 0;
+      restart_handlers = Array.make (Csap_graph.Graph.n g) None;
+    }
+  in
+  install_faults t faults;
+  t
 
 (* Rewinds the engine to its just-created state without reallocating any
    of the per-vertex / per-edge arrays (handlers, traffic, FIFO stamps)
    or shedding the event queue's grown capacity — multi-seed trial loops
    reuse one engine per instance instead of rebuilding O(n + m) state
    per trial. *)
-let reset ?delay t =
+let reset ?delay ?faults t =
   (match delay with Some d -> t.delay <- d | None -> ());
   (match t.queue with
   | Q_packed q -> Event_queue.clear q
@@ -86,7 +138,15 @@ let reset ?delay t =
   Array.fill t.deliver_counts 0 (Array.length t.deliver_counts) 0;
   (match t.trace with Some tr -> Trace.clear tr | None -> ());
   t.clock <- 0.0;
-  t.seq <- 0
+  t.seq <- 0;
+  (* Fault state never leaks between trials: the plan, down flags, crash
+     epochs and restart handlers are all cleared; [?faults] installs a
+     fresh plan (and its crash events) for the next trial. *)
+  t.faults <- faults;
+  Array.fill t.down 0 (Array.length t.down) false;
+  Array.fill t.epoch 0 (Array.length t.epoch) 0;
+  Array.fill t.restart_handlers 0 (Array.length t.restart_handlers) None;
+  install_faults t faults
 
 let graph t = t.g
 let now t = t.clock
@@ -96,11 +156,9 @@ let trace t = t.trace
 
 let set_handler t v f = t.handlers.(v) <- Some f
 
-let push t time action =
-  (match t.queue with
-  | Q_packed q -> Event_queue.add q ~time ~seq:t.seq action
-  | Q_boxed q -> Csap_graph.Heap.add q { time; seq = t.seq; action });
-  t.seq <- t.seq + 1
+let set_restart_handler t v f = t.restart_handlers.(v) <- Some f
+let is_down t v = t.down.(v)
+let faults t = t.faults
 
 let queue_empty t =
   match t.queue with
@@ -134,6 +192,23 @@ let pop_action t =
     | Some e -> e.action
     | None -> assert false)
 
+let trace_send_kind t kind ~id ~dir ~nth ~src ~dst ~delay =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.add tr
+      {
+        Trace.kind;
+        time = t.clock;
+        seq = t.seq;
+        edge = id;
+        dir;
+        nth;
+        src;
+        dst;
+        delay;
+      }
+
 let send t ~src ~dst payload =
   (* The per-message hot path: an O(1)-amortised indexed lookup (no
      allocation) instead of scanning the adjacency list of [src]. *)
@@ -147,40 +222,62 @@ let send t ~src ~dst payload =
       (Printf.sprintf "Engine.send: no edge between %d and %d" src dst);
   let e = Csap_graph.Graph.edge t.g id in
   let w = e.Csap_graph.Graph.w in
-  Metrics.add_send t.metrics ~w;
-  t.traffic.(id) <- t.traffic.(id) + 1;
   let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
   let slot = (2 * id) + dir in
   let nth = t.send_counts.(slot) in
   t.send_counts.(slot) <- nth + 1;
-  let d = Delay.sample_on t.delay ~edge_id:id ~dir ~nth ~w in
-  (* Validate the sample once, at the send site: NaN fails every
-     comparison (it would corrupt the heap's strict (<) order), infinities
-     stall the clock, negatives run time backwards. *)
-  if not (d >= 0.0 && d < infinity) then
-    invalid_arg
-      (Printf.sprintf
-         "Engine.send: delay model produced invalid delay %g on edge %d" d
-         id);
-  (match t.trace with
-  | None -> ()
-  | Some tr ->
-    Trace.add tr
-      {
-        Trace.kind = Trace.Send;
-        time = t.clock;
-        seq = t.seq;
-        edge = id;
-        dir;
-        nth;
-        src;
-        dst;
-        delay = d;
-      });
-  let arrival = t.clock +. d in
-  let arrival = Float.max arrival t.last_delivery.(slot) in
-  t.last_delivery.(slot) <- arrival;
-  push t arrival (Deliver { src; dst; payload })
+  let disp =
+    match t.faults with
+    | None -> Fault.Pass
+    | Some plan ->
+      (* A down sender executes nothing, so a send reaching here (a stale
+         timer closure) transmits nothing and pays nothing. *)
+      if t.down.(src) then Fault.Drop
+      else plan.Fault.disposition ~edge_id:id ~dir ~nth ~now:t.clock
+  in
+  match disp with
+  | Fault.Drop ->
+    if not t.down.(src) then begin
+      (* The transmission happened and is paid for; it just never
+         arrives. No delay is sampled — the message has no arrival. *)
+      Metrics.add_send t.metrics ~w;
+      t.traffic.(id) <- t.traffic.(id) + 1
+    end;
+    trace_send_kind t Trace.Dropped ~id ~dir ~nth ~src ~dst ~delay:0.0
+  | Fault.Pass | Fault.Duplicate _ -> (
+    Metrics.add_send t.metrics ~w;
+    t.traffic.(id) <- t.traffic.(id) + 1;
+    let d = Delay.sample_on t.delay ~edge_id:id ~dir ~nth ~w in
+    (* Validate the sample once, at the send site: NaN fails every
+       comparison (it would corrupt the heap's strict (<) order), infinities
+       stall the clock, negatives run time backwards. *)
+    if not (d >= 0.0 && d < infinity) then
+      invalid_arg
+        (Printf.sprintf
+           "Engine.send: delay model produced invalid delay %g on edge %d" d
+           id);
+    trace_send_kind t Trace.Send ~id ~dir ~nth ~src ~dst ~delay:d;
+    let arrival = t.clock +. d in
+    let arrival = Float.max arrival t.last_delivery.(slot) in
+    t.last_delivery.(slot) <- arrival;
+    push t arrival (Deliver { src; dst; payload; epoch = t.epoch.(dst) });
+    match disp with
+    | Fault.Duplicate u ->
+      (* The network's extra copy: same identity, its own delay (the
+         plan's fraction of the weight), FIFO-clamped like any arrival,
+         free of communication cost. *)
+      let d2 = u *. float_of_int w in
+      if not (d2 >= 0.0 && d2 < infinity) then
+        invalid_arg
+          (Printf.sprintf
+             "Engine.send: fault plan produced invalid duplicate delay %g \
+              on edge %d"
+             d2 id);
+      trace_send_kind t Trace.Dup ~id ~dir ~nth ~src ~dst ~delay:d2;
+      let arrival2 = Float.max (t.clock +. d2) t.last_delivery.(slot) in
+      t.last_delivery.(slot) <- arrival2;
+      push t arrival2 (Deliver { src; dst; payload; epoch = t.epoch.(dst) })
+    | _ -> ())
 
 let schedule t ~delay f =
   if not (delay >= 0.0 && delay < infinity) then
@@ -193,7 +290,7 @@ let quiescent t = queue_empty t
 
 let dispatch t = function
   | Local f -> f ()
-  | Deliver { src; dst; payload } -> (
+  | Deliver { src; dst; payload; epoch = _ } -> (
     match t.handlers.(dst) with
     | Some f -> f ~src payload
     | None ->
@@ -201,7 +298,14 @@ let dispatch t = function
         (Printf.sprintf
            "Engine: no handler at vertex %d (message sent from %d)" dst src))
 
-let record_dispatch t tr seq action =
+(* True when a popped delivery is lost to a crash: the receiver is down
+   right now, or crashed (and so shed its pending deliveries) after the
+   message was sent. *)
+let delivery_dropped t = function
+  | Deliver { dst; epoch; _ } -> t.down.(dst) || epoch <> t.epoch.(dst)
+  | Local _ -> false
+
+let record_dispatch t tr seq ~dropped action =
   match action with
   | Deliver { src; dst; _ } ->
     let id =
@@ -212,11 +316,17 @@ let record_dispatch t tr seq action =
     let e = Csap_graph.Graph.edge t.g id in
     let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
     let slot = (2 * id) + dir in
-    let nth = t.deliver_counts.(slot) in
-    t.deliver_counts.(slot) <- nth + 1;
+    let nth =
+      if dropped then -1
+      else begin
+        let nth = t.deliver_counts.(slot) in
+        t.deliver_counts.(slot) <- nth + 1;
+        nth
+      end
+    in
     Trace.add tr
       {
-        Trace.kind = Trace.Deliver;
+        Trace.kind = (if dropped then Trace.Dropped else Trace.Deliver);
         time = t.clock;
         seq;
         edge = id;
@@ -267,16 +377,18 @@ let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
         in
         let action = pop_action t in
         t.clock <- Float.max t.clock time;
+        let dropped = delivery_dropped t action in
         (match t.trace with
-        | Some tr -> record_dispatch t tr seq action
+        | Some tr -> record_dispatch t tr seq ~dropped action
         | None -> ());
-        dispatch t action;
+        if not dropped then dispatch t action;
         incr processed;
         t.metrics.Metrics.events <- t.metrics.Metrics.events + 1;
         t.metrics.Metrics.completion_time <- t.clock;
         (match action with
-        | Deliver _ -> t.metrics.Metrics.last_delivery_time <- t.clock
-        | Local _ -> ())
+        | Deliver _ when not dropped ->
+          t.metrics.Metrics.last_delivery_time <- t.clock
+        | Deliver _ | Local _ -> ())
   done;
   (* Sliced runs compose: after [run ~until:t1] the clock sits at [t1]
      even on quiescence (so relative timers scheduled between slices land

@@ -30,17 +30,23 @@ type event_queue =
   | Packed
   | Boxed
 
-(** [create ?delay ?edge_lookup ?event_queue g] builds an idle engine over
-    the network [g]; the default delay model is {!Delay.Exact}. *)
+(** [create ?delay ?faults ?edge_lookup ?event_queue g] builds an idle
+    engine over the network [g]; the default delay model is
+    {!Delay.Exact}. [?faults] attaches a {!Fault.plan}: each send is
+    assigned a disposition (pass / drop / duplicate) by the plan, and the
+    plan's crash events are scheduled (see {2:faults Faults} below).
+    Without a plan — or under {!Fault.none} — behaviour is bit-identical
+    to the historical reliable network. *)
 val create :
   ?delay:Delay.t ->
+  ?faults:Fault.plan ->
   ?edge_lookup:edge_lookup ->
   ?event_queue:event_queue ->
   Csap_graph.Graph.t ->
   'msg t
 
-(** [reset ?delay t] rewinds [t] to the state [create] left it in —
-    clock and send counter to zero, metrics and per-edge traffic
+(** [reset ?delay ?faults t] rewinds [t] to the state [create] left it
+    in — clock and send counter to zero, metrics and per-edge traffic
     zeroed, FIFO delivery stamps and per-edge send/delivery ordinals
     cleared, any attached trace emptied (kept attached), every handler
     uninstalled and
@@ -48,9 +54,12 @@ val create :
     per-edge array (the event queue also keeps its grown capacity).
     [?delay] optionally installs a new delay model, so multi-seed trial
     loops can reuse one engine per instance, swapping the seeded model
-    each trial. A run after [reset] is indistinguishable from a run on
-    a freshly created engine. *)
-val reset : ?delay:Delay.t -> 'msg t -> unit
+    each trial. Fault state is never carried across trials: the previous
+    plan, down flags, crash epochs, pending crash events and restart
+    handlers are all cleared, and [?faults] (absent by default — a reset
+    engine is clean) installs a fresh plan. A run after [reset] is
+    indistinguishable from a run on a freshly created engine. *)
+val reset : ?delay:Delay.t -> ?faults:Fault.plan -> 'msg t -> unit
 
 val graph : 'msg t -> Csap_graph.Graph.t
 
@@ -104,6 +113,34 @@ val edge_traffic : 'msg t -> int array
 
 (** [send_count t] is the number of sends so far (= metrics messages). *)
 val send_count : 'msg t -> int
+
+(** {2:faults Faults}
+
+    With a {!Fault.plan} attached the engine becomes an unreliable
+    network under the same deterministic discipline: each send's fate is
+    the plan's pure function of the message identity and send time.
+    Dropped messages are paid for (communication and traffic) but never
+    arrive — no delay is sampled for them, so the delay model sees
+    exactly the surviving sends; duplicated messages arrive twice (the
+    extra copy costs nothing — the network, not the protocol, duplicated
+    it). Crash events take a vertex down at a plan-specified time: its
+    pending deliveries are dropped (crash-epoch stamping — nothing scans
+    the queue), deliveries and sends while down are dropped, and at the
+    restart time the vertex's restart handler runs. Every fault shows up
+    in an attached trace as a {!Trace.Dropped} or {!Trace.Dup} record,
+    and a faulty execution replays exactly by re-running under the
+    recorded delays ({!Trace.recorded}) and the same plan. *)
+
+(** [set_restart_handler t v f] installs [f] to run when [v] restarts
+    after a crash — the hook the reliable-delivery shim uses to re-arm
+    retransmission timers and call the protocol's [on_restart]. *)
+val set_restart_handler : 'msg t -> int -> (unit -> unit) -> unit
+
+(** [is_down t v] is true while [v] is crashed. *)
+val is_down : 'msg t -> int -> bool
+
+(** The attached fault plan, if any. *)
+val faults : 'msg t -> Fault.plan option
 
 (** {2 Tracing}
 

@@ -1,0 +1,106 @@
+type disposition =
+  | Pass
+  | Drop
+  | Duplicate of float
+
+type outage = {
+  edge : int option;
+  from_time : float;
+  until_time : float;
+}
+
+type crash = {
+  vertex : int;
+  at : float;
+  restart : float;
+}
+
+type plan = {
+  name : string;
+  disposition :
+    edge_id:int -> dir:int -> nth:int -> now:float -> disposition;
+  crashes : crash list;
+}
+
+let none =
+  {
+    name = "none";
+    disposition = (fun ~edge_id:_ ~dir:_ ~nth:_ ~now:_ -> Pass);
+    crashes = [];
+  }
+
+let validate_crashes name crashes =
+  List.iter
+    (fun { vertex; at; restart } ->
+      if vertex < 0 then
+        invalid_arg
+          (Printf.sprintf "Fault.%s: negative crash vertex %d" name vertex);
+      if not (at >= 0.0 && at < infinity) then
+        invalid_arg
+          (Printf.sprintf "Fault.%s: crash time %g not finite, >= 0" name at);
+      if not (restart > at && restart < infinity) then
+        invalid_arg
+          (Printf.sprintf
+             "Fault.%s: restart %g must be finite and after crash %g" name
+             restart at))
+    crashes
+
+let validate_outages name outages =
+  List.iter
+    (fun { edge; from_time; until_time } ->
+      (match edge with
+      | Some e when e < 0 ->
+        invalid_arg
+          (Printf.sprintf "Fault.%s: negative outage edge %d" name e)
+      | _ -> ());
+      if not (from_time >= 0.0 && until_time > from_time) then
+        invalid_arg
+          (Printf.sprintf "Fault.%s: bad outage window [%g, %g)" name
+             from_time until_time))
+    outages
+
+let make ?(crashes = []) ~name disposition =
+  validate_crashes "make" crashes;
+  { name; disposition; crashes }
+
+let in_outage outages ~edge_id ~now =
+  List.exists
+    (fun { edge; from_time; until_time } ->
+      (match edge with None -> true | Some e -> e = edge_id)
+      && now >= from_time && now < until_time)
+    outages
+
+(* Salts separating the loss, duplication and duplicate-delay streams of
+   one (seed, edge, dir, nth) identity; arbitrary odd constants. *)
+let salt_loss = 0x1d
+let salt_dup = 0x3b
+let salt_dup_delay = 0x71
+
+let seeded ?(loss = 0.0) ?(dup = 0.0) ?(outages = []) ?(crashes = []) seed =
+  if not (loss >= 0.0 && loss < 1.0) then
+    invalid_arg "Fault.seeded: loss must be in [0, 1)";
+  if not (dup >= 0.0 && dup <= 1.0) then
+    invalid_arg "Fault.seeded: dup must be in [0, 1]";
+  validate_outages "seeded" outages;
+  validate_crashes "seeded" crashes;
+  {
+    name = Printf.sprintf "seeded-%d" seed;
+    disposition =
+      (fun ~edge_id ~dir ~nth ~now ->
+        if in_outage outages ~edge_id ~now then Drop
+        else
+          let slot = (2 * edge_id) + dir in
+          if Delay.hash_unit seed slot nth salt_loss < loss then Drop
+          else if Delay.hash_unit seed slot nth salt_dup < dup then
+            (* The extra copy's delay is a fresh draw in (0, 1] of the
+               edge weight, independent of the primary copy's delay. *)
+            Duplicate (1.0 -. Delay.hash_unit seed slot nth salt_dup_delay)
+          else Pass);
+    crashes;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "fault(%s%s)" t.name
+    (match t.crashes with
+    | [] -> ""
+    | cs -> Printf.sprintf ", %d crashes" (List.length cs))

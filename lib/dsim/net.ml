@@ -1,0 +1,51 @@
+type 'm t = {
+  graph : Csap_graph.Graph.t;
+  send : src:int -> dst:int -> 'm -> unit;
+  set_handler : int -> (src:int -> 'm -> unit) -> unit;
+  set_on_restart : int -> (unit -> unit) -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  now : unit -> float;
+  run : ?until:float -> ?max_events:int -> ?comm_budget:int -> unit -> int;
+  quiescent : unit -> bool;
+  metrics : unit -> Metrics.t;
+  retransmissions : unit -> int;
+}
+
+let plain ?delay ?faults g =
+  let eng = Engine.create ?delay ?faults g in
+  {
+    graph = g;
+    send = (fun ~src ~dst m -> Engine.send eng ~src ~dst m);
+    set_handler = (fun v f -> Engine.set_handler eng v f);
+    set_on_restart = (fun v f -> Engine.set_restart_handler eng v f);
+    schedule = (fun ~delay f -> Engine.schedule eng ~delay f);
+    now = (fun () -> Engine.now eng);
+    run =
+      (fun ?until ?max_events ?comm_budget () ->
+        Engine.run ?until ?max_events ?comm_budget eng);
+    quiescent = (fun () -> Engine.quiescent eng);
+    metrics = (fun () -> Engine.metrics eng);
+    retransmissions = (fun () -> 0);
+  }
+
+let reliable ?delay ?faults ?rto ?max_rto g =
+  let eng = Engine.create ?delay ?faults g in
+  let shim = Reliable.create ?rto ?max_rto eng in
+  {
+    graph = g;
+    send = (fun ~src ~dst m -> Reliable.send shim ~src ~dst m);
+    set_handler = (fun v f -> Reliable.set_handler shim v f);
+    set_on_restart = (fun v f -> Reliable.set_on_restart shim v f);
+    schedule = (fun ~delay f -> Engine.schedule eng ~delay f);
+    now = (fun () -> Engine.now eng);
+    run =
+      (fun ?until ?max_events ?comm_budget () ->
+        Engine.run ?until ?max_events ?comm_budget eng);
+    quiescent = (fun () -> Engine.quiescent eng);
+    metrics = (fun () -> Engine.metrics eng);
+    retransmissions = (fun () -> Reliable.retransmissions shim);
+  }
+
+let make ?reliable:(r = false) ?delay ?faults ?rto ?max_rto g =
+  if r then reliable ?delay ?faults ?rto ?max_rto g
+  else plain ?delay ?faults g

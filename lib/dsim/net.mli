@@ -1,0 +1,51 @@
+(** A network endpoint abstraction over {!Engine} and {!Reliable}.
+
+    Protocol entry points build their engines internally, so giving each
+    of them a faults/reliable code path would mean duplicating every
+    entry point per transport — the two transports have different wire
+    types ([{!Engine.t}] over raw messages vs over {!Reliable.packet}s),
+    which rules out a shared engine value. A [Net.t] closes over
+    whichever transport it was built with and exposes the protocol-facing
+    surface (send, handlers, timers, run, metrics), so one protocol body
+    runs unchanged over a clean engine, a faulty engine, or a faulty
+    engine behind the reliable shim. *)
+
+type 'm t = {
+  graph : Csap_graph.Graph.t;
+  send : src:int -> dst:int -> 'm -> unit;
+  set_handler : int -> (src:int -> 'm -> unit) -> unit;
+  set_on_restart : int -> (unit -> unit) -> unit;
+  schedule : delay:float -> (unit -> unit) -> unit;
+  now : unit -> float;
+  run : ?until:float -> ?max_events:int -> ?comm_budget:int -> unit -> int;
+  quiescent : unit -> bool;
+  metrics : unit -> Metrics.t;
+  retransmissions : unit -> int;  (** [0] on a plain transport *)
+}
+
+(** [plain ?delay ?faults g] is a bare engine endpoint — the historical
+    semantics (unreliable when a plan drops messages; nothing
+    retransmits). *)
+val plain : ?delay:Delay.t -> ?faults:Fault.plan -> Csap_graph.Graph.t -> 'm t
+
+(** [reliable ?delay ?faults ?rto ?max_rto g] is an engine wrapped in the
+    {!Reliable} shim: exactly-once FIFO application-layer delivery under
+    any survivable fault plan, at the retransmission overhead. *)
+val reliable :
+  ?delay:Delay.t ->
+  ?faults:Fault.plan ->
+  ?rto:float ->
+  ?max_rto:float ->
+  Csap_graph.Graph.t ->
+  'm t
+
+(** [make ?reliable ?delay ?faults ?rto ?max_rto g] picks the transport
+    by flag ([reliable] defaults to [false]). *)
+val make :
+  ?reliable:bool ->
+  ?delay:Delay.t ->
+  ?faults:Fault.plan ->
+  ?rto:float ->
+  ?max_rto:float ->
+  Csap_graph.Graph.t ->
+  'm t

@@ -2,6 +2,8 @@ type kind =
   | Send
   | Deliver
   | Local
+  | Dropped
+  | Dup
 
 type event = {
   kind : kind;
@@ -94,11 +96,15 @@ let kind_to_string = function
   | Send -> "send"
   | Deliver -> "deliver"
   | Local -> "local"
+  | Dropped -> "dropped"
+  | Dup -> "dup"
 
 let kind_of_string = function
   | "send" -> Send
   | "deliver" -> Deliver
   | "local" -> Local
+  | "dropped" -> Dropped
+  | "dup" -> Dup
   | s -> invalid_arg (Printf.sprintf "Trace.of_jsonl: unknown kind %S" s)
 
 (* %.17g round-trips every finite double; the engine rejects non-finite
@@ -164,7 +170,10 @@ let recorded ?(name = "recorded") t =
     (fun ev ->
       match ev.kind with
       | Send -> Hashtbl.replace tbl ((2 * ev.edge) + ev.dir, ev.nth) ev.delay
-      | Deliver | Local -> ())
+      (* Dropped sends never sampled the delay model and Dup copies take
+         their delay from the fault plan, so neither feeds the oracle:
+         replaying under the same plan reproduces both without it. *)
+      | Deliver | Local | Dropped | Dup -> ())
     (events t);
   Delay.oracle ~name (fun ~edge_id ~dir ~nth ~w:_ ->
       match Hashtbl.find_opt tbl ((2 * edge_id) + dir, nth) with

@@ -14,6 +14,14 @@ type kind =
   | Send  (** a message was sent (delay freshly sampled) *)
   | Deliver  (** a message was delivered to its handler *)
   | Local  (** a local event (timer/bootstrap) ran *)
+  | Dropped
+      (** a message was lost: at send time by the fault plan (loss,
+          outage, down sender — no delay sampled), or at delivery time
+          because the receiver was down or had crashed since the send *)
+  | Dup
+      (** the extra copy a {!Fault.Duplicate} disposition enqueued; its
+          [delay] is the copy's sampled delay (from the fault plan, not
+          the delay model) *)
 
 type event = {
   kind : kind;

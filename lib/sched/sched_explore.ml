@@ -3,6 +3,7 @@ module Tree = Csap_graph.Tree
 module Paths = Csap_graph.Paths
 module Mst = Csap_graph.Mst
 module Delay = Csap_dsim.Delay
+module Fault = Csap_dsim.Fault
 module Trace = Csap_dsim.Trace
 module Measures = Csap.Measures
 
@@ -302,5 +303,299 @@ let explore ?pool ?trace_dir g ~targets ~schedules =
            worst_time = !worst_time;
            worst_comm = !worst_comm;
            failures = !failures;
+         })
+       targets)
+
+(* ------------------------------------------------------------------ *)
+(* Fault sweep: protocols behind the reliable shim under fault plans.  *)
+(* ------------------------------------------------------------------ *)
+
+type fault_schedule = {
+  flabel : string;
+  fmake : unit -> Fault.plan;
+}
+
+let fault_schedules g k =
+  if k < 0 then invalid_arg "Sched_explore.fault_schedules: negative count";
+  (* Time scale for outage/crash windows: the weighted diameter bounds a
+     clean flood; faulty runs last longer, so windows placed within it
+     are guaranteed to overlap the execution. *)
+  let scale = float_of_int (max 1 (Paths.diameter g)) in
+  let heavy = heaviest_edge g in
+  let n = G.n g in
+  List.init k (fun i ->
+      (* Seeds spaced like the delay schedules' so fault and delay
+         randomness never share splitmix streams. *)
+      let seed = 0xfa17 + (i * 0x20003) in
+      match i mod 4 with
+      | 0 ->
+        {
+          flabel = Printf.sprintf "loss-%d" i;
+          fmake = (fun () -> Fault.seeded ~loss:0.15 seed);
+        }
+      | 1 ->
+        {
+          flabel = Printf.sprintf "loss-dup-%d" i;
+          fmake = (fun () -> Fault.seeded ~loss:0.08 ~dup:0.12 seed);
+        }
+      | 2 ->
+        {
+          flabel = Printf.sprintf "outage-%d" i;
+          fmake =
+            (fun () ->
+              Fault.seeded ~loss:0.05
+                ~outages:
+                  [
+                    {
+                      Fault.edge = Some heavy;
+                      from_time = 0.25 *. scale;
+                      until_time = 0.75 *. scale;
+                    };
+                  ]
+                seed);
+        }
+      | _ ->
+        let v = 1 + ((i / 4) mod max 1 (n - 1)) in
+        {
+          flabel = Printf.sprintf "crash-v%d-%d" v i;
+          fmake =
+            (fun () ->
+              Fault.seeded ~loss:0.05
+                ~crashes:
+                  [
+                    {
+                      Fault.vertex = v;
+                      at = 0.3 *. scale;
+                      restart = 0.9 *. scale;
+                    };
+                  ]
+                seed);
+        })
+
+type fault_target = {
+  fname : string;
+  fexecute : G.t -> Delay.t -> Fault.plan -> (Measures.t, string) result;
+  fclean : G.t -> Measures.t;
+}
+
+let reliable_flood_target ~source =
+  {
+    fname = Printf.sprintf "rel-flood-src%d" source;
+    fexecute =
+      (fun g delay plan ->
+        let open Csap.Flood in
+        let r = run_reliable ~delay ~faults:plan g ~source in
+        if not (Tree.is_spanning_tree_of g r.result.tree) then
+          Error "rel-flood: first-contact tree is not a spanning tree"
+        else Ok r.result.measures);
+    fclean =
+      (fun g -> (Csap.Flood.run g ~source).Csap.Flood.measures);
+  }
+
+let reliable_mst_target =
+  {
+    fname = "rel-mst-ghs";
+    fexecute =
+      (fun g delay plan ->
+        let open Csap.Mst_ghs in
+        let r = run_reliable ~delay ~faults:plan g in
+        if not (Tree.is_spanning_tree_of g r.result.mst) then
+          Error "rel-ghs: result is not a spanning tree"
+        else if not (Mst.is_mst g r.result.mst) then
+          Error "rel-ghs: result tree is not the MST"
+        else Ok r.result.measures);
+    fclean = (fun g -> (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures);
+  }
+
+let reliable_spt_synch_target ~source =
+  {
+    fname = Printf.sprintf "rel-spt-synch-src%d" source;
+    fexecute =
+      (fun g delay plan ->
+        let r =
+          Csap.Spt_synch.run ~delay ~faults:plan ~reliable:true g ~source
+        in
+        match
+          check_spt ~what:"rel-spt-synch" g ~src:source r.Csap.Spt_synch.tree
+        with
+        | Ok () -> Ok r.Csap.Spt_synch.measures
+        | Error e -> Error e);
+    fclean =
+      (fun g -> (Csap.Spt_synch.run g ~source).Csap.Spt_synch.measures);
+  }
+
+type fault_run = {
+  frun_target : string;
+  fdelay : string;
+  fschedule : string;
+  fok : bool;
+  fviolation : string option;
+  fmeasures : Measures.t;
+  foverhead : float;
+}
+
+type fault_summary = {
+  ftarget_name : string;
+  fruns : fault_run array;
+  clean_comm : int;
+  worst_overhead : float;
+  mean_overhead : float;
+  ffailures : int;
+}
+
+let explore_faults ?pool ?trace_dir ?(check_replay = false) g ~targets
+    ~delays ~faults =
+  let targets = Array.of_list targets in
+  let delays = Array.of_list delays in
+  let faults = Array.of_list faults in
+  let nt = Array.length targets in
+  let nd = Array.length delays in
+  let nf = Array.length faults in
+  (* Clean baselines (default delay model, no faults): the overhead
+     denominator. *)
+  let clean = Array.map (fun (t : fault_target) -> t.fclean g) targets in
+  let per = nd * nf in
+  let results = Array.make (nt * per) None in
+  let split i = (i / per, i mod per / nf, i mod nf) in
+  let run_one ti di fi =
+    let t = targets.(ti) and d = delays.(di) and f = faults.(fi) in
+    let denom = float_of_int (max 1 clean.(ti).Measures.comm) in
+    match t.fexecute g (d.make ()) (f.fmake ()) with
+    | Ok m ->
+      {
+        frun_target = t.fname;
+        fdelay = d.label;
+        fschedule = f.flabel;
+        fok = true;
+        fviolation = None;
+        fmeasures = m;
+        foverhead = float_of_int m.Measures.comm /. denom;
+      }
+    | Error e ->
+      {
+        frun_target = t.fname;
+        fdelay = d.label;
+        fschedule = f.flabel;
+        fok = false;
+        fviolation = Some e;
+        fmeasures = Measures.zero;
+        foverhead = 0.0;
+      }
+    | exception e ->
+      {
+        frun_target = t.fname;
+        fdelay = d.label;
+        fschedule = f.flabel;
+        fok = false;
+        fviolation = Some (Printexc.to_string e);
+        fmeasures = Measures.zero;
+        foverhead = 0.0;
+      }
+  in
+  if nt > 0 && per > 0 then begin
+    let pool = match pool with Some p -> p | None -> Csap_pool.default () in
+    Csap_pool.run pool ~tasks:(nt * per) (fun ~worker:_ i ->
+        let ti, di, fi = split i in
+        results.(i) <- Some (run_one ti di fi))
+  end;
+  (* Replay audit (sequential: trace collectors are domain-local): record
+     each passing run's trace, re-run it under [Trace.recorded] with the
+     same fault plan, and demand event-for-event equality. A mismatch
+     turns the run into a failure. *)
+  if check_replay then
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some r when r.fok ->
+          let ti, di, fi = split i in
+          let t = targets.(ti) and d = delays.(di) and f = faults.(fi) in
+          let (), traces =
+            Trace.with_collector (fun () ->
+                ignore (t.fexecute g (d.make ()) (f.fmake ())))
+          in
+          (match traces with
+          | [ tr ] ->
+            let (), traces2 =
+              Trace.with_collector (fun () ->
+                  ignore (t.fexecute g (Trace.recorded tr) (f.fmake ())))
+            in
+            let ok =
+              match traces2 with [ tr2 ] -> Trace.equal tr tr2 | _ -> false
+            in
+            if not ok then
+              results.(i) <-
+                Some
+                  {
+                    r with
+                    fok = false;
+                    fviolation =
+                      Some "replay: re-run from trace diverged";
+                    foverhead = 0.0;
+                  }
+          | _ ->
+            results.(i) <-
+              Some
+                {
+                  r with
+                  fok = false;
+                  fviolation =
+                    Some "replay: expected exactly one engine trace";
+                  foverhead = 0.0;
+                })
+        | _ -> ())
+      results;
+  (* Failures get a replayable artifact: re-run the same deterministic
+     (target, delay, fault) triple under a collector and dump JSONL. *)
+  (match trace_dir with
+  | None -> ()
+  | Some dir ->
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some r when not r.fok ->
+          mkdir_p dir;
+          let ti, di, fi = split i in
+          let t = targets.(ti) and d = delays.(di) and f = faults.(fi) in
+          let (), traces =
+            Trace.with_collector (fun () ->
+                try ignore (t.fexecute g (d.make ()) (f.fmake ()))
+                with _ -> ())
+          in
+          List.iteri
+            (fun j tr ->
+              Trace.save_jsonl tr
+                (Filename.concat dir
+                   (Printf.sprintf "%s--%s--%s--%d.jsonl" (sanitize t.fname)
+                      (sanitize d.label) (sanitize f.flabel) j)))
+            traces
+        | _ -> ())
+      results);
+  Array.to_list
+    (Array.mapi
+       (fun ti (t : fault_target) ->
+         let fruns =
+           Array.init per (fun j ->
+               match results.((ti * per) + j) with
+               | Some r -> r
+               | None -> assert false)
+         in
+         let worst = ref 0.0 and sum = ref 0.0 in
+         let passed = ref 0 and failures = ref 0 in
+         Array.iter
+           (fun r ->
+             if r.fok then begin
+               worst := Float.max !worst r.foverhead;
+               sum := !sum +. r.foverhead;
+               incr passed
+             end
+             else incr failures)
+           fruns;
+         {
+           ftarget_name = t.fname;
+           fruns;
+           clean_comm = clean.(ti).Measures.comm;
+           worst_overhead = !worst;
+           mean_overhead = (if !passed = 0 then 0.0 else !sum /. float_of_int !passed);
+           ffailures = !failures;
          })
        targets)

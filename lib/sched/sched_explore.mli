@@ -106,3 +106,96 @@ val explore :
   targets:target list ->
   schedules:schedule list ->
   summary list
+
+(** {2 Fault sweep}
+
+    The same quantification extended to faulty networks: the adversary
+    now also picks which messages to lose or duplicate, which links to
+    black out and which vertices to crash (a {!Csap_dsim.Fault.plan}).
+    Protocols run behind the {!Csap_dsim.Reliable} shim, so the oracle
+    checks are the {e same} as the clean sweep's — the shim is what makes
+    them hold — and the interesting number becomes the retransmission
+    overhead factor: weighted communication under faults divided by the
+    clean unwrapped run's. *)
+
+(** A named way to build a fault plan; [fmake] is called once per run. *)
+type fault_schedule = {
+  flabel : string;
+  fmake : unit -> Csap_dsim.Fault.plan;
+}
+
+(** [fault_schedules g k] is [k] seeded plans cycling through four
+    shapes: pure loss, loss + duplication, loss + a burst outage on the
+    heaviest edge, and loss + a crash-restart of one vertex (never the
+    conventional source 0). Outage and crash windows are placed within
+    the weighted diameter of [g] so they overlap any execution. *)
+val fault_schedules : Csap_graph.Graph.t -> int -> fault_schedule list
+
+(** A protocol under fault test: [fexecute g delay plan] runs the
+    shim-wrapped protocol and checks the clean oracle; [fclean g] runs
+    the unwrapped protocol on the fault-free network — the overhead
+    denominator. *)
+type fault_target = {
+  fname : string;
+  fexecute :
+    Csap_graph.Graph.t ->
+    Csap_dsim.Delay.t ->
+    Csap_dsim.Fault.plan ->
+    (Csap.Measures.t, string) result;
+  fclean : Csap_graph.Graph.t -> Csap.Measures.t;
+}
+
+(** Flood through {!Csap.Flood.run_reliable}: the first-contact tree must
+    still span the graph. (The clean sweep's arrival-time bound does not
+    survive retransmission delays.) *)
+val reliable_flood_target : source:int -> fault_target
+
+(** GHS through {!Csap.Mst_ghs.run_reliable}: the result must be the
+    unique MST. *)
+val reliable_mst_target : fault_target
+
+(** SPT via the synchronizer pipeline with [~reliable:true]: same
+    Dijkstra-distance invariant as the clean sweep. *)
+val reliable_spt_synch_target : source:int -> fault_target
+
+(** One (target, delay schedule, fault plan) run. *)
+type fault_run = {
+  frun_target : string;
+  fdelay : string;
+  fschedule : string;
+  fok : bool;
+  fviolation : string option;
+  fmeasures : Csap.Measures.t;  (** zero when the run failed *)
+  foverhead : float;
+      (** weighted comm of this run / the target's clean comm; [0] when
+          the run failed *)
+}
+
+(** Per-target aggregate over all (delay, fault) pairs. *)
+type fault_summary = {
+  ftarget_name : string;
+  fruns : fault_run array;  (** delay-major, fault-minor order *)
+  clean_comm : int;  (** the unwrapped fault-free run's weighted comm *)
+  worst_overhead : float;  (** max over passing runs *)
+  mean_overhead : float;  (** mean over passing runs *)
+  ffailures : int;
+}
+
+(** [explore_faults ?pool ?trace_dir ?check_replay g ~targets ~delays
+    ~faults] runs every target under every (delay schedule, fault plan)
+    pair, sharded over [pool]. With [check_replay] (default [false]),
+    each passing run is re-executed under a trace collector and then
+    {e replayed} — re-run under {!Csap_dsim.Trace.recorded} of its own
+    trace with the same fault plan — demanding event-for-event equality;
+    divergence marks the run failed. With [trace_dir], each failing
+    run's traces are written to
+    [trace_dir/<target>--<delay>--<fault>--<i>.jsonl]. *)
+val explore_faults :
+  ?pool:Csap_pool.t ->
+  ?trace_dir:string ->
+  ?check_replay:bool ->
+  Csap_graph.Graph.t ->
+  targets:fault_target list ->
+  delays:schedule list ->
+  faults:fault_schedule list ->
+  fault_summary list

@@ -99,6 +99,39 @@ let prop_theorem_1_1 =
       in
       check_theorem_1_1 g (singles @ pairs) k)
 
+let prop_dijkstra_within_full =
+  QCheck.Test.make ~count:40 ~name:"dijkstra_within on V = full Dijkstra"
+    (Gen_qcheck.graph_and_vertex ~max_n:16 ~max_wmax:8 ())
+    (fun (g, v) ->
+      let all = C.of_list (List.init (G.n g) Fun.id) in
+      let within = C.dijkstra_within g all ~src:v in
+      let full = (Csap_graph.Paths.dijkstra g ~src:v).Csap_graph.Paths.dist in
+      within = full)
+
+let prop_radius_center =
+  (* On the star cluster {v} + N(v) (connected by construction): the
+     returned centre is a member attaining the radius, and no member has a
+     smaller eccentricity. Induced distances can only exceed full-graph
+     distances. *)
+  QCheck.Test.make ~count:40 ~name:"radius_and_center optimal over members"
+    (Gen_qcheck.graph_and_vertex ~max_n:14 ~max_wmax:8 ())
+    (fun (g, v) ->
+      let s =
+        C.of_list (G.fold_neighbors g v (fun acc u _ _ -> u :: acc) [ v ])
+      in
+      let members = C.Vset.elements s in
+      let rad, c = C.radius_and_center g s in
+      C.is_connected g s
+      && C.Vset.mem c s
+      && C.eccentricity_within g s c = rad
+      && List.for_all (fun u -> C.eccentricity_within g s u >= rad) members
+      && rad = C.radius g s
+      && List.for_all
+           (fun u ->
+             let d = (C.dijkstra_within g s ~src:v).(u) in
+             d >= Csap_graph.Paths.dist g v u)
+           members)
+
 let suite =
   [
     Alcotest.test_case "cluster connectivity" `Quick test_connected;
@@ -111,4 +144,6 @@ let suite =
       test_coarsen_k1_merges_everything_or_nothing;
     Alcotest.test_case "invalid inputs" `Quick test_coarsen_invalid;
     QCheck_alcotest.to_alcotest prop_theorem_1_1;
+    QCheck_alcotest.to_alcotest prop_dijkstra_within_full;
+    QCheck_alcotest.to_alcotest prop_radius_center;
   ]

@@ -120,6 +120,106 @@ let test_deterministic () =
   let a = go () and b = go () in
   Alcotest.(check bool) "two sweeps identical" true (a = b)
 
+(* ---- fault sweep ------------------------------------------------------- *)
+
+let fault_targets =
+  [
+    S.reliable_flood_target ~source:0;
+    S.reliable_mst_target;
+    S.reliable_spt_synch_target ~source:0;
+  ]
+
+let test_fault_sweep_passes () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let delays = S.adversarial_schedules g in
+  let faults = S.fault_schedules g 4 in
+  Alcotest.(check int) "requested plan count" 4 (List.length faults);
+  let summaries =
+    S.explore_faults ~check_replay:true g ~targets:fault_targets ~delays
+      ~faults
+  in
+  Alcotest.(check int) "one summary per target" (List.length fault_targets)
+    (List.length summaries);
+  List.iter
+    (fun (s : S.fault_summary) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: zero failures" s.S.ftarget_name)
+        0 s.S.ffailures;
+      Alcotest.(check int)
+        (Printf.sprintf "%s: one run per (delay, fault) pair" s.S.ftarget_name)
+        (List.length delays * List.length faults)
+        (Array.length s.S.fruns);
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: clean comm positive" s.S.ftarget_name)
+        true (s.S.clean_comm > 0);
+      (* Retransmissions and duplicate suppression only add traffic. *)
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: overhead factor >= 1" s.S.ftarget_name)
+        true
+        (s.S.mean_overhead >= 1.0
+        && s.S.worst_overhead >= s.S.mean_overhead);
+      Array.iter
+        (fun (r : S.fault_run) ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%s/%s passes" r.S.frun_target r.S.fdelay
+               r.S.fschedule)
+            true r.S.fok)
+        s.S.fruns)
+    summaries
+
+let test_fault_sweep_deterministic () =
+  let g = Gen.chorded_cycle 8 ~chord_w:8 in
+  let go () =
+    S.explore_faults g ~targets:fault_targets
+      ~delays:(S.adversarial_schedules g) ~faults:(S.fault_schedules g 4)
+  in
+  Alcotest.(check bool) "two fault sweeps identical" true (go () = go ())
+
+(* A target that deadlocks under loss — GHS without the shim — is caught,
+   and its failing runs are dumped as replayable JSONL traces. *)
+let test_fault_failure_traced () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let fragile =
+    {
+      S.fname = "mst-unshimmed";
+      fexecute =
+        (fun g delay plan ->
+          let r = Csap.Mst_ghs.run ~delay ~faults:plan g in
+          if Csap_graph.Mst.is_mst g r.Csap.Mst_ghs.mst then
+            Ok r.Csap.Mst_ghs.measures
+          else Error "not an MST");
+      fclean =
+        (fun g -> (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures);
+    }
+  in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "csap-fault-test-%d" (Unix.getpid ()))
+  in
+  let delays = [ List.hd (S.adversarial_schedules g) ] in
+  let summaries =
+    S.explore_faults ~trace_dir:dir g ~targets:[ fragile ] ~delays
+      ~faults:(S.fault_schedules g 2)
+  in
+  let s = List.hd summaries in
+  Alcotest.(check bool) "unshimmed GHS fails under faults" true
+    (s.S.ffailures > 0);
+  let dumped = Sys.readdir dir in
+  Alcotest.(check bool) "failing traces dumped" true
+    (Array.length dumped > 0);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s parses" f)
+        true
+        (Csap_dsim.Trace.length
+           (Csap_dsim.Trace.load_jsonl (Filename.concat dir f))
+        >= 0))
+    dumped;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) dumped;
+  Sys.rmdir dir
+
 let suite =
   [
     Alcotest.test_case "grid family passes all schedules" `Quick test_grid;
@@ -131,4 +231,10 @@ let suite =
     Alcotest.test_case "schedule dependence detected and traced" `Quick
       test_schedule_dependence_detected;
     Alcotest.test_case "sweep is deterministic" `Quick test_deterministic;
+    Alcotest.test_case "fault sweep passes with replay checks" `Quick
+      test_fault_sweep_passes;
+    Alcotest.test_case "fault sweep is deterministic" `Quick
+      test_fault_sweep_deterministic;
+    Alcotest.test_case "fault failure detected and traced" `Quick
+      test_fault_failure_traced;
   ]

@@ -148,7 +148,7 @@ let prop_jsonl_roundtrip =
   QCheck.Test.make ~count:100 ~name:"JSONL round-trips random events"
     QCheck.(
       list
-        (tup4 (int_range 0 2)
+        (tup4 (int_range 0 4)
            (pair (float_bound_inclusive 100.0) small_nat)
            (pair small_nat small_nat)
            (float_bound_inclusive 50.0)))
@@ -157,11 +157,36 @@ let prop_jsonl_roundtrip =
       List.iter
         (fun (k, (time, seq), (edge, nth), delay) ->
           let kind =
-            match k with 0 -> T.Send | 1 -> T.Deliver | _ -> T.Local
+            match k with
+            | 0 -> T.Send
+            | 1 -> T.Deliver
+            | 2 -> T.Local
+            | 3 -> T.Dropped
+            | _ -> T.Dup
           in
           T.add t (ev ~kind ~time ~seq ~edge ~nth ~delay ()))
         entries;
       T.equal t (T.of_jsonl (T.to_jsonl t)))
+
+let test_faulty_trace_records_fault_kinds () =
+  (* A run under an aggressive fault plan leaves Dropped and Dup records in
+     its trace, and the whole trace survives the JSONL round trip. *)
+  let g = Gen.grid 3 3 ~w:4 in
+  let faults = Csap_dsim.Fault.seeded ~loss:0.4 ~dup:0.4 99 in
+  let _, traces =
+    T.with_collector (fun () ->
+        Csap.Flood.run_reliable ~faults g ~source:0)
+  in
+  let tr = List.hd traces in
+  let count k =
+    Array.fold_left
+      (fun acc e -> if e.T.kind = k then acc + 1 else acc)
+      0 (T.events tr)
+  in
+  Alcotest.(check bool) "some drops recorded" true (count T.Dropped > 0);
+  Alcotest.(check bool) "some dups recorded" true (count T.Dup > 0);
+  Alcotest.(check bool) "faulty trace round-trips" true
+    (T.equal tr (T.of_jsonl (T.to_jsonl tr)))
 
 let suite =
   [
@@ -180,4 +205,6 @@ let suite =
       test_diverged_replay_detected;
     QCheck_alcotest.to_alcotest prop_replay;
     QCheck_alcotest.to_alcotest prop_jsonl_roundtrip;
+    Alcotest.test_case "faulty run records Dropped/Dup" `Quick
+      test_faulty_trace_records_fault_kinds;
   ]

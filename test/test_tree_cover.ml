@@ -101,6 +101,54 @@ let prop_tree_cover_random =
       let bound_height = ((2 * tc.TC.k) - 1) * max 1 tc.TC.d in
       ok_cover && TC.max_height tc <= bound_height)
 
+let prop_covering_consistency =
+  (* covering_tree really returns a tree containing both endpoints, and
+     trees_at v lists exactly the trees whose cluster contains v. *)
+  QCheck.Test.make ~count:25 ~name:"covering_tree / trees_at consistency"
+    (Gen_qcheck.connected_graph_gen ~max_n:14 ~max_wmax:8 ())
+    (fun g ->
+      let tc = TC.build g in
+      let by_id = Hashtbl.create 16 in
+      List.iter
+        (fun (tr : TC.cluster_tree) -> Hashtbl.replace by_id tr.TC.tree_id tr)
+        tc.TC.trees;
+      let edge_ok =
+        Array.for_all
+          (fun (e : G.edge) ->
+            let tr = Hashtbl.find by_id (TC.covering_tree tc ~u:e.u ~v:e.v) in
+            tr.TC.depth.(e.u) >= 0 && tr.TC.depth.(e.v) >= 0)
+          (G.edges g)
+      in
+      let at_ok =
+        List.for_all
+          (fun v ->
+            let ids = TC.trees_at tc v in
+            List.for_all
+              (fun (tr : TC.cluster_tree) ->
+                tr.TC.depth.(v) >= 0 = List.mem tr.TC.tree_id ids)
+              tc.TC.trees)
+          (List.init (G.n g) Fun.id)
+      in
+      edge_ok && at_ok)
+
+let prop_depth_is_induced_distance =
+  (* Each cluster tree is a shortest-path tree of the induced subgraph:
+     depths equal dijkstra_within distances from the root, and the
+     recorded height is their maximum. *)
+  QCheck.Test.make ~count:25 ~name:"tree depth = induced SPT distance"
+    (Gen_qcheck.connected_graph_gen ~max_n:12 ~max_wmax:8 ())
+    (fun g ->
+      let tc = TC.build g in
+      List.for_all
+        (fun (tr : TC.cluster_tree) ->
+          let dist = C.dijkstra_within g (TC.members_set tr) ~src:tr.TC.root in
+          List.for_all (fun v -> tr.TC.depth.(v) = dist.(v)) tr.TC.members
+          && tr.TC.height
+             = List.fold_left
+                 (fun acc v -> max acc tr.TC.depth.(v))
+                 0 tr.TC.members)
+        tc.TC.trees)
+
 let suite =
   [
     Alcotest.test_case "path" `Quick test_path;
@@ -111,4 +159,6 @@ let suite =
     Alcotest.test_case "trees_at covers all vertices" `Quick test_trees_at;
     Alcotest.test_case "cluster SPT" `Quick test_spt_of_cluster;
     QCheck_alcotest.to_alcotest prop_tree_cover_random;
+    QCheck_alcotest.to_alcotest prop_covering_consistency;
+    QCheck_alcotest.to_alcotest prop_depth_is_induced_distance;
   ]
