@@ -16,12 +16,9 @@ module S = Csap_sched.Sched_explore
 
 let fault_plans = 8
 
-let targets =
-  [
-    S.reliable_flood_target ~source:0;
-    S.reliable_mst_target;
-    S.reliable_spt_synch_target ~source:0;
-  ]
+(* The reliable roster comes straight from the protocol registry: every
+   fault-capable protocol behind the shim. *)
+let targets = S.registry_fault_targets ()
 
 (* One job per family: every reliable target under 3 adversarial delay
    schedules x [fault_plans] seeded fault plans, replay-checked. *)

@@ -16,15 +16,8 @@ let seeded = 8
 
 let schedules g = S.seeded_schedules seeded @ S.adversarial_schedules g
 
-let targets g =
-  [
-    S.flood_target ~source:0;
-    S.mst_target;
-    S.spt_synch_target ~source:0;
-    S.spt_recur_target ~source:0 ~strip:2;
-    S.sync_alpha_target ~source:0
-      ~pulses:(Csap_graph.Paths.eccentricity g 0 + 1);
-  ]
+(* The clean-sweep roster comes straight from the protocol registry. *)
+let targets _g = S.registry_targets ()
 
 (* One job per family: the whole target battery under the whole schedule
    battery. Runs already shard over the harness pool at the job level, so
@@ -66,7 +59,7 @@ let strip_job build strip =
         S.explore
           ~pool:(Csap_pool.create ~domains:1 ())
           ~trace_dir:"sched-traces" g
-          ~targets:[ S.spt_recur_target ~source:0 ~strip ]
+          ~targets:[ S.target_for ~root:0 ~strip "spt-recur" ]
           ~schedules:(schedules g)
       in
       let s = List.hd summaries in

@@ -32,6 +32,7 @@ let benches =
     ("ct", Bench_ctrl.ct);
     ("sx", Bench_sched.sx);
     ("fx", Bench_fault.fx);
+    ("rg", Bench_registry.rg);
   ]
 
 type options = {

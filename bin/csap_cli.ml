@@ -1,10 +1,17 @@
-(* Command-line driver: generate a graph family, run one of the paper's
-   algorithms on it, print the weighted complexity measures.
+(* Command-line driver over the protocol registry.
+
+   Every protocol in [Csap.Protocol.registry] is runnable by name; the
+   registry supplies the runner, the capability flags and the oracle
+   invariant, so this file contains no per-protocol wiring.
 
    Examples:
-     csap_cli --algo mst-ghs --family complete -n 16 -w 5
-     csap_cli --algo clock-gamma --family chorded -n 20 -w 100
-     csap_cli --algo spt-recur --family grid -n 25 --strip 4 *)
+     csap_cli list
+     csap_cli run mst-ghs --family complete -n 16 -w 5
+     csap_cli run flood --family grid -n 25 --delay seeded:3 --check
+     csap_cli run spt-synch --family random -n 12 --loss 0.1 --reliable
+     csap_cli params --family gn -n 8 -w 4 *)
+
+module P = Csap.Protocol
 
 let make_graph family n w seed =
   let rng = Csap_graph.Rng.create seed in
@@ -26,101 +33,120 @@ let make_graph family n w seed =
   | "bkj" -> Csap_graph.Generators.bkj_star_cycle n ~heavy:w
   | _ -> invalid_arg ("unknown family: " ^ family)
 
-let print_measures name (m : Csap.Measures.t) =
-  Format.printf "%-12s %a@." name Csap.Measures.pp m
+(* --delay SPEC: exact | near-zero | race | scaled:C | seeded:N
+   | slow-edge:ID *)
+let parse_delay spec =
+  let prefixed p =
+    let lp = String.length p in
+    if String.length spec > lp && String.sub spec 0 lp = p then
+      Some (String.sub spec lp (String.length spec - lp))
+    else None
+  in
+  match spec with
+  | "exact" -> Ok Csap_dsim.Delay.Exact
+  | "near-zero" -> Ok Csap_dsim.Delay.Near_zero
+  | "race" -> Ok Csap_dsim.Delay.race_crossing
+  | _ -> (
+    match prefixed "scaled:" with
+    | Some c -> (
+      match float_of_string_opt c with
+      | Some c when c > 0.0 && c <= 1.0 -> Ok (Csap_dsim.Delay.Scaled c)
+      | _ -> Error (`Msg "scaled: factor must be a float in (0, 1]"))
+    | None -> (
+      match prefixed "seeded:" with
+      | Some s -> (
+        match int_of_string_opt s with
+        | Some s -> Ok (Csap_dsim.Delay.seeded s)
+        | None -> Error (`Msg "seeded: seed must be an integer"))
+      | None -> (
+        match prefixed "slow-edge:" with
+        | Some id -> (
+          match int_of_string_opt id with
+          | Some id when id >= 0 -> Ok (Csap_dsim.Delay.slow_edge id)
+          | _ -> Error (`Msg "slow-edge: edge id must be a non-negative int"))
+        | None ->
+          Error
+            (`Msg
+               (Printf.sprintf
+                  "unknown delay spec %S (exact | near-zero | race | \
+                   scaled:C | seeded:N | slow-edge:ID)"
+                  spec)))))
 
-let run_algo algo g strip pulses =
-  match algo with
-  | "params" -> ()
-  | "flood" ->
-    print_measures algo (Csap.Flood.run g ~source:0).Csap.Flood.measures
-  | "dfs" ->
-    print_measures algo (Csap.Dfs_token.run g ~root:0).Csap.Dfs_token.measures
-  | "con-hybrid" ->
-    let r = Csap.Con_hybrid.run g ~root:0 in
-    print_measures algo r.Csap.Con_hybrid.measures;
-    Format.printf "winner: %s@."
-      (match r.Csap.Con_hybrid.winner with
-      | Csap.Con_hybrid.Dfs -> "dfs"
-      | Csap.Con_hybrid.Mst_centr -> "mst-centr")
-  | "mst-centr" ->
-    print_measures algo
-      (Csap.Centr_growth.run_mst g ~root:0).Csap.Centr_growth.measures
-  | "spt-centr" ->
-    print_measures algo
-      (Csap.Centr_growth.run_spt g ~root:0).Csap.Centr_growth.measures
-  | "mst-ghs" ->
-    print_measures algo (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures
-  | "mst-fast" ->
-    print_measures algo (Csap.Mst_fast.run g).Csap.Mst_fast.measures
-  | "mst-hybrid" ->
-    let r = Csap.Mst_hybrid.run g ~root:0 in
-    print_measures algo r.Csap.Mst_hybrid.measures;
-    Format.printf "winner: %s@."
-      (match r.Csap.Mst_hybrid.winner with
-      | Csap.Mst_hybrid.Ghs -> "ghs"
-      | Csap.Mst_hybrid.Mst_centr -> "mst-centr")
-  | "spt-synch" ->
-    print_measures algo (Csap.Spt_synch.run g ~source:0).Csap.Spt_synch.measures
-  | "spt-recur" ->
-    let strip =
-      match strip with Some s -> s | None -> Csap.Spt_recur.default_strip g
-    in
-    let r = Csap.Spt_recur.run g ~source:0 ~strip in
-    print_measures algo r.Csap.Spt_recur.measures;
-    Format.printf "strips: %d, offers: %d, sync: %d@." r.Csap.Spt_recur.strips
-      r.Csap.Spt_recur.offer_comm r.Csap.Spt_recur.sync_comm
-  | "spt-hybrid" ->
-    let r = Csap.Spt_hybrid.run g ~source:0 in
-    Format.printf "%-12s total comm=%d epochs=%d winner=%s@." algo
-      r.Csap.Spt_hybrid.total_comm r.Csap.Spt_hybrid.epochs
-      (match r.Csap.Spt_hybrid.winner with
-      | Csap.Spt_hybrid.Synch -> "synch"
-      | Csap.Spt_hybrid.Recur -> "recur")
-  | "slt" ->
-    let r = Csap.Slt.build g ~root:0 in
-    Format.printf "%-12s w(T)=%d height=%d diam=%d breakpoints=%d@." algo
-      (Csap_graph.Tree.total_weight r.Csap.Slt.tree)
-      (Csap_graph.Tree.height r.Csap.Slt.tree)
-      (Csap_graph.Tree.diameter r.Csap.Slt.tree)
-      (List.length r.Csap.Slt.breakpoints)
-  | "slt-dist" ->
-    let r = Csap.Slt_distributed.run g ~root:0 in
-    print_measures algo r.Csap.Slt_distributed.measures
-  | "global-sum" ->
-    let values = Array.init (Csap_graph.Graph.n g) (fun i -> i) in
-    print_measures algo
-      (Csap.Global_func.run_optimal g ~root:0 ~values Csap.Global_func.sum)
-        .Csap.Global_func.measures
-  | "clock-alpha" | "clock-beta" | "clock-gamma" ->
-    let run =
-      match algo with
-      | "clock-alpha" -> Csap.Clock_sync.run_alpha ?delay:None
-      | "clock-beta" -> Csap.Clock_sync.run_beta ?delay:None ?tree:None
-      | _ -> Csap.Clock_sync.run_gamma ?delay:None ?cover:None ?neighbor_phase:None
-    in
-    let r = run g ~pulses in
-    Format.printf
-      "%-12s max pulse delay=%.1f avg=%.1f comm/pulse=%.1f@." algo
-      r.Csap.Clock_sync.max_pulse_delay r.Csap.Clock_sync.avg_pulse_delay
-      r.Csap.Clock_sync.comm_per_pulse
-  | _ -> invalid_arg ("unknown algorithm: " ^ algo)
+(* ---- list -------------------------------------------------------------- *)
 
-let main algo family n w seed strip pulses =
+let list_protocols names_only =
+  if names_only then
+    List.iter print_endline (P.names ())
+  else begin
+    Format.printf "%-14s %-13s %-6s %-4s %s@." "name" "category" "faults"
+      "rel" "summary";
+    List.iter
+      (fun entry ->
+        let (module M : P.S) = entry in
+        Format.printf "%-14s %-13s %-6s %-4s %s@." M.name
+          (P.category_name M.category)
+          (if M.caps.P.supports_faults then "yes" else "no")
+          (if M.caps.P.supports_reliable then "yes" else "no")
+          M.summary)
+      P.registry
+  end;
+  0
+
+(* ---- run --------------------------------------------------------------- *)
+
+let run_protocol name family n w seed root delay loss dup fault_seed reliable
+    pulses strip k q trace check =
+  match P.find name with
+  | None ->
+    Format.eprintf "unknown protocol %S; try `csap_cli list`@." name;
+    1
+  | Some entry -> (
+    let (module M : P.S) = entry in
+    let g = make_graph family n w seed in
+    Format.printf "graph: %a@." Csap_graph.Params.pp
+      (Csap_graph.Params.compute g);
+    let faults =
+      if loss > 0.0 || dup > 0.0 then
+        Some (Csap_dsim.Fault.seeded ~loss ~dup fault_seed)
+      else None
+    in
+    let cfg =
+      P.Run.make ~root ?delay ?faults ~reliable ?trace ?pulses ?strip ?k ?q g
+    in
+    match P.execute entry cfg with
+    | exception Invalid_argument msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+    | o ->
+      Format.printf "%-14s %a@." M.name Csap.Measures.pp
+        o.P.Outcome.measures;
+      if o.P.Outcome.retransmissions > 0 || o.P.Outcome.restarts > 0 then
+        Format.printf "transport: retransmissions=%d restarts=%d@."
+          o.P.Outcome.retransmissions o.P.Outcome.restarts;
+      List.iter
+        (fun (key, v) -> Format.printf "%s: %s@." key v)
+        o.P.Outcome.info;
+      if check then (
+        match M.invariant cfg o with
+        | Ok () ->
+          Format.printf "invariant: ok@.";
+          0
+        | Error e ->
+          Format.eprintf "invariant FAILED: %s@." e;
+          1)
+      else 0)
+
+(* ---- params ------------------------------------------------------------ *)
+
+let show_params family n w seed =
   let g = make_graph family n w seed in
   Format.printf "graph: %a@." Csap_graph.Params.pp
     (Csap_graph.Params.compute g);
-  run_algo algo g strip pulses
+  0
+
+(* ---- cmdliner ---------------------------------------------------------- *)
 
 open Cmdliner
-
-let algo =
-  let doc =
-    "Algorithm: params, flood, dfs, con-hybrid, mst-centr, spt-centr, \
-     mst-ghs, mst-fast, mst-hybrid, spt-synch, spt-recur, spt-hybrid, slt, \
-     slt-dist, global-sum, clock-alpha, clock-beta, clock-gamma."
-  in
-  Arg.(value & opt string "params" & info [ "algo"; "a" ] ~doc)
 
 let family =
   let doc =
@@ -133,16 +159,109 @@ let n = Arg.(value & opt int 16 & info [ "n" ] ~doc:"Number of vertices.")
 let w = Arg.(value & opt int 8 & info [ "w" ] ~doc:"Weight parameter.")
 let seed = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Random seed.")
 
-let strip =
-  Arg.(value & opt (some int) None & info [ "strip" ] ~doc:"Strip depth.")
+let list_cmd =
+  let names_only =
+    Arg.(
+      value & flag
+      & info [ "names" ] ~doc:"Print bare protocol names, one per line.")
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List every registered protocol.")
+    Term.(const list_protocols $ names_only)
 
-let pulses =
-  Arg.(value & opt int 10 & info [ "pulses" ] ~doc:"Clock pulses to run.")
+let run_cmd =
+  let pname =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME" ~doc:"Protocol name (see `csap_cli list`).")
+  in
+  let root =
+    Arg.(value & opt int 0 & info [ "root" ] ~doc:"Root / source vertex.")
+  in
+  let delay =
+    let delay_conv = Arg.conv (parse_delay, Csap_dsim.Delay.pp) in
+    Arg.(
+      value
+      & opt (some delay_conv) None
+      & info [ "delay" ] ~docv:"SPEC"
+          ~doc:
+            "Delay oracle: exact, near-zero, race, scaled:C, seeded:N, \
+             slow-edge:ID. Default: exact.")
+  in
+  let loss =
+    Arg.(
+      value & opt float 0.0
+      & info [ "loss" ] ~doc:"Per-message loss probability in [0, 1).")
+  in
+  let dup =
+    Arg.(
+      value & opt float 0.0
+      & info [ "dup" ] ~doc:"Per-message duplication probability in [0, 1).")
+  in
+  let fault_seed =
+    Arg.(
+      value & opt int 1
+      & info [ "fault-seed" ] ~doc:"Seed for the fault plan coins.")
+  in
+  let reliable =
+    Arg.(
+      value & flag
+      & info [ "reliable" ] ~doc:"Route through the reliable-delivery shim.")
+  in
+  let pulses =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "pulses" ] ~doc:"Pulses for clock / synchronizer protocols.")
+  in
+  let strip =
+    Arg.(
+      value & opt (some int) None
+      & info [ "strip" ] ~doc:"SPT_recur strip depth.")
+  in
+  let k =
+    Arg.(
+      value & opt (some int) None
+      & info [ "k" ] ~doc:"Gamma_w cluster parameter.")
+  in
+  let q =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "q" ] ~doc:"SLT balance parameter.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:"Dump engine traces as PREFIX--<name>--<i>.jsonl.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Check the outcome against the sequential oracles; exit \
+             non-zero on failure.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one registered protocol on a generated graph.")
+    Term.(
+      const run_protocol $ pname $ family $ n $ w $ seed $ root $ delay $ loss
+      $ dup $ fault_seed $ reliable $ pulses $ strip $ k $ q $ trace $ check)
+
+let params_cmd =
+  Cmd.v
+    (Cmd.info "params"
+       ~doc:"Print the weighted parameters of a generated graph.")
+    Term.(const show_params $ family $ n $ w $ seed)
 
 let cmd =
   let doc = "cost-sensitive communication protocols (Awerbuch-Baratz-Peleg)" in
-  Cmd.v
+  Cmd.group
     (Cmd.info "csap_cli" ~doc)
-    Term.(const main $ algo $ family $ n $ w $ seed $ strip $ pulses)
+    [ list_cmd; run_cmd; params_cmd ]
 
-let () = exit (Cmd.eval cmd)
+let () = exit (Cmd.eval' cmd)

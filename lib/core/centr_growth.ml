@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 
 type mode =
@@ -24,7 +24,7 @@ type msg =
   | Joined
 
 type 'm t = {
-  engine : 'm Engine.t;
+  net : 'm Net.t;
   inject : msg -> 'm;
   mode : mode;
   root : int;
@@ -50,11 +50,11 @@ type 'm t = {
   mutable phases : int;
 }
 
-let create ~engine ~inject ~mode ~root ?(may_proceed = fun () -> true)
+let create ~net ~inject ~mode ~root ?(may_proceed = fun () -> true)
     ?(on_root_estimate = fun _ -> ()) ~on_done () =
-  let n = G.n (Engine.graph engine) in
+  let n = G.n net.Net.graph in
   {
-    engine;
+    net;
     inject;
     mode;
     root;
@@ -78,7 +78,7 @@ let create ~engine ~inject ~mode ~root ?(may_proceed = fun () -> true)
     phases = 0;
   }
 
-let send t ~src ~dst m = Engine.send t.engine ~src ~dst (t.inject m)
+let send t ~src ~dst m = t.net.Net.send ~src ~dst (t.inject m)
 
 let better a b =
   match (a, b) with
@@ -88,7 +88,7 @@ let better a b =
 (* v's own candidate: its best incident edge leaving the tree, according to
    its view of the member set. *)
 let own_candidate t v =
-  let g = Engine.graph t.engine in
+  let g = t.net.Net.graph in
   G.fold_neighbors g v
     (fun acc u w _ ->
       if t.members.(v).(u) then acc
@@ -144,7 +144,7 @@ and apply_add t v cand =
   end
 
 and start_phase t =
-  if t.tree_size >= G.n (Engine.graph t.engine) then begin
+  if t.tree_size >= G.n (t.net.Net.graph) then begin
     t.finished <- true;
     t.on_done ()
   end
@@ -178,7 +178,7 @@ let handle t ~me ~src msg =
   | Invite { members; cand } ->
     (* [me] = cand.x joins the tree. *)
     t.in_tree.(me) <- true;
-    let n = G.n (Engine.graph t.engine) in
+    let n = G.n (t.net.Net.graph) in
     t.members.(me) <- Array.make n false;
     List.iter (fun u -> t.members.(me).(u) <- true) members;
     t.members.(me).(me) <- true;
@@ -204,8 +204,8 @@ let handle t ~me ~src msg =
     else send t ~src:me ~dst:t.parent.(me) Joined
 
 let start t =
-  Engine.schedule t.engine ~delay:0.0 (fun () ->
-      let n = G.n (Engine.graph t.engine) in
+  t.net.Net.schedule ~delay:0.0 (fun () ->
+      let n = G.n (t.net.Net.graph) in
       t.in_tree.(t.root) <- true;
       t.members.(t.root) <- Array.make n false;
       t.members.(t.root).(t.root) <- true;
@@ -238,24 +238,34 @@ type result = {
   grown_tree : Csap_graph.Tree.t;
   measures : Measures.t;
   phases : int;
+  transport : Net.stats;
 }
 
-let run mode ?delay g ~root =
-  let eng = Engine.create ?delay g in
+let run mode ?delay ?faults ?reliable g ~root =
+  if root < 0 || root >= G.n g then
+    invalid_arg
+      (Printf.sprintf "Centr_growth.run: root %d out of range [0, %d)" root
+         (G.n g));
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let t =
-    create ~engine:eng ~inject:Fun.id ~mode ~root ~on_done:(fun () -> ()) ()
+    create ~net ~inject:Fun.id ~mode ~root ~on_done:(fun () -> ()) ()
   in
   for v = 0 to G.n g - 1 do
-    Engine.set_handler eng v (fun ~src m -> handle t ~me:v ~src m)
+    net.Net.set_handler v (fun ~src m -> handle t ~me:v ~src m)
   done;
   start t;
-  ignore (Engine.run eng);
+  ignore (net.Net.run ());
   if not (finished t) then failwith "Centr_growth.run: did not terminate";
   {
     grown_tree = tree t;
-    measures = Measures.of_metrics (Engine.metrics eng);
+    measures = Measures.of_metrics (net.Net.metrics ());
     phases = t.phases;
+    transport = stats ();
   }
 
-let run_mst ?delay g ~root = run Mst ?delay g ~root
-let run_spt ?delay g ~root = run Spt ?delay g ~root
+let run_mst ?delay ?faults ?reliable g ~root =
+  run Mst ?delay ?faults ?reliable g ~root
+
+let run_spt ?delay ?faults ?reliable g ~root =
+  run Spt ?delay ?faults ?reliable g ~root

@@ -26,12 +26,13 @@ type msg
 
 type 'm t
 
-(** [create ~engine ~inject ~mode ~root ...] allocates protocol state.
+(** [create ~net ~inject ~mode ~root ...] allocates protocol state over a
+    {!Csap_dsim.Net} endpoint.
     [may_proceed] is polled at the root before each phase commits its edge;
     [on_root_estimate] reports the exact projected tree weight (MST mode)
     or cumulative communication spent (both modes grow monotonically). *)
 val create :
-  engine:'m Csap_dsim.Engine.t ->
+  net:'m Csap_dsim.Net.t ->
   inject:(msg -> 'm) ->
   mode:mode ->
   root:int ->
@@ -64,10 +65,26 @@ type result = {
   grown_tree : Csap_graph.Tree.t;
   measures : Measures.t;
   phases : int;
+  transport : Csap_dsim.Net.stats;
 }
 
+(** [run_mst ?delay ?faults ?reliable g ~root] grows the MST on its own
+    transport; [~reliable:true] routes all traffic through the
+    {!Csap_dsim.Reliable} shim. Raises [Invalid_argument] when [root] is
+    outside [0, n). *)
 val run_mst :
-  ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> root:int -> result
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  root:int ->
+  result
 
+(** As {!run_mst}, for the shortest-path tree. *)
 val run_spt :
-  ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> root:int -> result
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  root:int ->
+  result

@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 module TC = Csap_cover.Tree_cover
 
@@ -9,9 +9,10 @@ type result = {
   avg_pulse_delay : float;
   comm_per_pulse : float;
   measures : Measures.t;
+  transport : Net.stats;
 }
 
-let summarise g eng ~pulses pulse_times =
+let summarise g ~metrics ~transport ~pulses pulse_times =
   let n = G.n g in
   let max_delay = ref 0.0 and sum = ref 0.0 and count = ref 0 in
   for v = 0 to n - 1 do
@@ -23,7 +24,6 @@ let summarise g eng ~pulses pulse_times =
       incr count
     done
   done;
-  let metrics = Engine.metrics eng in
   {
     pulses;
     pulse_times;
@@ -33,6 +33,7 @@ let summarise g eng ~pulses pulse_times =
       float_of_int metrics.Csap_dsim.Metrics.weighted_comm
       /. float_of_int (max 1 pulses);
     measures = Measures.of_metrics metrics;
+    transport;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -41,9 +42,10 @@ let summarise g eng ~pulses pulse_times =
 
 type alpha_msg = Pulse of int
 
-let run_alpha ?delay g ~pulses =
+let run_alpha ?delay ?faults ?reliable g ~pulses =
   let n = G.n g in
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let pulse_times = Array.make_matrix n (pulses + 1) nan in
   let current = Array.make n (-1) in
   (* heard.(v).(i) = highest pulse number received from neighbour i. *)
@@ -60,25 +62,26 @@ let run_alpha ?delay g ~pulses =
     if p <= pulses then
       if p = 0 || Array.for_all (fun h -> h >= p - 1) heard.(v) then begin
         current.(v) <- p;
-        pulse_times.(v).(p) <- Engine.now eng;
+        pulse_times.(v).(p) <- net.Net.now ();
         if p < pulses then
           G.iter_neighbors g v (fun u _ _ ->
-              Engine.send eng ~src:v ~dst:u (Pulse p));
+              net.Net.send ~src:v ~dst:u (Pulse p));
         try_pulse v
       end
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src (Pulse p) ->
+    net.Net.set_handler v (fun ~src (Pulse p) ->
         let i = Hashtbl.find neighbor_index.(v) src in
         heard.(v).(i) <- max heard.(v).(i) p;
         try_pulse v)
   done;
-  Engine.schedule eng ~delay:0.0 (fun () ->
+  net.Net.schedule ~delay:0.0 (fun () ->
       for v = 0 to n - 1 do
         try_pulse v
       done);
-  ignore (Engine.run eng);
-  summarise g eng ~pulses pulse_times
+  ignore (net.Net.run ());
+  summarise g ~metrics:(net.Net.metrics ()) ~transport:(stats ()) ~pulses
+    pulse_times
 
 (* ------------------------------------------------------------------ *)
 (* Synchronizer beta*: one global tree with a leader.                  *)
@@ -92,11 +95,12 @@ let default_tree g =
   let _, center = Csap_graph.Paths.radius_and_center g in
   (Slt.build g ~root:center).Slt.tree
 
-let run_beta ?delay ?tree g ~pulses =
+let run_beta ?delay ?faults ?reliable ?tree g ~pulses =
   let tree = match tree with Some t -> t | None -> default_tree g in
   let n = G.n g in
   let root = Csap_graph.Tree.root tree in
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let pulse_times = Array.make_matrix n (pulses + 1) nan in
   let n_children =
     Array.init n (fun v -> List.length (Csap_graph.Tree.children tree v))
@@ -109,23 +113,23 @@ let run_beta ?delay ?tree g ~pulses =
     if v = root then begin
       if p < pulses then begin
         List.iter
-          (fun c -> Engine.send eng ~src:root ~dst:c (Go (p + 1)))
+          (fun c -> net.Net.send ~src:root ~dst:c (Go (p + 1)))
           (Csap_graph.Tree.children tree root);
         do_pulse root (p + 1)
       end
     end
     else
       match Csap_graph.Tree.parent tree v with
-      | Some (parent, _) -> Engine.send eng ~src:v ~dst:parent (Ready p)
+      | Some (parent, _) -> net.Net.send ~src:v ~dst:parent (Ready p)
       | None -> assert false
 
   and do_pulse v p =
-    pulse_times.(v).(p) <- Engine.now eng;
+    pulse_times.(v).(p) <- net.Net.now ();
     (* A pure clock pulse completes instantly; leaves are ready at once. *)
     if ready_count.(v) = n_children.(v) then ready_up v p
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         ignore src;
         match msg with
         | Ready p ->
@@ -136,16 +140,17 @@ let run_beta ?delay ?tree g ~pulses =
           then ready_up v p
         | Go p ->
           List.iter
-            (fun c -> Engine.send eng ~src:v ~dst:c (Go p))
+            (fun c -> net.Net.send ~src:v ~dst:c (Go p))
             (Csap_graph.Tree.children tree v);
           do_pulse v p)
   done;
-  Engine.schedule eng ~delay:0.0 (fun () ->
+  net.Net.schedule ~delay:0.0 (fun () ->
       for v = 0 to n - 1 do
         do_pulse v 0
       done);
-  ignore (Engine.run eng);
-  summarise g eng ~pulses pulse_times
+  ignore (net.Net.run ());
+  summarise g ~metrics:(net.Net.metrics ()) ~transport:(stats ()) ~pulses
+    pulse_times
 
 (* ------------------------------------------------------------------ *)
 (* Synchronizer gamma*: beta inside each cover tree, alpha among trees. *)
@@ -157,7 +162,8 @@ type gamma_msg =
   | TNeighborDone of { src_tree : int; dst_tree : int; pulse : int }
   | TGo of { tree : int; pulse : int }
 
-let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
+let run_gamma ?delay ?faults ?reliable ?cover ?(neighbor_phase = true) g
+    ~pulses =
   let cover = match cover with Some c -> c | None -> TC.build g in
   let n = G.n g in
   let trees = Array.of_list cover.TC.trees in
@@ -190,7 +196,8 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
   Hashtbl.iter
     (fun (_, b) _ -> neighbor_count.(b) <- neighbor_count.(b) + 1)
     relay;
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let pulse_times = Array.make_matrix n (pulses + 1) nan in
   let current = Array.make n (-1) in
   (* go.(v).(tid): the latest pulse this vertex knows tree [tid] released.
@@ -214,7 +221,7 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
     if p <= pulses then
       if List.for_all (fun tid -> go.(v).(tid) >= p) member_trees.(v) then begin
         current.(v) <- p;
-        pulse_times.(v).(p) <- Engine.now eng;
+        pulse_times.(v).(p) <- net.Net.now ();
         List.iter (fun tid -> node_ready tid p v) member_trees.(v);
         node_try_pulse v
       end
@@ -227,7 +234,7 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
       let tr = trees.(tid) in
       if v = tr.TC.root then tree_done tid p
       else
-        Engine.send eng ~src:v ~dst:tr.TC.parent.(v)
+        net.Net.send ~src:v ~dst:tr.TC.parent.(v)
           (TReady { tree = tid; pulse = p })
     end
 
@@ -238,7 +245,7 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
 
   and broadcast_done tid p v =
     List.iter
-      (fun c -> Engine.send eng ~src:v ~dst:c (TDone { tree = tid; pulse = p }))
+      (fun c -> net.Net.send ~src:v ~dst:c (TDone { tree = tid; pulse = p }))
       (tree_children tid v);
     if neighbor_phase then relay_done tid p v
 
@@ -262,7 +269,7 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
       leader_check dst_tree pulse
     end
     else
-      Engine.send eng ~src:v ~dst:tr.TC.parent.(v)
+      net.Net.send ~src:v ~dst:tr.TC.parent.(v)
         (TNeighborDone { src_tree; dst_tree; pulse })
 
   (* The leader releases pulse p+1 once its own tree and every neighbouring
@@ -284,12 +291,12 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
   and broadcast_go tid p v =
     go.(v).(tid) <- max go.(v).(tid) p;
     List.iter
-      (fun c -> Engine.send eng ~src:v ~dst:c (TGo { tree = tid; pulse = p }))
+      (fun c -> net.Net.send ~src:v ~dst:c (TGo { tree = tid; pulse = p }))
       (tree_children tid v);
     node_try_pulse v
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         ignore src;
         match msg with
         | TReady { tree; pulse } -> node_ready tree pulse v
@@ -298,12 +305,13 @@ let run_gamma ?delay ?cover ?(neighbor_phase = true) g ~pulses =
           forward_ndone ~src_tree ~dst_tree ~pulse v
         | TGo { tree; pulse } -> broadcast_go tree pulse v)
   done;
-  Engine.schedule eng ~delay:0.0 (fun () ->
+  net.Net.schedule ~delay:0.0 (fun () ->
       for v = 0 to n - 1 do
         node_try_pulse v
       done);
-  ignore (Engine.run eng);
-  summarise g eng ~pulses pulse_times
+  ignore (net.Net.run ());
+  summarise g ~metrics:(net.Net.metrics ()) ~transport:(stats ()) ~pulses
+    pulse_times
 
 let check_causality g r =
   let ok = ref true in

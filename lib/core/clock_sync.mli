@@ -27,16 +27,27 @@ type result = {
   avg_pulse_delay : float;
   comm_per_pulse : float;  (** weighted communication amortized per pulse *)
   measures : Measures.t;
+  transport : Csap_dsim.Net.stats;
 }
 
-(** [run_alpha ?delay g ~pulses] runs synchronizer alpha*. *)
+(** [run_alpha ?delay ?faults ?reliable g ~pulses] runs synchronizer
+    alpha*; [~reliable:true] routes pulse traffic through the
+    {!Csap_dsim.Reliable} shim. *)
 val run_alpha :
-  ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> pulses:int -> result
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  pulses:int ->
+  result
 
-(** [run_beta ?delay ?tree g ~pulses] runs synchronizer beta* over [tree]
-    (default: a shallow-light tree rooted at a centre vertex). *)
+(** [run_beta ?delay ?faults ?reliable ?tree g ~pulses] runs synchronizer
+    beta* over [tree] (default: a shallow-light tree rooted at a centre
+    vertex). *)
 val run_beta :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?tree:Csap_graph.Tree.t ->
   Csap_graph.Graph.t ->
   pulses:int ->
@@ -53,6 +64,8 @@ val run_beta :
     CS: it trades the extra inter-tree traffic against pulse delay. *)
 val run_gamma :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?cover:Csap_cover.Tree_cover.t ->
   ?neighbor_phase:bool ->
   Csap_graph.Graph.t ->

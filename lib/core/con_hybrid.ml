@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 
 type winner =
@@ -11,14 +11,20 @@ type result = {
   measures : Measures.t;
   dfs_estimate : int;
   mst_estimate : int;
+  transport : Net.stats;
 }
 
 type msg =
   | A of Dfs_token.msg
   | B of Centr_growth.msg
 
-let run ?delay g ~root =
-  let eng = Engine.create ?delay g in
+let run ?delay ?faults ?reliable g ~root =
+  if root < 0 || root >= G.n g then
+    invalid_arg
+      (Printf.sprintf "Con_hybrid.run: root %d out of range [0, %d)" root
+         (G.n g));
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   (* The root's view of each algorithm's spending (W_a, W_b) and the switch
      deciding which one currently holds the permit. *)
   let w_a = ref 0 and w_b = ref 0 in
@@ -39,7 +45,7 @@ let run ?delay g ~root =
     end
   in
   let dfs_t =
-    Dfs_token.create ~engine:eng
+    Dfs_token.create ~net
       ~inject:(fun m -> A m)
       ~root ~may_proceed:permit_dfs
       ~on_root_estimate:(fun est ->
@@ -49,7 +55,7 @@ let run ?delay g ~root =
       ()
   in
   let mst_t =
-    Centr_growth.create ~engine:eng
+    Centr_growth.create ~net
       ~inject:(fun m -> B m)
       ~mode:Centr_growth.Mst ~root ~may_proceed:permit_mst
       ~on_root_estimate:(fun est ->
@@ -61,7 +67,7 @@ let run ?delay g ~root =
   dfs := Some dfs_t;
   mst := Some mst_t;
   for v = 0 to G.n g - 1 do
-    Engine.set_handler eng v (fun ~src m ->
+    net.Net.set_handler v (fun ~src m ->
         if !outcome = None then
           match m with
           | A m -> Dfs_token.handle dfs_t ~me:v ~src m
@@ -69,7 +75,7 @@ let run ?delay g ~root =
   done;
   Dfs_token.start dfs_t;
   Centr_growth.start mst_t;
-  ignore (Engine.run eng);
+  ignore (net.Net.run ());
   match !outcome with
   | None -> failwith "Con_hybrid.run: neither algorithm terminated"
   | Some winner ->
@@ -81,7 +87,8 @@ let run ?delay g ~root =
     {
       spanning_tree;
       winner;
-      measures = Measures.of_metrics (Engine.metrics eng);
+      measures = Measures.of_metrics (net.Net.metrics ());
       dfs_estimate = !w_a;
       mst_estimate = !w_b;
+      transport = stats ();
     }

@@ -21,7 +21,17 @@ type result = {
   measures : Measures.t;
   dfs_estimate : int;  (** final W_a *)
   mst_estimate : int;  (** final W_b *)
+  transport : Csap_dsim.Net.stats;
 }
 
-(** [run ?delay g ~root] runs the hybrid to completion. *)
-val run : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> root:int -> result
+(** [run ?delay ?faults ?reliable g ~root] runs the hybrid to completion;
+    [~reliable:true] routes both component algorithms through the
+    {!Csap_dsim.Reliable} shim. Raises [Invalid_argument] when [root] is
+    outside [0, n). *)
+val run :
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  root:int ->
+  result

@@ -3,7 +3,7 @@
    which wants the random-access array the shim provides. *)
 [@@@alert "-deprecated"]
 
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 
 type msg =
@@ -14,7 +14,7 @@ type msg =
   | From_root  (* token release hop, routed back to the frontier *)
 
 type 'm shared = {
-  engine : 'm Engine.t;
+  net : 'm Net.t;
   inject : msg -> 'm;
   root : int;
   may_proceed : unit -> bool;
@@ -37,11 +37,11 @@ type 'm t = {
   mutable finished : bool;
 }
 
-let create ~engine ~inject ~root ?(may_proceed = fun () -> true)
+let create ~net ~inject ~root ?(may_proceed = fun () -> true)
     ?(on_root_estimate = fun _ -> ()) ~on_done () =
-  let n = G.n (Engine.graph engine) in
+  let n = G.n net.Net.graph in
   {
-    sh = { engine; inject; root; may_proceed; on_root_estimate; on_done };
+    sh = { net; inject; root; may_proceed; on_root_estimate; on_done };
     visited = Array.make n false;
     parent = Array.make n (-1);
     parent_w = Array.make n 0;
@@ -55,8 +55,7 @@ let create ~engine ~inject ~root ?(may_proceed = fun () -> true)
     finished = false;
   }
 
-let send t ~src ~dst m =
-  Engine.send t.sh.engine ~src ~dst (t.sh.inject m)
+let send t ~src ~dst m = t.sh.net.Net.send ~src ~dst (t.sh.inject m)
 
 (* Run the pending traversal parked at the root. *)
 let rec fire_pending t =
@@ -94,7 +93,7 @@ and guarded_traversal t v ~w action =
 
 (* The token sits at [v]; advance the DFS. *)
 and continue_at t v =
-  let g = Engine.graph t.sh.engine in
+  let g = t.sh.net.Net.graph in
   let deg = G.degree g v in
   (* Skip the edge back to the DFS parent; it is used only by Retreat. *)
   while t.iter.(v) < deg
@@ -121,7 +120,7 @@ and continue_at t v =
   end
 
 let handle t ~me ~src msg =
-  let g = Engine.graph t.sh.engine in
+  let g = t.sh.net.Net.graph in
   match msg with
   | Forward ->
     if t.visited.(me) then begin
@@ -156,7 +155,7 @@ let handle t ~me ~src msg =
     else send t ~src:me ~dst:t.return_child.(me) From_root
 
 let start t =
-  Engine.schedule t.sh.engine ~delay:0.0 (fun () ->
+  t.sh.net.Net.schedule ~delay:0.0 (fun () ->
       t.visited.(t.sh.root) <- true;
       continue_at t t.sh.root)
 
@@ -181,20 +180,27 @@ type result = {
   measures : Measures.t;
   final_center_estimate : int;
   final_root_estimate : int;
+  transport : Net.stats;
 }
 
-let run ?delay g ~root =
-  let eng = Engine.create ?delay g in
-  let t = create ~engine:eng ~inject:Fun.id ~root ~on_done:(fun () -> ()) () in
+let run ?delay ?faults ?reliable g ~root =
+  if root < 0 || root >= G.n g then
+    invalid_arg
+      (Printf.sprintf "Dfs_token.run: root %d out of range [0, %d)" root
+         (G.n g));
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
+  let t = create ~net ~inject:Fun.id ~root ~on_done:(fun () -> ()) () in
   for v = 0 to G.n g - 1 do
-    Engine.set_handler eng v (fun ~src m -> handle t ~me:v ~src m)
+    net.Net.set_handler v (fun ~src m -> handle t ~me:v ~src m)
   done;
   start t;
-  ignore (Engine.run eng);
+  ignore (net.Net.run ());
   if not (finished t) then failwith "Dfs_token.run: did not terminate";
   {
     dfs_tree = tree t;
-    measures = Measures.of_metrics (Engine.metrics eng);
+    measures = Measures.of_metrics (net.Net.metrics ());
     final_center_estimate = center_estimate t;
     final_root_estimate = root_estimate t;
+    transport = stats ();
   }

@@ -19,17 +19,18 @@
 
 type msg
 
-(** Protocol state; ['m] is the engine's message type. *)
+(** Protocol state; ['m] is the transport's message type. *)
 type 'm t
 
-(** [create ~engine ~inject ~root ...] allocates the protocol state over an
-    engine whose message type embeds [msg] via [inject].
+(** [create ~net ~inject ~root ...] allocates the protocol state over a
+    {!Csap_dsim.Net} endpoint whose message type embeds [msg] via
+    [inject].
 
     [may_proceed] is polled at the root each time the root estimate rises;
     returning [false] suspends the token at the root until {!resume}.
     [on_root_estimate] fires at the root on every estimate refresh. *)
 val create :
-  engine:'m Csap_dsim.Engine.t ->
+  net:'m Csap_dsim.Net.t ->
   inject:(msg -> 'm) ->
   root:int ->
   ?may_proceed:(unit -> bool) ->
@@ -63,7 +64,19 @@ type result = {
   measures : Measures.t;
   final_center_estimate : int;
   final_root_estimate : int;
+  transport : Csap_dsim.Net.stats;
 }
 
-(** [run ?delay g ~root] performs a complete DFS on its own engine. *)
-val run : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> root:int -> result
+(** [run ?delay ?faults ?reliable g ~root] performs a complete DFS on its
+    own transport. With [~reliable:true] all traffic runs through the
+    {!Csap_dsim.Reliable} shim, making the walk correct under any
+    survivable fault plan; with raw [faults] a dropped token deadlocks
+    the run ([failwith] on non-termination). Raises [Invalid_argument]
+    when [root] is outside [0, n). *)
+val run :
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  root:int ->
+  result

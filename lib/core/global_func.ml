@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module Tree = Csap_graph.Tree
 
 type 'a spec = {
@@ -16,36 +16,38 @@ let logical_or = { name = "or"; combine = ( || ) }
 type 'a result = {
   outputs : 'a array;
   measures : Measures.t;
+  transport : Net.stats;
 }
 
 type 'a msg =
   | Up of 'a
   | Down of 'a
 
-let run ?delay g ~tree ~values spec =
+let run ?delay ?faults ?reliable g ~tree ~values spec =
   let n = Csap_graph.Graph.n g in
   if Array.length values <> n then
     invalid_arg "Global_func.run: one value per vertex required";
   if not (Tree.is_spanning_tree_of g tree) then
     invalid_arg "Global_func.run: not a spanning tree of the graph";
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let outputs = Array.map (fun v -> v) values in
   let produced = Array.make n false in
   let acc = Array.copy values in
   let pending = Array.init n (fun v -> List.length (Tree.children tree v)) in
   let send_up v =
     match Tree.parent tree v with
-    | Some (p, _) -> Engine.send eng ~src:v ~dst:p (Up acc.(v))
+    | Some (p, _) -> net.Net.send ~src:v ~dst:p (Up acc.(v))
     | None ->
       (* Root: the global value is ready; start the broadcast. *)
       outputs.(v) <- acc.(v);
       produced.(v) <- true;
       List.iter
-        (fun c -> Engine.send eng ~src:v ~dst:c (Down acc.(v)))
+        (fun c -> net.Net.send ~src:v ~dst:c (Down acc.(v)))
         (Tree.children tree v)
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src msg ->
+    net.Net.set_handler v (fun ~src msg ->
         match msg with
         | Up x ->
           acc.(v) <- spec.combine acc.(v) x;
@@ -57,20 +59,24 @@ let run ?delay g ~tree ~values spec =
           outputs.(v) <- x;
           produced.(v) <- true;
           List.iter
-            (fun c -> Engine.send eng ~src:v ~dst:c (Down x))
+            (fun c -> net.Net.send ~src:v ~dst:c (Down x))
             (Tree.children tree v))
   done;
-  Engine.schedule eng ~delay:0.0 (fun () ->
+  net.Net.schedule ~delay:0.0 (fun () ->
       for v = 0 to n - 1 do
         if pending.(v) = 0 then send_up v
       done);
-  ignore (Engine.run eng);
+  ignore (net.Net.run ());
   assert (Array.for_all Fun.id produced);
-  { outputs; measures = Measures.of_metrics (Engine.metrics eng) }
+  {
+    outputs;
+    measures = Measures.of_metrics (net.Net.metrics ());
+    transport = stats ();
+  }
 
-let run_optimal ?delay ?q g ~root ~values spec =
+let run_optimal ?delay ?faults ?reliable ?q g ~root ~values spec =
   let slt = Slt.build ?q g ~root in
-  run ?delay g ~tree:slt.Slt.tree ~values spec
+  run ?delay ?faults ?reliable g ~tree:slt.Slt.tree ~values spec
 
 let broadcast ?delay ?q g ~source ~payload =
   let values =

@@ -29,12 +29,17 @@ val logical_or : bool spec
 type 'a result = {
   outputs : 'a array;  (** the function value, produced at every vertex *)
   measures : Measures.t;
+  transport : Csap_dsim.Net.stats;
 }
 
-(** [run ?delay g ~tree ~values spec] computes [f(values)] over [tree] (a
-    spanning tree of [g]); every vertex outputs the result. *)
+(** [run ?delay ?faults ?reliable g ~tree ~values spec] computes
+    [f(values)] over [tree] (a spanning tree of [g]); every vertex outputs
+    the result. [~reliable:true] routes the convergecast/broadcast through
+    the {!Csap_dsim.Reliable} shim. *)
 val run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   Csap_graph.Graph.t ->
   tree:Csap_graph.Tree.t ->
   values:'a array ->
@@ -45,6 +50,8 @@ val run :
     it — the paper's upper bound construction (Corollary 2.3). *)
 val run_optimal :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?q:float ->
   Csap_graph.Graph.t ->
   root:int ->

@@ -3,7 +3,7 @@
    indexed randomly, which wants the shim's arrays. *)
 [@@@alert "-deprecated"]
 
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 module Tree = Csap_graph.Tree
 
@@ -42,13 +42,15 @@ type result = {
   measures : Measures.t;
   phases : int;
   scan_rounds : int;
+  transport : Net.stats;
 }
 
-let run ?delay g =
+let run ?delay ?faults ?reliable g =
   let n = G.n g in
   if n < 2 then invalid_arg "Mst_fast.run: n >= 2 required";
   if not (G.is_connected g) then invalid_arg "Mst_fast.run: disconnected";
-  let eng = Engine.create ?delay g in
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let adj v = G.neighbors g v in
   let edge_key v i =
     let u, w, _ = (adj v).(i) in
@@ -102,7 +104,7 @@ let run ?delay g =
   let finished = ref false in
   let phases_run = ref 0 in
   let scan_rounds = ref 0 in
-  let send v u m = Engine.send eng ~src:v ~dst:u m in
+  let send v u m = net.Net.send ~src:v ~dst:u m in
 
   (* ---------------- barrier machinery ---------------- *)
   let rec barrier_flush v ~phase ~stage =
@@ -346,10 +348,10 @@ let run ?delay g =
     | F_init { fid = new_fid } -> f_init_cascade v ~fid:new_fid
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src m -> handle v ~src m)
+    net.Net.set_handler v (fun ~src m -> handle v ~src m)
   done;
-  Engine.schedule eng ~delay:0.0 (fun () -> broadcast_barrier (Phase_start 0));
-  ignore (Engine.run eng);
+  net.Net.schedule ~delay:0.0 (fun () -> broadcast_barrier (Phase_start 0));
+  ignore (net.Net.run ());
   if not !finished then failwith "Mst_fast.run: did not terminate";
   (* The fragment tree is now the MST (single fragment). *)
   let parents = Array.copy f_parent in
@@ -369,7 +371,8 @@ let run ?delay g =
   let mst = Tree.of_parents ~root:!root ~parents ~weights in
   {
     mst;
-    measures = Measures.of_metrics (Engine.metrics eng);
+    measures = Measures.of_metrics (net.Net.metrics ());
     phases = !phases_run;
     scan_rounds = !scan_rounds;
+    transport = stats ();
   }

@@ -28,6 +28,14 @@ type result = {
   measures : Measures.t;
   phases : int;  (** Boruvka phases executed, [<= log2 n] *)
   scan_rounds : int;  (** total doubling rounds across fragments *)
+  transport : Csap_dsim.Net.stats;
 }
 
-val run : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t -> result
+(** [run ?delay ?faults ?reliable g] computes the MST; [~reliable:true]
+    routes all traffic through the {!Csap_dsim.Reliable} shim. *)
+val run :
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  Csap_graph.Graph.t ->
+  result

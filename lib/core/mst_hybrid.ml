@@ -61,7 +61,7 @@ let run ?delay g ~root =
   in
   ghs_ref := Some ghs;
   let centr =
-    Centr_growth.create ~engine:eng
+    Centr_growth.create ~net:(Csap_dsim.Net.of_engine eng)
       ~inject:(fun m -> B m)
       ~mode:Centr_growth.Mst ~root ~may_proceed:permit_centr
       ~on_root_estimate:(fun est ->

@@ -1,0 +1,173 @@
+(** The unified protocol registry.
+
+    Every message-passing protocol in the library is wrapped as a
+    first-class module implementing {!S}: one {!Run.cfg} describes a run
+    (graph, root, delay model, fault plan, reliable shim, knobs), one
+    {!Outcome.t} describes its result (paper measures, transport
+    bookkeeping, a protocol-specific payload), and one [invariant]
+    checks the outcome against the sequential oracles (Dijkstra,
+    Kruskal, the synchronous reference execution, causality).
+
+    The registry is the single wiring point for the benchmark harness,
+    the schedule/fault sweeps ({!Csap_sched.Sched_explore}) and the CLI:
+    adding a protocol here makes it runnable, sweepable and checkable
+    everywhere at once. *)
+
+(** Run configuration shared by every protocol. *)
+module Run : sig
+  (** Extensible reusable-engine handle; protocols with per-graph
+      reusable state (currently only [flood]) add a constructor. *)
+  type handle = ..
+
+  type cfg = {
+    graph : Csap_graph.Graph.t;
+    root : int;  (** source / root vertex; ignored when not needed *)
+    delay : Csap_dsim.Delay.t option;  (** [None] = {!Csap_dsim.Delay.Exact} *)
+    faults : Csap_dsim.Fault.plan option;
+    reliable : bool;  (** route through the {!Csap_dsim.Reliable} shim *)
+    trace : string option;
+        (** dump engine traces as [<prefix>--<name>--<i>.jsonl] *)
+    engine : handle option;  (** reusable engine from [make_engine] *)
+    pulses : int option;  (** clock / synchronizer protocols *)
+    strip : int option;  (** SPT_recur strip depth *)
+    k : int option;  (** gamma_w cluster parameter *)
+    q : float option;  (** SLT balance parameter *)
+  }
+
+  (** Smart constructor; [root] defaults to [0], [reliable] to [false],
+      every knob to the protocol's own default. *)
+  val make :
+    ?root:int ->
+    ?delay:Csap_dsim.Delay.t ->
+    ?faults:Csap_dsim.Fault.plan ->
+    ?reliable:bool ->
+    ?trace:string ->
+    ?engine:handle ->
+    ?pulses:int ->
+    ?strip:int ->
+    ?k:int ->
+    ?q:float ->
+    Csap_graph.Graph.t ->
+    cfg
+
+  (** The effective delay oracle: the uniform deterministic default
+      ({!Csap_dsim.Delay.Exact}) when none was given. *)
+  val delay : cfg -> Csap_dsim.Delay.t
+end
+
+(** Uniform run outcome. *)
+module Outcome : sig
+  (** Protocol-specific payload, extensible for out-of-tree protocols. *)
+  type payload = ..
+
+  type payload +=
+    | No_payload
+    | Spanning_tree of Csap_graph.Tree.t
+    | Flood_wave of { tree : Csap_graph.Tree.t; arrival : float array }
+    | Dfs_walk of { tree : Csap_graph.Tree.t; est_c : int; est_r : int }
+    | Clock_pulses of Clock_sync.result
+    | Sync_states of {
+        source : int;
+        states : Spt_synch.state array;
+        pulses : int;
+        proto_comm : int;
+      }
+    | Outputs of int array
+    | Gn_bounds of Lower_bound.gn_run
+
+  type t = {
+    protocol : string;
+    measures : Measures.t;  (** the paper's (comm, time, messages) *)
+    retransmissions : int;  (** reliable-shim retransmissions *)
+    restarts : int;  (** crash-restart events observed *)
+    payload : payload;
+    info : (string * string) list;  (** protocol-specific scalars *)
+  }
+
+  (** The constructed tree, when the payload carries one. *)
+  val tree : t -> Csap_graph.Tree.t option
+end
+
+type category =
+  | Connectivity
+  | Mst
+  | Spt
+  | Slt
+  | Global
+  | Clock
+  | Synchronizer
+  | Bound
+
+val category_name : category -> string
+
+(** Capability flags consulted by {!execute} and the sweep builders. *)
+type caps = {
+  needs_root : bool;  (** validates [cfg.root] against [0, n) *)
+  supports_faults : bool;  (** accepts a raw {!Csap_dsim.Fault.plan} *)
+  supports_reliable : bool;  (** accepts [reliable = true] *)
+  synchronous_only : bool;
+      (** a synchronizer driving a synchronous protocol *)
+  reuses_engine : bool;  (** [make_engine] returns a handle *)
+  fixed_family : bool;  (** builds its own graph from size parameters *)
+}
+
+val default_caps : caps
+(** root required; faults and reliable supported; nothing else set *)
+
+(** One registered protocol. *)
+module type S = sig
+  val name : string
+  val summary : string
+  val category : category
+  val caps : caps
+
+  (** Build a reusable engine handle for multi-trial loops on the same
+      graph; [None] when the protocol has no reusable state. *)
+  val make_engine : ?delay:Csap_dsim.Delay.t -> Csap_graph.Graph.t
+    -> Run.handle option
+
+  (** Raw runner; called by {!execute} after uniform validation. *)
+  val run : Run.cfg -> Outcome.t
+
+  (** Check the outcome against the sequential oracles. *)
+  val invariant : Run.cfg -> Outcome.t -> (unit, string) result
+end
+
+type entry = (module S)
+
+(** The reusable-engine handle of the [flood] entry. *)
+type Run.handle += Flood_engine of Flood.engine
+
+(** Every protocol in the library, in paper order. *)
+val registry : entry list
+
+val names : unit -> string list
+val find : string -> entry option
+
+(** Raises [Invalid_argument] on an unknown name. *)
+val find_exn : string -> entry
+
+(** Uniform validation: root range ([Invalid_argument] with
+    ["<name>: root <r> out of range [0, <n>)"]), fault/reliable support
+    against {!caps}. *)
+val validate : entry -> Run.cfg -> unit
+
+(** [execute entry cfg] validates, runs, and (when [cfg.trace] is set)
+    collects and dumps engine traces. *)
+val execute : entry -> Run.cfg -> Outcome.t
+
+(** [run entry graph] — {!execute} with an inline {!Run.make}. *)
+val run :
+  ?root:int ->
+  ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
+  ?trace:string ->
+  ?engine:Run.handle ->
+  ?pulses:int ->
+  ?strip:int ->
+  ?k:int ->
+  ?q:float ->
+  entry ->
+  Csap_graph.Graph.t ->
+  Outcome.t

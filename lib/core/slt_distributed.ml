@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 module Tree = Csap_graph.Tree
 
@@ -10,6 +10,7 @@ type result = {
   spt_measures : Measures.t;
   walk_measures : Measures.t;
   final_measures : Measures.t;
+  transport : Net.stats;
 }
 
 (* The token carries the scan state along the Euler tour; every vertex can
@@ -17,8 +18,9 @@ type result = {
    it a full-information copy of both trees. *)
 type walk_msg = Step of { index : int; mileage : int; last_bp : int }
 
-let token_walk ?delay g ~mst ~spt ~q =
-  let eng = Engine.create ?delay g in
+let token_walk ?delay ?faults ?reliable g ~mst ~spt ~q =
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let line = Tree.euler_tour mst in
   let len = Array.length line in
   let mileage_of = Array.make len 0 in
@@ -47,28 +49,37 @@ let token_walk ?delay g ~mst ~spt ~q =
         end
         else last_bp
       in
-      Engine.send eng ~src:v ~dst:line.(next)
+      net.Net.send ~src:v ~dst:line.(next)
         (Step { index = next; mileage = mileage_of.(next); last_bp })
     end
   in
   for v = 0 to G.n g - 1 do
-    Engine.set_handler eng v (fun ~src:_ (Step { index; mileage = _; last_bp }) ->
+    net.Net.set_handler v (fun ~src:_ (Step { index; mileage = _; last_bp }) ->
         advance v index last_bp)
   done;
-  Engine.schedule eng ~delay:0.0 (fun () -> advance line.(0) 0 0);
-  ignore (Engine.run eng);
+  net.Net.schedule ~delay:0.0 (fun () -> advance line.(0) 0 0);
+  ignore (net.Net.run ());
   assert !finished;
-  (List.rev !breakpoints, line, Measures.of_metrics (Engine.metrics eng))
+  ( List.rev !breakpoints,
+    line,
+    Measures.of_metrics (net.Net.metrics ()),
+    stats () )
 
-let run ?delay ?(q = 2.0) g ~root =
+let run ?delay ?faults ?reliable ?(q = 2.0) g ~root =
   if q <= 0.0 then invalid_arg "Slt_distributed.run: q must be positive";
+  if root < 0 || root >= G.n g then
+    invalid_arg
+      (Printf.sprintf "Slt_distributed.run: root %d out of range [0, %d)"
+         root (G.n g));
   (* Stage 1-2: full-information MST and SPT. *)
-  let mst_r = Centr_growth.run_mst ?delay g ~root in
-  let spt_r = Centr_growth.run_spt ?delay g ~root in
+  let mst_r = Centr_growth.run_mst ?delay ?faults ?reliable g ~root in
+  let spt_r = Centr_growth.run_spt ?delay ?faults ?reliable g ~root in
   let mst = mst_r.Centr_growth.grown_tree in
   let spt = spt_r.Centr_growth.grown_tree in
   (* Stage 3: the token walk selecting breakpoints. *)
-  let breakpoints, line, walk_measures = token_walk ?delay g ~mst ~spt ~q in
+  let breakpoints, line, walk_measures, walk_stats =
+    token_walk ?delay ?faults ?reliable g ~mst ~spt ~q
+  in
   (* The subgraph G': MST plus SPT paths between consecutive breakpoints.
      The root then broadcasts it over the tree; that broadcast costs one
      message per tree edge, which is dominated by the stages above and
@@ -102,7 +113,7 @@ let run ?delay ?(q = 2.0) g ~root =
          edge_ids [])
   in
   (* Stage 4: final SPT inside G'. *)
-  let final_r = Centr_growth.run_spt ?delay g' ~root in
+  let final_r = Centr_growth.run_spt ?delay ?faults ?reliable g' ~root in
   let measures =
     List.fold_left Measures.add Measures.zero
       [
@@ -120,4 +131,19 @@ let run ?delay ?(q = 2.0) g ~root =
     spt_measures = spt_r.Centr_growth.measures;
     walk_measures;
     final_measures = final_r.Centr_growth.measures;
+    transport =
+      (let sum a b =
+         Net.
+           {
+             retransmissions = a.retransmissions + b.retransmissions;
+             restarts = a.restarts + b.restarts;
+           }
+       in
+       List.fold_left sum Net.no_stats
+         [
+           mst_r.Centr_growth.transport;
+           spt_r.Centr_growth.transport;
+           walk_stats;
+           final_r.Centr_growth.transport;
+         ]);
   }

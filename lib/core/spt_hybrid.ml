@@ -10,9 +10,14 @@ type result = {
   total_comm : int;
   winning_measures : Measures.t;
   epochs : int;
+  transport : Csap_dsim.Net.stats;
 }
 
-let run ?delay ?k ?strip g ~source =
+let run ?delay ?faults ?reliable ?k ?strip g ~source =
+  if source < 0 || source >= G.n g then
+    invalid_arg
+      (Printf.sprintf "Spt_hybrid.run: root %d out of range [0, %d)" source
+         (G.n g));
   let strip =
     match strip with Some s -> s | None -> Spt_recur.default_strip g
   in
@@ -23,7 +28,10 @@ let run ?delay ?k ?strip g ~source =
   let budget = ref (max 16 (2 * G.n g)) in
   let rec loop () =
     incr epochs;
-    match Spt_synch.try_run ?delay ~comm_budget:!budget ?k g ~source with
+    match
+      Spt_synch.try_run ?delay ?faults ?reliable ~comm_budget:!budget ?k g
+        ~source
+    with
     | Some r ->
       total_comm := !total_comm + r.Spt_synch.measures.Measures.comm;
       {
@@ -32,11 +40,13 @@ let run ?delay ?k ?strip g ~source =
         total_comm = !total_comm;
         winning_measures = r.Spt_synch.measures;
         epochs = !epochs;
+        transport = r.Spt_synch.transport;
       }
     | None ->
       total_comm := !total_comm + !budget;
       (match
-         Spt_recur.try_run ?delay ~comm_budget:!budget g ~source ~strip
+         Spt_recur.try_run ?delay ?faults ?reliable ~comm_budget:!budget g
+           ~source ~strip
        with
       | Some r ->
         total_comm := !total_comm + r.Spt_recur.measures.Measures.comm;
@@ -46,6 +56,7 @@ let run ?delay ?k ?strip g ~source =
           total_comm = !total_comm;
           winning_measures = r.Spt_recur.measures;
           epochs = !epochs;
+          transport = r.Spt_recur.transport;
         }
       | None ->
         total_comm := !total_comm + !budget;

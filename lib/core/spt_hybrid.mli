@@ -20,12 +20,17 @@ type result = {
   total_comm : int;  (** across all budget epochs *)
   winning_measures : Measures.t;  (** the successful run's own measures *)
   epochs : int;
+  transport : Csap_dsim.Net.stats;  (** from the winning epoch's run *)
 }
 
-(** [run ?delay ?k ?strip g ~source]; [k] is gamma_w's parameter, [strip]
-    SPT_recur's strip depth (defaults as in the component algorithms). *)
+(** [run ?delay ?faults ?reliable ?k ?strip g ~source]; [k] is gamma_w's
+    parameter, [strip] SPT_recur's strip depth (defaults as in the
+    component algorithms). Raises [Invalid_argument] when [source] is
+    outside [0, n). *)
 val run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?k:int ->
   ?strip:int ->
   Csap_graph.Graph.t ->

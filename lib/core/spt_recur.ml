@@ -1,4 +1,4 @@
-module Engine = Csap_dsim.Engine
+module Net = Csap_dsim.Net
 module G = Csap_graph.Graph
 
 (* Strip-end detection is genuine Dijkstra-Scholten termination detection
@@ -19,6 +19,7 @@ type result = {
   strips : int;
   offer_comm : int;
   sync_comm : int;
+  transport : Net.stats;
 }
 
 let default_strip g =
@@ -26,10 +27,15 @@ let default_strip g =
   let dn = Csap_graph.Paths.max_neighbor_distance g in
   max 1 (int_of_float (sqrt (float_of_int (d * dn))))
 
-let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
+let try_run ?delay ?faults ?reliable ?(comm_budget = max_int) g ~source
+    ~strip =
   if strip < 1 then invalid_arg "Spt_recur.run: strip >= 1 required";
   let n = G.n g in
-  let eng = Engine.create ?delay g in
+  if source < 0 || source >= n then
+    invalid_arg
+      (Printf.sprintf "Spt_recur.run: root %d out of range [0, %d)" source n);
+  let net = Net.make ?reliable ?delay ?faults g in
+  let stats = Net.monitor net in
   let dist = Array.make n max_int in
   let parent = Array.make n (-1) in
   let children = Array.make n [] in
@@ -64,7 +70,7 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
             offered.(v).(slot) <- value;
             offer_comm := !offer_comm + w;
             deficit.(v) <- deficit.(v) + 1;
-            Engine.send eng ~src:v ~dst:u
+            net.Net.send ~src:v ~dst:u
               (Offer { value; threshold = threshold.(v) })
           end
         end)
@@ -91,7 +97,7 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
       (fun c ->
         sync_comm := !sync_comm + edge_w v c;
         deficit.(v) <- deficit.(v) + 1;
-        Engine.send eng ~src:v ~dst:c (Strip threshold.(v)))
+        net.Net.send ~src:v ~dst:c (Strip threshold.(v)))
       children.(v);
     announce v;
     try_close v
@@ -108,7 +114,7 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
         gathered.(v) <- 0;
         self_pending.(v) <- 0;
         sync_comm := !sync_comm + edge_w v p;
-        Engine.send eng ~src:v ~dst:p (Ack count)
+        net.Net.send ~src:v ~dst:p (Ack count)
       end
     end
   in
@@ -127,7 +133,7 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
     end
   in
   for v = 0 to n - 1 do
-    Engine.set_handler eng v (fun ~src m ->
+    net.Net.set_handler v (fun ~src m ->
         match m with
         | Offer { value; threshold = th } ->
           threshold.(v) <- max threshold.(v) th;
@@ -138,7 +144,7 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
           else begin
             (* Not an engagement: acknowledge immediately. *)
             sync_comm := !sync_comm + edge_w v src;
-            Engine.send eng ~src:v ~dst:src (Ack 0);
+            net.Net.send ~src:v ~dst:src (Ack 0);
             try_close v
           end
         | Ack count ->
@@ -157,14 +163,14 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
           if engaging then ds_parent.(v) <- src
           else begin
             sync_comm := !sync_comm + edge_w v src;
-            Engine.send eng ~src:v ~dst:src (Ack 0)
+            net.Net.send ~src:v ~dst:src (Ack 0)
           end;
           broadcast_strip v)
   done;
   dist.(source) <- 0;
-  Engine.schedule eng ~delay:0.0 (fun () -> start_strip ());
-  ignore (Engine.run ~comm_budget eng);
-  if (Engine.metrics eng).Csap_dsim.Metrics.weighted_comm >= comm_budget
+  net.Net.schedule ~delay:0.0 (fun () -> start_strip ());
+  ignore (net.Net.run ~comm_budget ());
+  if (net.Net.metrics ()).Csap_dsim.Metrics.weighted_comm >= comm_budget
   then None
   else begin
     assert !finished;
@@ -182,14 +188,15 @@ let try_run ?delay ?(comm_budget = max_int) g ~source ~strip =
     Some
       {
         tree;
-        measures = Measures.of_metrics (Engine.metrics eng);
+        measures = Measures.of_metrics (net.Net.metrics ());
         strips = !strips;
         offer_comm = !offer_comm;
         sync_comm = !sync_comm;
+        transport = stats ();
       }
   end
 
-let run ?delay g ~source ~strip =
-  match try_run ?delay g ~source ~strip with
+let run ?delay ?faults ?reliable g ~source ~strip =
+  match try_run ?delay ?faults ?reliable g ~source ~strip with
   | Some r -> r
   | None -> assert false (* unbounded budget always completes *)

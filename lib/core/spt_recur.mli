@@ -34,12 +34,17 @@ type result = {
   strips : int;  (** strips processed *)
   offer_comm : int;  (** exploration + correction traffic *)
   sync_comm : int;  (** strip-boundary synchronisation traffic *)
+  transport : Csap_dsim.Net.stats;
 }
 
-(** [run ?delay g ~source ~strip] computes the SPT from [source]; [strip]
-    is the strip depth [s >= 1]. *)
+(** [run ?delay ?faults ?reliable g ~source ~strip] computes the SPT from
+    [source]; [strip] is the strip depth [s >= 1]. [~reliable:true] routes
+    all traffic through the {!Csap_dsim.Reliable} shim. Raises
+    [Invalid_argument] when [source] is outside [0, n). *)
 val run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   Csap_graph.Graph.t ->
   source:int ->
   strip:int ->
@@ -49,6 +54,8 @@ val run :
     ran out first. *)
 val try_run :
   ?delay:Csap_dsim.Delay.t ->
+  ?faults:Csap_dsim.Fault.plan ->
+  ?reliable:bool ->
   ?comm_budget:int ->
   Csap_graph.Graph.t ->
   source:int ->

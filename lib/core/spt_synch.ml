@@ -54,6 +54,7 @@ type result = {
   proto_comm : int;
   overhead_comm : int;
   transformed_pulses : int;
+  transport : Csap_dsim.Net.stats;
 }
 
 let tree_of_states g ~source states =
@@ -93,6 +94,12 @@ let try_run ?delay ?faults ?reliable ?comm_budget ?k g ~source =
         overhead_comm =
           outcome.Synchronizer.ack_comm + outcome.Synchronizer.control_comm;
         transformed_pulses = outcome.Synchronizer.pulses;
+        transport =
+          {
+            Csap_dsim.Net.retransmissions =
+              outcome.Synchronizer.retransmissions;
+            restarts = 0;
+          };
       }
 
 let run ?delay ?faults ?reliable ?k g ~source =

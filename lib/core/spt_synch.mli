@@ -34,6 +34,9 @@ type result = {
   proto_comm : int;  (** the protocol's own share, [O(script-E)] *)
   overhead_comm : int;  (** acks + synchronizer control *)
   transformed_pulses : int;
+  transport : Csap_dsim.Net.stats;
+      (** shim retransmissions; restarts are not surfaced by the
+          synchronizer pipeline (always [0]) *)
 }
 
 (** [run ?delay ?faults ?reliable ?k g ~source] — the full asynchronous

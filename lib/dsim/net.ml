@@ -11,10 +11,16 @@ type 'm t = {
   retransmissions : unit -> int;
 }
 
-let plain ?delay ?faults g =
-  let eng = Engine.create ?delay ?faults g in
+type stats = {
+  retransmissions : int;
+  restarts : int;
+}
+
+let no_stats = { retransmissions = 0; restarts = 0 }
+
+let of_engine eng =
   {
-    graph = g;
+    graph = Engine.graph eng;
     send = (fun ~src ~dst m -> Engine.send eng ~src ~dst m);
     set_handler = (fun v f -> Engine.set_handler eng v f);
     set_on_restart = (fun v f -> Engine.set_restart_handler eng v f);
@@ -27,6 +33,8 @@ let plain ?delay ?faults g =
     metrics = (fun () -> Engine.metrics eng);
     retransmissions = (fun () -> 0);
   }
+
+let plain ?delay ?faults g = of_engine (Engine.create ?delay ?faults g)
 
 let reliable ?delay ?faults ?rto ?max_rto g =
   let eng = Engine.create ?delay ?faults g in
@@ -49,3 +57,10 @@ let reliable ?delay ?faults ?rto ?max_rto g =
 let make ?reliable:(r = false) ?delay ?faults ?rto ?max_rto g =
   if r then reliable ?delay ?faults ?rto ?max_rto g
   else plain ?delay ?faults g
+
+let monitor net =
+  let restarts = ref 0 in
+  for v = 0 to Csap_graph.Graph.n net.graph - 1 do
+    net.set_on_restart v (fun () -> incr restarts)
+  done;
+  fun () -> { retransmissions = net.retransmissions (); restarts = !restarts }

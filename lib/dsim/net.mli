@@ -23,6 +23,22 @@ type 'm t = {
   retransmissions : unit -> int;  (** [0] on a plain transport *)
 }
 
+(** Transport-level bookkeeping of one run: retransmissions performed by
+    the {!Reliable} shim (always [0] on a plain transport) and observed
+    crash-restart events. *)
+type stats = {
+  retransmissions : int;
+  restarts : int;
+}
+
+val no_stats : stats
+
+(** [of_engine eng] wraps an existing engine as a plain (shimless)
+    endpoint — for protocols that share one engine with engine-bound
+    machinery (e.g. the {!Controller}) but whose components speak
+    [Net.t]. *)
+val of_engine : 'm Engine.t -> 'm t
+
 (** [plain ?delay ?faults g] is a bare engine endpoint — the historical
     semantics (unreliable when a plan drops messages; nothing
     retransmits). *)
@@ -49,3 +65,10 @@ val make :
   ?max_rto:float ->
   Csap_graph.Graph.t ->
   'm t
+
+(** [monitor net] installs a restart counter on every vertex (via
+    [set_on_restart]) and returns a closure producing the run's
+    transport {!stats}. Call before the protocol installs its own
+    restart handlers only if it has none — the counter replaces any
+    previously installed handler and vice versa. *)
+val monitor : 'm t -> unit -> stats

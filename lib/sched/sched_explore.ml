@@ -51,143 +51,49 @@ type target = {
   execute : G.t -> Delay.t -> (Measures.t, string) result;
 }
 
-(* Weighted distance from the root along tree parent pointers. *)
-let tree_dist tree v =
-  let rec go v acc =
-    match Tree.parent tree v with
-    | None -> acc
-    | Some (p, w) -> go p (acc + w)
-  in
-  go v 0
+(* ------------------------------------------------------------------ *)
+(* Registry-driven targets: every protocol in {!Csap.Protocol.registry} *)
+(* can be swept; the invariant is the registry entry's own oracle       *)
+(* check, so there is no per-protocol wiring here.                      *)
+(* ------------------------------------------------------------------ *)
 
-(* The tree must span [g] and place every vertex at exactly its Dijkstra
-   distance from [src] — the schedule-invariant definition of an SPT. *)
-let check_spt ~what g ~src tree =
-  if not (Tree.is_spanning_tree_of g tree) then
-    Error (Printf.sprintf "%s: result is not a spanning tree" what)
-  else begin
-    let sp = Paths.dijkstra g ~src in
-    let bad = ref (Ok ()) in
-    for v = 0 to G.n g - 1 do
-      match !bad with
-      | Error _ -> ()
-      | Ok () ->
-        let d = tree_dist tree v in
-        if d <> sp.Paths.dist.(v) then
-          bad :=
-            Error
-              (Printf.sprintf
-                 "%s: vertex %d at tree distance %d, Dijkstra says %d" what v
-                 d sp.Paths.dist.(v))
-    done;
-    !bad
-  end
+module Protocol = Csap.Protocol
 
-let flood_target ~source =
+let target_suffix ~needs_root root strip =
+  (match root with
+  | Some r when needs_root -> Printf.sprintf "-src%d" r
+  | _ -> "")
+  ^ match strip with Some s -> Printf.sprintf "-s%d" s | None -> ""
+
+let protocol_target ?root ?pulses ?strip ?k ?q entry =
+  let (module P : Protocol.S) = entry in
   {
-    name = Printf.sprintf "flood-src%d" source;
+    name = P.name ^ target_suffix ~needs_root:P.caps.Protocol.needs_root
+             root strip;
     execute =
       (fun g delay ->
-        let r = Csap.Flood.run ~delay g ~source in
-        if not (Tree.is_spanning_tree_of g r.Csap.Flood.tree) then
-          Error "flood: first-contact tree is not a spanning tree"
-        else begin
-          let sp = Paths.dijkstra g ~src:source in
-          let bad = ref (Ok r.Csap.Flood.measures) in
-          Array.iteri
-            (fun v a ->
-              match !bad with
-              | Error _ -> ()
-              | Ok _ ->
-                (* Delays never exceed weights, so no schedule can make the
-                   wave slower than the weighted shortest path. *)
-                if a > float_of_int sp.Paths.dist.(v) +. 1e-9 then
-                  bad :=
-                    Error
-                      (Printf.sprintf
-                         "flood: wave reached %d at %g, after its weighted \
-                          distance %d"
-                         v a sp.Paths.dist.(v)))
-            r.Csap.Flood.arrival;
-          !bad
-        end);
+        let cfg =
+          Protocol.Run.make ?root ~delay ?pulses ?strip ?k ?q g
+        in
+        let o = Protocol.execute entry cfg in
+        match P.invariant cfg o with
+        | Ok () -> Ok o.Protocol.Outcome.measures
+        | Error e -> Error (Printf.sprintf "%s: %s" P.name e));
   }
 
-let mst_target =
-  {
-    name = "mst-ghs";
-    execute =
-      (fun g delay ->
-        let r = Csap.Mst_ghs.run ~delay g in
-        if not (Tree.is_spanning_tree_of g r.Csap.Mst_ghs.mst) then
-          Error "ghs: result is not a spanning tree"
-        else if not (Mst.is_mst g r.Csap.Mst_ghs.mst) then
-          Error "ghs: result tree is not the MST"
-        else Ok r.Csap.Mst_ghs.measures);
-  }
+let target_for ?root ?pulses ?strip ?k ?q name =
+  protocol_target ?root ?pulses ?strip ?k ?q (Protocol.find_exn name)
 
-let spt_synch_target ~source =
-  {
-    name = Printf.sprintf "spt-synch-src%d" source;
-    execute =
-      (fun g delay ->
-        let r = Csap.Spt_synch.run ~delay g ~source in
-        match check_spt ~what:"spt-synch" g ~src:source r.Csap.Spt_synch.tree
-        with
-        | Ok () -> Ok r.Csap.Spt_synch.measures
-        | Error e -> Error e);
-  }
-
-let spt_recur_target ~source ~strip =
-  {
-    name = Printf.sprintf "spt-recur-src%d-s%d" source strip;
-    execute =
-      (fun g delay ->
-        let r = Csap.Spt_recur.run ~delay g ~source ~strip in
-        match check_spt ~what:"spt-recur" g ~src:source r.Csap.Spt_recur.tree
-        with
-        | Ok () -> Ok r.Csap.Spt_recur.measures
-        | Error e -> Error e);
-  }
-
-let sync_alpha_target ~source ~pulses =
-  {
-    name = Printf.sprintf "sync-alpha-src%d" source;
-    execute =
-      (fun g delay ->
-        let proto = Csap.Spt_synch.protocol ~source in
-        let reference = Csap_dsim.Sync_runner.run g proto ~pulses in
-        let out = Csap.Synchronizer.run_alpha ~delay g proto ~pulses in
-        let ref_states = reference.Csap_dsim.Sync_runner.states in
-        let states = out.Csap.Synchronizer.states in
-        let mismatch = ref None in
-        Array.iteri
-          (fun v (s : Csap.Spt_synch.state) ->
-            if !mismatch = None && s <> ref_states.(v) then mismatch := Some v)
-          states;
-        match !mismatch with
-        | Some v ->
-          Error
-            (Printf.sprintf
-               "alpha: state at vertex %d differs from the synchronous \
-                reference"
-               v)
-        | None ->
-          if
-            out.Csap.Synchronizer.proto_comm
-            <> reference.Csap_dsim.Sync_runner.weighted_comm
-          then
-            Error
-              (Printf.sprintf
-                 "alpha: protocol sent %d weighted units, reference sent %d"
-                 out.Csap.Synchronizer.proto_comm
-                 reference.Csap_dsim.Sync_runner.weighted_comm)
-          else if out.Csap.Synchronizer.pulses <> pulses then
-            Error
-              (Printf.sprintf "alpha: ran %d pulses instead of %d"
-                 out.Csap.Synchronizer.pulses pulses)
-          else Ok out.Csap.Synchronizer.total);
-  }
+(* The sweep roster: one target per trade-off family, cheap enough for
+   every (schedule x target) pair of a sweep. *)
+let registry_targets ?(root = 0) () =
+  [
+    target_for ~root "flood";
+    target_for "mst-ghs";
+    target_for ~root "spt-synch";
+    target_for ~root ~strip:2 "spt-recur";
+    target_for ~root "sync-alpha";
+  ]
 
 type run_result = {
   target : string;
@@ -378,51 +284,45 @@ type fault_target = {
   fclean : G.t -> Measures.t;
 }
 
-let reliable_flood_target ~source =
+(* Registry-driven fault targets: the protocol runs behind the reliable
+   shim under the given plan; the clean baseline is the same registry
+   run with no plan and no shim. *)
+let protocol_fault_target ?root ?pulses ?strip ?k ?q entry =
+  let (module P : Protocol.S) = entry in
   {
-    fname = Printf.sprintf "rel-flood-src%d" source;
+    fname =
+      "rel-" ^ P.name
+      ^ target_suffix ~needs_root:P.caps.Protocol.needs_root root strip;
     fexecute =
       (fun g delay plan ->
-        let open Csap.Flood in
-        let r = run_reliable ~delay ~faults:plan g ~source in
-        if not (Tree.is_spanning_tree_of g r.result.tree) then
-          Error "rel-flood: first-contact tree is not a spanning tree"
-        else Ok r.result.measures);
-    fclean =
-      (fun g -> (Csap.Flood.run g ~source).Csap.Flood.measures);
-  }
-
-let reliable_mst_target =
-  {
-    fname = "rel-mst-ghs";
-    fexecute =
-      (fun g delay plan ->
-        let open Csap.Mst_ghs in
-        let r = run_reliable ~delay ~faults:plan g in
-        if not (Tree.is_spanning_tree_of g r.result.mst) then
-          Error "rel-ghs: result is not a spanning tree"
-        else if not (Mst.is_mst g r.result.mst) then
-          Error "rel-ghs: result tree is not the MST"
-        else Ok r.result.measures);
-    fclean = (fun g -> (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures);
-  }
-
-let reliable_spt_synch_target ~source =
-  {
-    fname = Printf.sprintf "rel-spt-synch-src%d" source;
-    fexecute =
-      (fun g delay plan ->
-        let r =
-          Csap.Spt_synch.run ~delay ~faults:plan ~reliable:true g ~source
+        let cfg =
+          Protocol.Run.make ?root ~delay ~faults:plan ~reliable:true ?pulses
+            ?strip ?k ?q g
         in
-        match
-          check_spt ~what:"rel-spt-synch" g ~src:source r.Csap.Spt_synch.tree
-        with
-        | Ok () -> Ok r.Csap.Spt_synch.measures
-        | Error e -> Error e);
+        let o = Protocol.execute entry cfg in
+        match P.invariant cfg o with
+        | Ok () -> Ok o.Protocol.Outcome.measures
+        | Error e -> Error (Printf.sprintf "rel-%s: %s" P.name e));
     fclean =
-      (fun g -> (Csap.Spt_synch.run g ~source).Csap.Spt_synch.measures);
+      (fun g ->
+        (Protocol.run ?root ?pulses ?strip ?k ?q entry g)
+          .Protocol.Outcome.measures);
   }
+
+let fault_target_for ?root ?pulses ?strip ?k ?q name =
+  protocol_fault_target ?root ?pulses ?strip ?k ?q (Protocol.find_exn name)
+
+(* The fault-sweep roster: every registry protocol that supports both a
+   raw fault plan and the reliable shim and is cheap enough to sweep. *)
+let registry_fault_targets ?(root = 0) () =
+  [
+    fault_target_for ~root "flood";
+    fault_target_for ~root "dfs-token";
+    fault_target_for ~root "mst-centr";
+    fault_target_for "mst-ghs";
+    fault_target_for ~root "spt-synch";
+    fault_target_for ~root "global-sum";
+  ]
 
 type fault_run = {
   frun_target : string;

@@ -49,30 +49,31 @@ type target = {
     (Csap.Measures.t, string) result;
 }
 
-(** Flood from [source]: the first-contact tree must span the graph and
-    the wave must reach every [v] by time [dist(source, v)] (delays are
-    bounded by weights, so no schedule can be slower than the weighted
-    shortest paths). *)
-val flood_target : source:int -> target
+(** [protocol_target entry] wraps a {!Csap.Protocol} registry entry as a
+    sweep target: the run goes through {!Csap.Protocol.execute} with the
+    schedule's delay model, and the invariant is the entry's own oracle
+    check. Knobs ([root], [pulses], [strip], [k], [q]) are forwarded into
+    the {!Csap.Protocol.Run.cfg}. *)
+val protocol_target :
+  ?root:int ->
+  ?pulses:int ->
+  ?strip:int ->
+  ?k:int ->
+  ?q:float ->
+  Csap.Protocol.entry ->
+  target
 
-(** GHS: the computed tree must be {e the} MST (weights are made distinct
-    by the canonical edge order, so the MST is unique). *)
-val mst_target : target
+(** [target_for name] is {!protocol_target} of
+    [Csap.Protocol.find_exn name]; raises [Invalid_argument] on an
+    unknown protocol. *)
+val target_for :
+  ?root:int -> ?pulses:int -> ?strip:int -> ?k:int -> ?q:float -> string
+  -> target
 
-(** SPT via the synchronizer pipeline: the tree must span the graph and
-    the tree path weight to every vertex must equal Dijkstra's
-    distance. *)
-val spt_synch_target : source:int -> target
-
-(** SPT via the strip method, same invariant; [strip] is the strip
-    depth. *)
-val spt_recur_target : source:int -> strip:int -> target
-
-(** Synchronizer alpha_w running the synchronous SPT wave: final states
-    must match the weighted synchronous reference executor exactly, the
-    protocol's own communication must equal the reference's, and the
-    pulse count must equal the requested bound. *)
-val sync_alpha_target : source:int -> pulses:int -> target
+(** The standard sweep roster — one registry target per trade-off family
+    (flood, GHS, both SPT constructions, synchronizer alpha), cheap
+    enough for a full (schedule x target) sweep. *)
+val registry_targets : ?root:int -> unit -> target list
 
 (** One (target, schedule) run. *)
 type run_result = {
@@ -145,18 +146,30 @@ type fault_target = {
   fclean : Csap_graph.Graph.t -> Csap.Measures.t;
 }
 
-(** Flood through {!Csap.Flood.run_reliable}: the first-contact tree must
-    still span the graph. (The clean sweep's arrival-time bound does not
-    survive retransmission delays.) *)
-val reliable_flood_target : source:int -> fault_target
+(** [protocol_fault_target entry] wraps a registry entry as a fault
+    target: [fexecute] runs it behind the reliable shim under the plan
+    and checks the entry's own invariant (the shim is what makes the
+    clean oracle hold under faults); [fclean] is the same registry run
+    with no plan and no shim. *)
+val protocol_fault_target :
+  ?root:int ->
+  ?pulses:int ->
+  ?strip:int ->
+  ?k:int ->
+  ?q:float ->
+  Csap.Protocol.entry ->
+  fault_target
 
-(** GHS through {!Csap.Mst_ghs.run_reliable}: the result must be the
-    unique MST. *)
-val reliable_mst_target : fault_target
+(** [fault_target_for name] is {!protocol_fault_target} of
+    [Csap.Protocol.find_exn name]. *)
+val fault_target_for :
+  ?root:int -> ?pulses:int -> ?strip:int -> ?k:int -> ?q:float -> string
+  -> fault_target
 
-(** SPT via the synchronizer pipeline with [~reliable:true]: same
-    Dijkstra-distance invariant as the clean sweep. *)
-val reliable_spt_synch_target : source:int -> fault_target
+(** The standard fault roster: every registry protocol that supports
+    both raw fault plans and the reliable shim and is cheap enough to
+    sweep (flood, DFS, MST_centr, GHS, SPT_synch, global-sum). *)
+val registry_fault_targets : ?root:int -> unit -> fault_target list
 
 (** One (target, delay schedule, fault plan) run. *)
 type fault_run = {

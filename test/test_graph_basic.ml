@@ -1,7 +1,3 @@
-(* This suite exercises the deprecated tuple [neighbors] shim on
-   purpose (it must stay consistent with the CSR rows). *)
-[@@@alert "-deprecated"]
-
 module G = Csap_graph.Graph
 
 let triangle () = G.create ~n:3 [ (0, 1, 2); (1, 2, 3); (0, 2, 7) ]
@@ -23,7 +19,7 @@ let test_normalisation () =
 let test_neighbors () =
   let g = triangle () in
   let nbrs =
-    Array.to_list (G.neighbors g 1) |> List.map (fun (v, w, _) -> (v, w))
+    List.rev (G.fold_neighbors g 1 (fun acc v w _id -> (v, w) :: acc) [])
   in
   Alcotest.(check (list (pair int int)))
     "neighbors of 1"
@@ -97,8 +93,15 @@ let check_index_agrees g =
       (* neighbor_index points back into adj(u). *)
       let i = G.neighbor_index g u v in
       if scan >= 0 then begin
-        let x, _, id = (G.neighbors g u).(i) in
-        if x <> v || id <> scan then ok := false
+        (* neighbor_index is an offset into adj(u) in iteration order. *)
+        let entry = ref None in
+        let j = ref 0 in
+        G.iter_neighbors g u (fun x _ id ->
+            if !j = i then entry := Some (x, id);
+            incr j);
+        match !entry with
+        | Some (x, id) -> if x <> v || id <> scan then ok := false
+        | None -> ok := false
       end
       else if i <> -1 then ok := false
     done

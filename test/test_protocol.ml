@@ -1,0 +1,214 @@
+module P = Csap.Protocol
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module Tree = Csap_graph.Tree
+
+let expected_names =
+  [
+    "flood";
+    "dfs-token";
+    "con-hybrid";
+    "mst-centr";
+    "mst-ghs";
+    "mst-fast";
+    "mst-hybrid";
+    "spt-centr";
+    "spt-synch";
+    "spt-recur";
+    "spt-hybrid";
+    "slt-dist";
+    "global-sum";
+    "clock-alpha";
+    "clock-beta";
+    "clock-gamma";
+    "sync-alpha";
+    "sync-beta";
+    "sync-gamma-w";
+    "lower-bound-gn";
+  ]
+
+(* The registry is complete: every protocol in the library, by name, in
+   paper order. A protocol added to lib/core must be added both there and
+   to this list. *)
+let test_completeness () =
+  Alcotest.(check (list string)) "registry names" expected_names (P.names ());
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) (n ^ " found") true (P.find n <> None))
+    expected_names;
+  Alcotest.(check bool) "unknown name rejected" true (P.find "nope" = None);
+  Alcotest.check_raises "find_exn raises"
+    (Invalid_argument "Protocol.find_exn: unknown protocol \"nope\"")
+    (fun () -> ignore (P.find_exn "nope"))
+
+(* Every entry runs cleanly and passes its own oracle invariant. *)
+let smoke g =
+  List.iter
+    (fun entry ->
+      let (module M : P.S) = entry in
+      let cfg = P.Run.make g in
+      let o = P.execute entry cfg in
+      (match M.invariant cfg o with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: invariant failed: %s" M.name e);
+      Alcotest.(check string)
+        (M.name ^ ": outcome labelled")
+        M.name o.P.Outcome.protocol;
+      Alcotest.(check bool)
+        (M.name ^ ": communication positive")
+        true
+        (o.P.Outcome.measures.Csap.Measures.comm > 0))
+    P.registry
+
+let test_smoke_k4 () = smoke (Gen.complete 4 ~w:3)
+
+let test_smoke_random () =
+  smoke
+    (Gen.random_connected (Csap_graph.Rng.create 7) 10 ~extra_edges:8 ~wmax:6)
+
+(* Zero-fault registry runs are bit-identical to direct calls: the
+   registry adds routing, not semantics. *)
+let test_bit_identical () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let delay = Csap_dsim.Delay.seeded 42 in
+  let tree_of o =
+    match P.Outcome.tree o with
+    | Some t -> Tree.edges t
+    | None -> Alcotest.fail "no tree in outcome"
+  in
+  let via_flood = P.run ~delay (P.find_exn "flood") g in
+  let direct_flood = Csap.Flood.run ~delay g ~source:0 in
+  Alcotest.(check bool) "flood measures identical" true
+    (via_flood.P.Outcome.measures = direct_flood.Csap.Flood.measures);
+  Alcotest.(check bool) "flood tree identical" true
+    (tree_of via_flood = Tree.edges direct_flood.Csap.Flood.tree);
+  let via_ghs = P.run ~delay (P.find_exn "mst-ghs") g in
+  let direct_ghs = Csap.Mst_ghs.run ~delay g in
+  Alcotest.(check bool) "ghs measures identical" true
+    (via_ghs.P.Outcome.measures = direct_ghs.Csap.Mst_ghs.measures);
+  Alcotest.(check bool) "ghs tree identical" true
+    (tree_of via_ghs = Tree.edges direct_ghs.Csap.Mst_ghs.mst);
+  let via_spt = P.run ~delay (P.find_exn "spt-synch") g in
+  let direct_spt = Csap.Spt_synch.run ~delay g ~source:0 in
+  Alcotest.(check bool) "spt-synch measures identical" true
+    (via_spt.P.Outcome.measures = direct_spt.Csap.Spt_synch.measures);
+  Alcotest.(check bool) "spt-synch tree identical" true
+    (tree_of via_spt = Tree.edges direct_spt.Csap.Spt_synch.tree)
+
+(* Uniform validation: one root-range message shape for every protocol
+   that needs a root, and capability rejections for the rest. *)
+let test_validation () =
+  let g = Gen.complete 4 ~w:3 in
+  List.iter
+    (fun entry ->
+      let (module M : P.S) = entry in
+      if M.caps.P.needs_root then begin
+        let expected =
+          Printf.sprintf "%s: root 99 out of range [0, %d)" M.name (G.n g)
+        in
+        Alcotest.check_raises
+          (M.name ^ ": root validated")
+          (Invalid_argument expected)
+          (fun () -> ignore (P.run ~root:99 entry g))
+      end;
+      if not M.caps.P.supports_faults then
+        Alcotest.check_raises
+          (M.name ^ ": faults rejected")
+          (Invalid_argument (M.name ^ ": fault plans not supported"))
+          (fun () ->
+            ignore
+              (P.run ~faults:(Csap_dsim.Fault.seeded ~loss:0.1 1) entry g));
+      if not M.caps.P.supports_reliable then
+        Alcotest.check_raises
+          (M.name ^ ": reliable rejected")
+          (Invalid_argument (M.name ^ ": reliable transport not supported"))
+          (fun () -> ignore (P.run ~reliable:true entry g)))
+    P.registry
+
+(* Every fault-capable entry survives seeded loss behind the shim and
+   still passes its invariant — the fault roster extends registry-wide,
+   not just to the original hand-wired three. *)
+let test_reliable_under_loss () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let faults = Csap_dsim.Fault.seeded ~loss:0.1 5 in
+  let covered =
+    List.filter
+      (fun entry ->
+        let (module M : P.S) = entry in
+        M.caps.P.supports_faults && M.caps.P.supports_reliable)
+      P.registry
+  in
+  Alcotest.(check bool) "strictly more than three fault targets" true
+    (List.length covered > 3);
+  List.iter
+    (fun entry ->
+      let (module M : P.S) = entry in
+      let cfg = P.Run.make ~faults ~reliable:true g in
+      let o = P.execute entry cfg in
+      match M.invariant cfg o with
+      | Ok () -> ()
+      | Error e ->
+        Alcotest.failf "%s: invariant failed under loss: %s" M.name e)
+    covered
+
+(* The flood entry's reusable engine handle is accepted and changes
+   nothing about the result. *)
+let test_engine_reuse () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let entry = P.find_exn "flood" in
+  let (module M : P.S) = entry in
+  Alcotest.(check bool) "flood advertises engine reuse" true
+    M.caps.P.reuses_engine;
+  let engine =
+    match M.make_engine g with
+    | Some h -> h
+    | None -> Alcotest.fail "flood returned no engine"
+  in
+  let fresh = P.run entry g in
+  let reused1 = P.run ~engine entry g in
+  let reused2 = P.run ~engine entry g in
+  Alcotest.(check bool) "reused engine, same measures" true
+    (fresh.P.Outcome.measures = reused1.P.Outcome.measures
+    && reused1.P.Outcome.measures = reused2.P.Outcome.measures)
+
+(* cfg.trace dumps one parseable JSONL trace per engine run. *)
+let test_trace_dump () =
+  let g = Gen.complete 4 ~w:3 in
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "csap-protocol-test-%d" (Unix.getpid ()))
+  in
+  Unix.mkdir dir 0o755;
+  let prefix = Filename.concat dir "t" in
+  ignore (P.run ~trace:prefix (P.find_exn "flood") g);
+  let dumped = Sys.readdir dir in
+  Alcotest.(check bool) "at least one trace dumped" true
+    (Array.length dumped > 0);
+  Array.iter
+    (fun f ->
+      Alcotest.(check bool)
+        (Printf.sprintf "%s parses and is non-empty" f)
+        true
+        (Csap_dsim.Trace.length
+           (Csap_dsim.Trace.load_jsonl (Filename.concat dir f))
+        > 0))
+    dumped;
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) dumped;
+  Sys.rmdir dir
+
+let suite =
+  [
+    Alcotest.test_case "registry is complete" `Quick test_completeness;
+    Alcotest.test_case "all entries pass on K4" `Quick test_smoke_k4;
+    Alcotest.test_case "all entries pass on a random family" `Quick
+      test_smoke_random;
+    Alcotest.test_case "registry runs bit-identical to direct calls" `Quick
+      test_bit_identical;
+    Alcotest.test_case "uniform root and capability validation" `Quick
+      test_validation;
+    Alcotest.test_case "fault-capable entries survive loss" `Quick
+      test_reliable_under_loss;
+    Alcotest.test_case "flood engine handle reused" `Quick test_engine_reuse;
+    Alcotest.test_case "traces dumped and parseable" `Quick test_trace_dump;
+  ]

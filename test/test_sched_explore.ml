@@ -5,15 +5,9 @@ module Tree = Csap_graph.Tree
 
 let schedules g = S.seeded_schedules 8 @ S.adversarial_schedules g
 
-let targets g =
-  [
-    S.flood_target ~source:0;
-    S.mst_target;
-    S.spt_synch_target ~source:0;
-    S.spt_recur_target ~source:0 ~strip:2;
-    S.sync_alpha_target ~source:0
-      ~pulses:(Csap_graph.Paths.eccentricity g 0 + 1);
-  ]
+(* The registry's clean-sweep roster: flood, GHS, SPT_synch, SPT_recur,
+   sync-alpha — all built from Csap.Protocol entries. *)
+let targets _g = S.registry_targets ()
 
 let check_all_ok g =
   let summaries = S.explore g ~targets:(targets g) ~schedules:(schedules g) in
@@ -122,12 +116,9 @@ let test_deterministic () =
 
 (* ---- fault sweep ------------------------------------------------------- *)
 
-let fault_targets =
-  [
-    S.reliable_flood_target ~source:0;
-    S.reliable_mst_target;
-    S.reliable_spt_synch_target ~source:0;
-  ]
+(* The registry's reliable roster: every fault-capable protocol behind the
+   shim — strictly more than the original hand-wired three. *)
+let fault_targets = S.registry_fault_targets ()
 
 let test_fault_sweep_passes () =
   let g = Gen.grid 3 3 ~w:4 in
