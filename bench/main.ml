@@ -33,6 +33,7 @@ let benches =
     ("sx", Bench_sched.sx);
     ("fx", Bench_fault.fx);
     ("rg", Bench_registry.rg);
+    ("px", Bench_pengine.px);
   ]
 
 type options = {

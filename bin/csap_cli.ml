@@ -8,6 +8,7 @@
      csap_cli list
      csap_cli run mst-ghs --family complete -n 16 -w 5
      csap_cli run flood --family grid -n 25 --delay seeded:3 --check
+     csap_cli run flood --family grid -n 10000 --domains 4
      csap_cli run spt-synch --family random -n 12 --loss 0.1 --reliable
      csap_cli params --family gn -n 8 -w 4 *)
 
@@ -78,15 +79,16 @@ let list_protocols names_only =
   if names_only then
     List.iter print_endline (P.names ())
   else begin
-    Format.printf "%-14s %-13s %-6s %-4s %s@." "name" "category" "faults"
-      "rel" "summary";
+    Format.printf "%-14s %-13s %-6s %-4s %-4s %s@." "name" "category"
+      "faults" "rel" "dom" "summary";
     List.iter
       (fun entry ->
         let (module M : P.S) = entry in
-        Format.printf "%-14s %-13s %-6s %-4s %s@." M.name
+        Format.printf "%-14s %-13s %-6s %-4s %-4s %s@." M.name
           (P.category_name M.category)
           (if M.caps.P.supports_faults then "yes" else "no")
           (if M.caps.P.supports_reliable then "yes" else "no")
+          (if M.caps.P.supports_domains then "yes" else "no")
           M.summary)
       P.registry
   end;
@@ -95,7 +97,7 @@ let list_protocols names_only =
 (* ---- run --------------------------------------------------------------- *)
 
 let run_protocol name family n w seed root delay loss dup fault_seed reliable
-    pulses strip k q trace check =
+    pulses strip k q domains trace check =
   match P.find name with
   | None ->
     Format.eprintf "unknown protocol %S; try `csap_cli list`@." name;
@@ -111,7 +113,8 @@ let run_protocol name family n w seed root delay loss dup fault_seed reliable
       else None
     in
     let cfg =
-      P.Run.make ~root ?delay ?faults ~reliable ?trace ?pulses ?strip ?k ?q g
+      P.Run.make ~root ?delay ?faults ~reliable ?trace ?pulses ?strip ?k ?q
+        ?domains g
     in
     match P.execute entry cfg with
     | exception Invalid_argument msg ->
@@ -138,10 +141,26 @@ let run_protocol name family n w seed root delay loss dup fault_seed reliable
 
 (* ---- params ------------------------------------------------------------ *)
 
-let show_params family n w seed =
+let show_params family n w seed domains =
   let g = make_graph family n w seed in
   Format.printf "graph: %a@." Csap_graph.Params.pp
     (Csap_graph.Params.compute g);
+  (match domains with
+  | Some k when k > 1 ->
+    (* Partitioned-execution view: how the striped and BFS partitions cut
+       this graph, and the conservative lookahead each would give the
+       partitioned engine under exact delays. *)
+    List.iter
+      (fun (label, part) ->
+        let mcw = Csap_graph.Partition.min_cut_weight g part in
+        Format.printf "%s: %a lookahead=%s@." label Csap_graph.Partition.pp
+          part
+          (if mcw = max_int then "inf" else string_of_int mcw))
+      [
+        ("striped", Csap_graph.Partition.striped g ~k);
+        ("bfs", Csap_graph.Partition.bfs g ~k);
+      ]
+  | _ -> ());
   0
 
 (* ---- cmdliner ---------------------------------------------------------- *)
@@ -231,6 +250,15 @@ let run_cmd =
       & opt (some float) None
       & info [ "q" ] ~doc:"SLT balance parameter.")
   in
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:
+            "Run on the partitioned engine across this many OCaml domains \
+             (protocols with `dom' capability; excludes faults/reliable).")
+  in
   let trace =
     Arg.(
       value
@@ -250,13 +278,23 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run one registered protocol on a generated graph.")
     Term.(
       const run_protocol $ pname $ family $ n $ w $ seed $ root $ delay $ loss
-      $ dup $ fault_seed $ reliable $ pulses $ strip $ k $ q $ trace $ check)
+      $ dup $ fault_seed $ reliable $ pulses $ strip $ k $ q $ domains $ trace
+      $ check)
 
 let params_cmd =
+  let domains =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ]
+          ~doc:
+            "Also print how a K-way striped and BFS partition would cut \
+             the graph for the partitioned engine.")
+  in
   Cmd.v
     (Cmd.info "params"
        ~doc:"Print the weighted parameters of a generated graph.")
-    Term.(const show_params $ family $ n $ w $ seed)
+    Term.(const show_params $ family $ n $ w $ seed $ domains)
 
 let cmd =
   let doc = "cost-sensitive communication protocols (Awerbuch-Baratz-Peleg)" in

@@ -42,6 +42,20 @@ val run :
   source:int ->
   result
 
+(** [run_partitioned ?delay ?partition ~domains g ~source] floods on the
+    partitioned engine ({!Csap_dsim.Pengine}) across [domains] OCaml
+    domains and returns a result {b bit-identical} to [run]'s: same
+    tree, same arrival times, same measures. The delay model must be
+    order-independent ({!Csap_dsim.Delay.order_independent}); no fault
+    support. *)
+val run_partitioned :
+  ?delay:Csap_dsim.Delay.t ->
+  ?partition:Csap_graph.Partition.t ->
+  domains:int ->
+  Csap_graph.Graph.t ->
+  source:int ->
+  result
+
 type reliable_result = {
   result : result;
   retransmissions : int;  (** timeout-driven data retransmissions *)

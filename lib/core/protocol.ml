@@ -18,12 +18,13 @@ module Run = struct
     strip : int option;
     k : int option;
     q : float option;
+    domains : int option;
   }
 
   let make ?(root = 0) ?delay ?faults ?(reliable = false) ?trace ?engine
-      ?pulses ?strip ?k ?q graph =
+      ?pulses ?strip ?k ?q ?domains graph =
     { graph; root; delay; faults; reliable; trace; engine; pulses; strip;
-      k; q }
+      k; q; domains }
 
   let delay cfg = Option.value cfg.delay ~default:Delay.Exact
 end
@@ -90,6 +91,7 @@ type caps = {
   synchronous_only : bool;
   reuses_engine : bool;
   fixed_family : bool;
+  supports_domains : bool;
 }
 
 let default_caps =
@@ -100,6 +102,7 @@ let default_caps =
     synchronous_only = false;
     reuses_engine = false;
     fixed_family = false;
+    supports_domains = false;
   }
 
 module type S = sig
@@ -193,7 +196,7 @@ module Flood_p = struct
   let name = "flood"
   let summary = "CON_flood: spanning tree by flooding (Section 6.1)"
   let category = Connectivity
-  let caps = { default_caps with reuses_engine = true }
+  let caps = { default_caps with reuses_engine = true; supports_domains = true }
 
   let make_engine ?delay g = Some (Flood_engine (Flood.make_engine ?delay g))
 
@@ -215,17 +218,25 @@ module Flood_p = struct
            { tree = inner.Flood.tree; arrival = inner.Flood.arrival })
     end
     else begin
-      let engine =
-        match cfg.Run.engine with
-        | Some (Flood_engine e) -> Some e
-        | _ -> None
-      in
-      let r =
-        Flood.run ?delay:cfg.Run.delay ?faults:cfg.Run.faults ?engine g
-          ~source
-      in
-      outcome ~name ~measures:r.Flood.measures
-        (Outcome.Flood_wave { tree = r.Flood.tree; arrival = r.Flood.arrival })
+      match cfg.Run.domains with
+      | Some d when d > 1 ->
+        let r = Flood.run_partitioned ?delay:cfg.Run.delay ~domains:d g ~source in
+        outcome ~name ~measures:r.Flood.measures
+          ~info:[ ("domains", string_of_int d) ]
+          (Outcome.Flood_wave
+             { tree = r.Flood.tree; arrival = r.Flood.arrival })
+      | _ ->
+        let engine =
+          match cfg.Run.engine with
+          | Some (Flood_engine e) -> Some e
+          | _ -> None
+        in
+        let r =
+          Flood.run ?delay:cfg.Run.delay ?faults:cfg.Run.faults ?engine g
+            ~source
+        in
+        outcome ~name ~measures:r.Flood.measures
+          (Outcome.Flood_wave { tree = r.Flood.tree; arrival = r.Flood.arrival })
     end
 
   let invariant cfg (o : Outcome.t) =
@@ -557,6 +568,41 @@ module Spt_hybrid_p = struct
           ("epochs", string_of_int r.Spt_hybrid.epochs);
         ]
       (Outcome.Spanning_tree r.Spt_hybrid.tree)
+
+  let invariant = spt_invariant
+end
+
+module Spt_async_p = struct
+  let name = "spt-async"
+  let summary =
+    "asynchronous distance-wave SPT (native Bellman-Ford, Section 9)"
+
+  let category = Spt
+
+  let caps =
+    {
+      default_caps with
+      supports_faults = false;
+      supports_reliable = false;
+      supports_domains = true;
+    }
+
+  let make_engine = no_engine
+
+  let run cfg =
+    let g = cfg.Run.graph and source = cfg.Run.root in
+    let r =
+      match cfg.Run.domains with
+      | Some d when d > 1 ->
+        Spt_async.run_partitioned ?delay:cfg.Run.delay ~domains:d g ~source
+      | _ -> Spt_async.run ?delay:cfg.Run.delay g ~source
+    in
+    outcome ~name ~measures:r.Spt_async.measures
+      ~info:
+        (match cfg.Run.domains with
+        | Some d when d > 1 -> [ ("domains", string_of_int d) ]
+        | _ -> [])
+      (Outcome.Spanning_tree r.Spt_async.tree)
 
   let invariant = spt_invariant
 end
@@ -943,6 +989,7 @@ let registry : entry list =
     (module Spt_synch_p);
     (module Spt_recur_p);
     (module Spt_hybrid_p);
+    (module Spt_async_p);
     (module Slt_dist_p);
     (module Global_sum_p);
     (module Clock_alpha_p);
@@ -976,7 +1023,34 @@ let validate (module P : S) cfg =
     invalid_arg (Printf.sprintf "%s: fault plans not supported" P.name);
   if cfg.Run.reliable && not P.caps.supports_reliable then
     invalid_arg
-      (Printf.sprintf "%s: reliable transport not supported" P.name)
+      (Printf.sprintf "%s: reliable transport not supported" P.name);
+  match cfg.Run.domains with
+  | None -> ()
+  | Some d ->
+    if d < 1 then
+      invalid_arg (Printf.sprintf "%s: domains %d < 1" P.name d);
+    if d > 1 then begin
+      if not P.caps.supports_domains then
+        invalid_arg
+          (Printf.sprintf "%s: partitioned execution not supported" P.name);
+      if cfg.Run.faults <> None || cfg.Run.reliable then
+        invalid_arg
+          (Printf.sprintf
+             "%s: partitioned execution excludes faults/reliable transport"
+             P.name);
+      if cfg.Run.trace <> None then
+        invalid_arg
+          (Printf.sprintf "%s: partitioned execution cannot record traces"
+             P.name);
+      match cfg.Run.delay with
+      | Some dl when not (Delay.order_independent dl) ->
+        invalid_arg
+          (Printf.sprintf
+             "%s: partitioned execution requires an order-independent delay \
+              model"
+             P.name)
+      | _ -> ()
+    end
 
 let execute ((module P : S) as entry) cfg =
   validate entry cfg;
@@ -994,7 +1068,7 @@ let execute ((module P : S) as entry) cfg =
     o
 
 let run ?root ?delay ?faults ?reliable ?trace ?engine ?pulses ?strip ?k ?q
-    entry graph =
+    ?domains entry graph =
   execute entry
     (Run.make ?root ?delay ?faults ?reliable ?trace ?engine ?pulses ?strip
-       ?k ?q graph)
+       ?k ?q ?domains graph)

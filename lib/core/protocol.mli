@@ -32,6 +32,10 @@ module Run : sig
     strip : int option;  (** SPT_recur strip depth *)
     k : int option;  (** gamma_w cluster parameter *)
     q : float option;  (** SLT balance parameter *)
+    domains : int option;
+        (** [> 1]: run on the partitioned engine ({!Csap_dsim.Pengine})
+            across that many OCaml domains; requires
+            {!caps.supports_domains} *)
   }
 
   (** Smart constructor; [root] defaults to [0], [reliable] to [false],
@@ -47,6 +51,7 @@ module Run : sig
     ?strip:int ->
     ?k:int ->
     ?q:float ->
+    ?domains:int ->
     Csap_graph.Graph.t ->
     cfg
 
@@ -109,6 +114,8 @@ type caps = {
       (** a synchronizer driving a synchronous protocol *)
   reuses_engine : bool;  (** [make_engine] returns a handle *)
   fixed_family : bool;  (** builds its own graph from size parameters *)
+  supports_domains : bool;
+      (** runs on the partitioned engine when [cfg.domains > 1] *)
 }
 
 val default_caps : caps
@@ -148,8 +155,9 @@ val find : string -> entry option
 val find_exn : string -> entry
 
 (** Uniform validation: root range ([Invalid_argument] with
-    ["<name>: root <r> out of range [0, <n>)"]), fault/reliable support
-    against {!caps}. *)
+    ["<name>: root <r> out of range [0, <n>)"]), fault/reliable/domains
+    support against {!caps}; [domains > 1] additionally excludes faults,
+    the reliable shim, traces and order-dependent delay models. *)
 val validate : entry -> Run.cfg -> unit
 
 (** [execute entry cfg] validates, runs, and (when [cfg.trace] is set)
@@ -168,6 +176,7 @@ val run :
   ?strip:int ->
   ?k:int ->
   ?q:float ->
+  ?domains:int ->
   entry ->
   Csap_graph.Graph.t ->
   Outcome.t

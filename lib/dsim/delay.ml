@@ -98,6 +98,22 @@ let seeded seed =
           (1.0 -. u) *. float_of_int w);
     }
 
+let order_independent = function
+  | Exact | Scaled _ | Near_zero | Oracle _ -> true
+  | Uniform _ | Jitter _ -> false
+
+let lower_bound t ~w =
+  let fw = float_of_int w in
+  match t with
+  | Exact -> Some fw
+  | Scaled c -> Some (c *. fw)
+  | Near_zero -> Some epsilon
+  | Jitter _ -> Some (0.5 *. fw)
+  | Uniform _ ->
+    (* (0, w]: the infimum 0 is open, so no positive static bound. *)
+    None
+  | Oracle _ -> None
+
 let pp ppf = function
   | Exact -> Format.fprintf ppf "exact"
   | Uniform _ -> Format.fprintf ppf "uniform(0,w]"

@@ -82,4 +82,20 @@ val hash_unit : int -> int -> int -> int -> float
     sharding and replay. Distinct seeds give independent schedules. *)
 val seeded : int -> t
 
+(** Whether sampling is a pure function of the message identity
+    [(edge_id, dir, nth, w)] — true for [Exact], [Scaled], [Near_zero]
+    and every [Oracle] (pure by contract), false for [Uniform] and
+    [Jitter], which advance shared RNG state and therefore depend on the
+    global sampling order. Only order-independent models can drive the
+    partitioned engine ({!Pengine}), where sends from different domains
+    interleave nondeterministically. *)
+val order_independent : t -> bool
+
+(** [lower_bound t ~w] is a static positive lower bound on every delay
+    the model can produce on a weight-[w] edge, or [None] when no such
+    bound exists ([Uniform]'s open interval, arbitrary [Oracle]s). The
+    partitioned engine's conservative lookahead is the minimum of this
+    bound over the cut edges; [None] forces lockstep windows. *)
+val lower_bound : t -> w:int -> float option
+
 val pp : Format.formatter -> t -> unit

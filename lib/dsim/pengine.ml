@@ -1,0 +1,573 @@
+module G = Csap_graph.Graph
+module Partition = Csap_graph.Partition
+module Heap = Csap_graph.Heap
+
+(* The partitioned engine must reproduce the sequential engine's
+   (time, seq) processing order exactly, but a global push counter is
+   the one thing K free-running domains cannot maintain. The replacement
+   is a deterministic event key that encodes the *push order* without a
+   shared counter:
+
+   - [Init i]: the i-th setup-time schedule. Setup pushes precede every
+     runtime push, so [Init] sorts below everything else.
+   - [Child {tp; pk; kth}]: the kth push made while processing the
+     parent event (processed at time [tp], carrying key [pk]). Children
+     compare by (tp, pk, kth): parents processed earlier pushed earlier,
+     equal-time parents are themselves key-ordered, and one parent's
+     pushes are ordered by birth rank — exactly the sequential counter's
+     order, reconstructed structurally.
+   - [Rank r]: at every window barrier the events about to be processed
+     (the "batch") are merge-sorted across partitions and their chain
+     keys normalised to dense global positions. This is the (time, seq)
+     normalisation at merge points: it keeps chains shallow (a key never
+     outlives its window) and gives later [Child] keys a bounded anchor.
+
+   Keys only ever decide ties between equal-time events, and windows
+   partition simulated time, so normalising a window's batch cannot
+   reorder anything relative to a later window. *)
+type key =
+  | Init of int
+  | Rank of int
+  | Child of { tp : float; pk : key; kth : int }
+
+let rec compare_key a b =
+  match (a, b) with
+  | Init a, Init b -> compare (a : int) b
+  | Init _, _ -> -1
+  | _, Init _ -> 1
+  | Rank a, Rank b -> compare (a : int) b
+  | Rank _, Child _ -> -1
+  | Child _, Rank _ -> 1
+  | Child a, Child b ->
+    let c = compare (a.tp : float) b.tp in
+    if c <> 0 then c
+    else
+      let c = compare_key a.pk b.pk in
+      if c <> 0 then c else compare (a.kth : int) b.kth
+
+(* A sense-reversing barrier with abort: a crashing worker poisons the
+   barrier so its peers unwind instead of deadlocking on the next
+   phase. *)
+module Barrier = struct
+  exception Aborted
+
+  type t = {
+    m : Mutex.t;
+    cv : Condition.t;
+    total : int;
+    mutable arrived : int;
+    mutable phase : int;
+    mutable aborted : bool;
+  }
+
+  let create total =
+    {
+      m = Mutex.create ();
+      cv = Condition.create ();
+      total;
+      arrived = 0;
+      phase = 0;
+      aborted = false;
+    }
+
+  let await b =
+    Mutex.lock b.m;
+    if b.aborted then begin
+      Mutex.unlock b.m;
+      raise Aborted
+    end;
+    let ph = b.phase in
+    b.arrived <- b.arrived + 1;
+    if b.arrived = b.total then begin
+      b.arrived <- 0;
+      b.phase <- ph + 1;
+      Condition.broadcast b.cv;
+      Mutex.unlock b.m
+    end
+    else begin
+      while b.phase = ph && not b.aborted do
+        Condition.wait b.cv b.m
+      done;
+      let ab = b.aborted in
+      Mutex.unlock b.m;
+      if ab then raise Aborted
+    end
+
+  let abort b =
+    Mutex.lock b.m;
+    b.aborted <- true;
+    Condition.broadcast b.cv;
+    Mutex.unlock b.m
+end
+
+type 'msg action =
+  | Deliver of { src : int; dst : int; payload : 'msg }
+  | Local of ('msg ctx -> unit)
+
+and 'msg ev = { time : float; mutable key : key; action : 'msg action }
+
+(* Per-partition execution state. Handlers receive the ctx of the domain
+   processing them; everything mutable in here is touched only by that
+   domain while the run is live. *)
+and 'msg ctx = {
+  p : int;
+  pe : 'msg t;
+  heap : 'msg ev Heap.t;
+  pmetrics : Metrics.t;
+  mutable clock : float;
+  mutable cur_key : key;
+  mutable kids : int;
+  mutable rank_base : int;
+  mutable processed : int;
+}
+
+and 'msg t = {
+  g : G.t;
+  part : Partition.t;
+  k : int;
+  mutable delay : Delay.t;
+  mutable lookahead : float;
+  handlers : ('msg ctx -> src:int -> 'msg -> unit) option array;
+  (* Sender-owned directed-edge state, shared across domains without
+     locks: slot [2 * edge_id + dir] is written only by the partition
+     owning the sending endpoint, so all writes are disjoint words. *)
+  send_counts : int array;
+  last_delivery : float array;
+  metrics : Metrics.t;
+  mutable ctxs : 'msg ctx array;
+  (* mailboxes.(src_p).(dst_p): appended by src_p between barriers,
+     drained and cleared by dst_p strictly on the other side of a
+     barrier — single producer, single consumer, no lock. *)
+  mailboxes : 'msg ev list array array;
+  (* Barrier-published scratch: local queue minima, per-instant minimum
+     keys (lockstep sub-rounds), and immutable batch snapshots for the
+     merge-rank. Written before a barrier, read after it. *)
+  mins : float array;
+  minkeys : key option array;
+  batches : (float * key) array array;
+  fails : (exn * Printexc.raw_backtrace) option array;
+  mutable barrier : Barrier.t;
+  mutable inits : (int * 'msg ev) list;
+  mutable init_count : int;
+  mutable running : bool;
+}
+
+let compare_ev a b =
+  let c = compare (a.time : float) b.time in
+  if c <> 0 then c else compare_key a.key b.key
+
+(* Conservative lookahead: cross-partition messages carry at least the
+   minimum static delay lower bound over the cut edges, so a window of
+   that width can run without hearing from other partitions. Any
+   unbounded cut edge forces lockstep (zero-width) windows. *)
+let lookahead_for g part delay =
+  let la = ref infinity in
+  (try
+     Array.iter
+       (fun id ->
+         match Delay.lower_bound delay ~w:(G.edge g id).G.w with
+         | None ->
+           la := 0.0;
+           raise Exit
+         | Some b -> if b < !la then la := b)
+       (Partition.cut_edges part)
+   with Exit -> ());
+  !la
+
+let check_delay delay =
+  if not (Delay.order_independent delay) then
+    invalid_arg
+      "Pengine: Uniform/Jitter delays sample shared RNG state in global \
+       order; partitioned execution requires an order-independent model \
+       (Exact, Scaled, Near_zero or a pure Oracle)"
+
+let create ?(delay = Delay.Exact) ?partition ~domains g =
+  if domains < 1 then invalid_arg "Pengine.create: domains >= 1 required";
+  check_delay delay;
+  let part =
+    match partition with
+    | Some p ->
+      if Partition.graph_id p <> G.id g then
+        invalid_arg "Pengine.create: partition built over a different graph";
+      if Partition.k p <> domains then
+        invalid_arg "Pengine.create: partition block count <> domains";
+      p
+    | None -> Partition.striped g ~k:domains
+  in
+  let k = domains in
+  let t =
+    {
+      g;
+      part;
+      k;
+      delay;
+      lookahead = lookahead_for g part delay;
+      handlers = Array.make (G.n g) None;
+      send_counts = Array.make (2 * G.m g) 0;
+      last_delivery = Array.make (2 * G.m g) 0.0;
+      metrics = Metrics.create ();
+      ctxs = [||];
+      mailboxes = Array.init k (fun _ -> Array.make k []);
+      mins = Array.make k infinity;
+      minkeys = Array.make k None;
+      batches = Array.make k [||];
+      fails = Array.make k None;
+      barrier = Barrier.create k;
+      inits = [];
+      init_count = 0;
+      running = false;
+    }
+  in
+  t.ctxs <-
+    Array.init k (fun p ->
+        {
+          p;
+          pe = t;
+          heap = Heap.create ~cmp:compare_ev;
+          pmetrics = Metrics.create ();
+          clock = 0.0;
+          cur_key = Init 0;
+          kids = 0;
+          rank_base = 0;
+          processed = 0;
+        });
+  t
+
+let graph t = t.g
+let partition t = t.part
+let domains t = t.k
+let lookahead t = t.lookahead
+let metrics t = t.metrics
+
+let set_handler t v f = t.handlers.(v) <- Some f
+
+let schedule t ~vertex ~delay f =
+  if t.running then
+    invalid_arg "Pengine.schedule: run in progress (use schedule_ctx)";
+  if vertex < 0 || vertex >= G.n t.g then
+    invalid_arg (Printf.sprintf "Pengine.schedule: vertex %d out of range" vertex);
+  if not (delay >= 0.0 && delay < infinity) then
+    invalid_arg
+      (Printf.sprintf
+         "Pengine.schedule: invalid delay %g (must be finite, >= 0)" delay);
+  let ev = { time = delay; key = Init t.init_count; action = Local f } in
+  t.init_count <- t.init_count + 1;
+  t.inits <- (Partition.part_of t.part vertex, ev) :: t.inits
+
+let now ctx = ctx.clock
+let ctx_partition ctx = ctx.p
+
+(* The next push from the event being processed: (parent time, parent
+   key, birth rank) — the structural (time, seq). *)
+let child_key ctx =
+  let key = Child { tp = ctx.clock; pk = ctx.cur_key; kth = ctx.kids } in
+  ctx.kids <- ctx.kids + 1;
+  key
+
+let route ctx ev ~owner =
+  if owner = ctx.p then Heap.add ctx.heap ev
+  else begin
+    let t = ctx.pe in
+    t.mailboxes.(ctx.p).(owner) <- ev :: t.mailboxes.(ctx.p).(owner)
+  end
+
+let send ctx ~src ~dst payload =
+  let t = ctx.pe in
+  if Partition.part_of t.part src <> ctx.p then
+    invalid_arg
+      (Printf.sprintf
+         "Pengine.send: vertex %d is not owned by the executing partition %d"
+         src ctx.p);
+  let id = G.edge_id_between t.g src dst in
+  if id < 0 then
+    invalid_arg
+      (Printf.sprintf "Pengine.send: no edge between %d and %d" src dst);
+  let e = G.edge t.g id in
+  let w = e.G.w in
+  let dir = if src = e.G.u then 0 else 1 in
+  let slot = (2 * id) + dir in
+  let nth = t.send_counts.(slot) in
+  t.send_counts.(slot) <- nth + 1;
+  Metrics.add_send ctx.pmetrics ~w;
+  let d = Delay.sample_on t.delay ~edge_id:id ~dir ~nth ~w in
+  if not (d >= 0.0 && d < infinity) then
+    invalid_arg
+      (Printf.sprintf
+         "Pengine.send: delay model produced invalid delay %g on edge %d" d id);
+  (* Same FIFO clamp as the sequential engine; the slot is sender-owned,
+     so the read-modify-write is single-threaded. *)
+  let arrival = Float.max (ctx.clock +. d) t.last_delivery.(slot) in
+  t.last_delivery.(slot) <- arrival;
+  route ctx
+    { time = arrival; key = child_key ctx; action = Deliver { src; dst; payload } }
+    ~owner:(Partition.part_of t.part dst)
+
+let schedule_ctx ctx ~vertex ~delay f =
+  let t = ctx.pe in
+  if vertex < 0 || vertex >= G.n t.g then
+    invalid_arg
+      (Printf.sprintf "Pengine.schedule_ctx: vertex %d out of range" vertex);
+  if not (delay >= 0.0 && delay < infinity) then
+    invalid_arg
+      (Printf.sprintf
+         "Pengine.schedule_ctx: invalid delay %g (must be finite, >= 0)" delay);
+  route ctx
+    { time = ctx.clock +. delay; key = child_key ctx; action = Local f }
+    ~owner:(Partition.part_of t.part vertex)
+
+let dispatch ctx ev =
+  ctx.clock <- Float.max ctx.clock ev.time;
+  ctx.cur_key <- ev.key;
+  ctx.kids <- 0;
+  (match ev.action with
+  | Local f -> f ctx
+  | Deliver { src; dst; payload } -> (
+    match ctx.pe.handlers.(dst) with
+    | Some f -> f ctx ~src payload
+    | None ->
+      failwith
+        (Printf.sprintf
+           "Pengine: no handler at vertex %d (message sent from %d)" dst src)));
+  ctx.processed <- ctx.processed + 1;
+  let m = ctx.pmetrics in
+  m.Metrics.events <- m.Metrics.events + 1;
+  m.Metrics.completion_time <- ctx.clock;
+  match ev.action with
+  | Deliver _ -> m.Metrics.last_delivery_time <- ctx.clock
+  | Local _ -> ()
+
+let drain t ctx =
+  for q = 0 to t.k - 1 do
+    if q <> ctx.p then begin
+      match t.mailboxes.(q).(ctx.p) with
+      | [] -> ()
+      | evs ->
+        t.mailboxes.(q).(ctx.p) <- [];
+        List.iter (Heap.add ctx.heap) evs
+    end
+  done
+
+let local_min ctx =
+  match Heap.peek_min ctx.heap with
+  | Some ev -> ev.time
+  | None -> infinity
+
+(* Pop the events this window will process: times in [t0, t1) for
+   positive lookahead, exactly t0 for lockstep. Heap pops come out
+   already (time, key)-sorted. *)
+let pop_batch t ctx ~t0 ~t1 =
+  let acc = ref [] in
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min ctx.heap with
+    | Some ev
+      when (if t.lookahead > 0.0 then ev.time < t1 else ev.time <= t0) ->
+      ignore (Heap.pop_min ctx.heap);
+      acc := ev :: !acc
+    | _ -> continue := false
+  done;
+  Array.of_list (List.rev !acc)
+
+(* The (time, seq) normalisation: merge every partition's batch snapshot
+   into one globally-agreed order and rewrite the chain keys as dense
+   ranks. Each partition runs the same sort over the same published
+   data, so no further synchronisation is needed to agree on ranks. *)
+let rank_batch t ctx batch =
+  let total = Array.fold_left (fun acc b -> acc + Array.length b) 0 t.batches in
+  if total > 0 then begin
+    let combined = Array.make total (0.0, Init 0, 0, 0) in
+    let i = ref 0 in
+    Array.iteri
+      (fun q b ->
+        Array.iteri
+          (fun idx (time, key) ->
+            combined.(!i) <- (time, key, q, idx);
+            incr i)
+          b)
+      t.batches;
+    Array.sort
+      (fun (ta, ka, _, _) (tb, kb, _, _) ->
+        let c = compare (ta : float) tb in
+        if c <> 0 then c else compare_key ka kb)
+      combined;
+    Array.iteri
+      (fun pos (_, _, q, idx) ->
+        if q = ctx.p then batch.(idx).key <- Rank (ctx.rank_base + pos))
+      combined;
+    ctx.rank_base <- ctx.rank_base + total;
+    Array.iter (Heap.add ctx.heap) batch
+  end
+
+(* One lockstep sub-round bound: the smallest instant-t0 key any *other*
+   partition may still process. Everything a peer sends in the future
+   carries a key above its current minimum (children always outrank
+   their parents), so processing strictly below this bound is safe. *)
+let other_min_key t ctx =
+  let bound = ref None in
+  for q = 0 to t.k - 1 do
+    if q <> ctx.p then
+      match t.minkeys.(q) with
+      | None -> ()
+      | Some k -> (
+        match !bound with
+        | None -> bound := Some k
+        | Some b -> if compare_key k b < 0 then bound := Some k)
+  done;
+  !bound
+
+let process_window ctx ~t1 =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min ctx.heap with
+    | Some ev when ev.time < t1 ->
+      ignore (Heap.pop_min ctx.heap);
+      dispatch ctx ev
+    | _ -> continue := false
+  done
+
+let process_instant ctx ~t0 ~bound =
+  let continue = ref true in
+  while !continue do
+    match Heap.peek_min ctx.heap with
+    | Some ev
+      when ev.time = t0
+           && (match bound with
+              | None -> true
+              | Some b -> compare_key ev.key b < 0) ->
+      ignore (Heap.pop_min ctx.heap);
+      dispatch ctx ev
+    | _ -> continue := false
+  done
+
+let minkey_at ctx ~t0 =
+  match Heap.peek_min ctx.heap with
+  | Some ev when ev.time = t0 -> Some ev.key
+  | _ -> None
+
+(* Zero-lookahead windows: a single simulated instant, processed in
+   global key order via sub-rounds. Each sub-round publishes every
+   partition's minimum pending key at t0; a partition may process
+   strictly below the minimum over its peers (the conservative null
+   message in key space), then mailboxes are exchanged in case a
+   zero-delay cross edge landed new work at the same instant. The
+   partition holding the global minimum always progresses, so the loop
+   terminates whenever the sequential run does. *)
+let run_instant t ctx ~t0 =
+  let b = t.barrier in
+  let continue = ref true in
+  while !continue do
+    t.minkeys.(ctx.p) <- minkey_at ctx ~t0;
+    Barrier.await b;
+    let any = Array.exists Option.is_some t.minkeys in
+    if not any then continue := false
+    else begin
+      let bound = other_min_key t ctx in
+      process_instant ctx ~t0 ~bound;
+      Barrier.await b;
+      drain t ctx
+    end
+  done
+
+let main_loop t ctx =
+  let b = t.barrier in
+  let continue = ref true in
+  while !continue do
+    drain t ctx;
+    t.mins.(ctx.p) <- local_min ctx;
+    Barrier.await b;
+    let t0 = Array.fold_left Float.min infinity t.mins in
+    if t0 = infinity then continue := false
+    else begin
+      let t1 = t0 +. t.lookahead in
+      let batch = pop_batch t ctx ~t0 ~t1 in
+      t.batches.(ctx.p) <- Array.map (fun ev -> (ev.time, ev.key)) batch;
+      Barrier.await b;
+      rank_batch t ctx batch;
+      if t.lookahead > 0.0 then begin
+        process_window ctx ~t1;
+        Barrier.await b
+      end
+      else run_instant t ctx ~t0
+    end
+  done
+
+let worker t ctx =
+  try main_loop t ctx with
+  | Barrier.Aborted -> ()
+  | e ->
+    let bt = Printexc.get_raw_backtrace () in
+    t.fails.(ctx.p) <- Some (e, bt);
+    Barrier.abort t.barrier
+
+let merge_metrics t =
+  Metrics.reset t.metrics;
+  let m = t.metrics in
+  Array.iter
+    (fun ctx ->
+      let pm = ctx.pmetrics in
+      m.Metrics.messages <- m.Metrics.messages + pm.Metrics.messages;
+      m.Metrics.weighted_comm <-
+        m.Metrics.weighted_comm + pm.Metrics.weighted_comm;
+      m.Metrics.events <- m.Metrics.events + pm.Metrics.events;
+      m.Metrics.completion_time <-
+        Float.max m.Metrics.completion_time pm.Metrics.completion_time;
+      m.Metrics.last_delivery_time <-
+        Float.max m.Metrics.last_delivery_time pm.Metrics.last_delivery_time)
+    t.ctxs
+
+let run t =
+  if t.running then invalid_arg "Pengine.run: run already in progress";
+  t.running <- true;
+  t.barrier <- Barrier.create t.k;
+  Array.fill t.fails 0 t.k None;
+  List.iter
+    (fun (owner, ev) -> Heap.add t.ctxs.(owner).heap ev)
+    (List.rev t.inits);
+  t.inits <- [];
+  let others =
+    Array.init (t.k - 1) (fun i ->
+        let ctx = t.ctxs.(i + 1) in
+        Domain.spawn (fun () -> worker t ctx))
+  in
+  worker t t.ctxs.(0);
+  Array.iter Domain.join others;
+  t.running <- false;
+  merge_metrics t;
+  let failed = ref None in
+  for p = t.k - 1 downto 0 do
+    match t.fails.(p) with Some f -> failed := Some f | None -> ()
+  done;
+  (match !failed with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ());
+  Array.fold_left (fun acc ctx -> acc + ctx.processed) 0 t.ctxs
+
+let reset ?delay t =
+  if t.running then invalid_arg "Pengine.reset: run in progress";
+  (match delay with
+  | Some d ->
+    check_delay d;
+    t.delay <- d;
+    t.lookahead <- lookahead_for t.g t.part d
+  | None -> ());
+  Array.fill t.handlers 0 (Array.length t.handlers) None;
+  Array.fill t.send_counts 0 (Array.length t.send_counts) 0;
+  Array.fill t.last_delivery 0 (Array.length t.last_delivery) 0.0;
+  Metrics.reset t.metrics;
+  Array.iter
+    (fun ctx ->
+      Heap.clear ctx.heap;
+      Metrics.reset ctx.pmetrics;
+      ctx.clock <- 0.0;
+      ctx.cur_key <- Init 0;
+      ctx.kids <- 0;
+      ctx.rank_base <- 0;
+      ctx.processed <- 0)
+    t.ctxs;
+  Array.iter (fun row -> Array.fill row 0 t.k []) t.mailboxes;
+  Array.fill t.mins 0 t.k infinity;
+  Array.fill t.minkeys 0 t.k None;
+  Array.fill t.batches 0 t.k [||];
+  Array.fill t.fails 0 t.k None;
+  t.inits <- [];
+  t.init_count <- 0

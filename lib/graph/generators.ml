@@ -206,6 +206,87 @@ let chorded_cycle n ~chord_w =
   in
   Graph.create ~n uniq
 
+(* ------------------------------------------------------------------ *)
+(* Streaming builders: the million-vertex path.                        *)
+(*                                                                     *)
+(* Each generator below describes its family as a replayable edge      *)
+(* stream fed to [Graph.of_stream]'s two-pass CSR construction — no    *)
+(* (src, dst, w) tuple list ever exists. Randomness is re-derived per  *)
+(* row from a pure seed mix so the count and fill passes replay the    *)
+(* identical sequence. The [grid_stream] / [lower_bound_gn_stream]     *)
+(* variants emit the exact edge-id order of their tuple-based          *)
+(* counterparts (asserted by tests), so either construction yields     *)
+(* interchangeable graphs.                                             *)
+(* ------------------------------------------------------------------ *)
+
+let grid_stream rows cols ~w =
+  if rows < 1 || cols < 1 then invalid_arg "Generators.grid_stream: empty grid";
+  let id r c = (r * cols) + c in
+  (* [grid] conses right-then-down edges in scan order and hands the
+     accumulated list (reverse push order) to [Graph.create]; replaying
+     that exact id order means walking cells backwards, down-edge before
+     right-edge. *)
+  Graph.of_stream ~n:(rows * cols) (fun f ->
+      for r = rows - 1 downto 0 do
+        for c = cols - 1 downto 0 do
+          if r + 1 < rows then f (id r c) (id (r + 1) c) w;
+          if c + 1 < cols then f (id r c) (id r (c + 1)) w
+        done
+      done)
+
+let lower_bound_gn_stream n ~x =
+  if n < 4 then invalid_arg "Generators.lower_bound_gn_stream: n >= 4 required";
+  if x < 2 then invalid_arg "Generators.lower_bound_gn_stream: x >= 2 required";
+  let heavy = pow4 x in
+  Graph.of_stream ~n (fun f ->
+      for i = 0 to n - 2 do
+        f i (i + 1) x
+      done;
+      for i = 0 to (n / 2) - 1 do
+        let partner = n - 1 - i in
+        if i < partner && partner - i > 1 then f i partner heavy
+      done)
+
+(* Per-row RNG: splitmix64's finalizer decorrelates consecutive seeds,
+   so a cheap injective mix of (seed, row) is enough for independent
+   replayable row streams. *)
+let row_rng ~seed u = Rng.create ((seed * 1_000_003) + u)
+
+(* Geometric skip to the next sampled neighbour: Bernoulli(p) per pair
+   collapses to one logarithm per present edge. *)
+let geometric_skip rng ~p =
+  if p >= 1.0 then 1
+  else
+    let r = Rng.float rng in
+    1 + int_of_float (log (1.0 -. r) /. log (1.0 -. p))
+
+let gnp ?(connected = false) ~seed n ~p ~wmax =
+  if n < 1 then invalid_arg "Generators.gnp: n >= 1 required";
+  if not (p >= 0.0 && p <= 1.0) then
+    invalid_arg "Generators.gnp: p must be in [0, 1]";
+  if wmax < 1 then invalid_arg "Generators.gnp: wmax >= 1 required";
+  Graph.of_stream ~n (fun f ->
+      for u = 0 to n - 2 do
+        if connected then begin
+          (* Path backbone for guaranteed connectivity; skipped when row
+             [u]'s own first edge is already {u, u+1} (the only possible
+             duplicate, since row samples only move forward). *)
+          let probe = row_rng ~seed:(seed + 1) u in
+          let dup = p > 0.0 && geometric_skip (row_rng ~seed u) ~p = 1 in
+          if not dup then f u (u + 1) (Rng.int_in probe 1 wmax)
+        end;
+        if p > 0.0 then begin
+          let rng = row_rng ~seed u in
+          let v = ref u in
+          let continue = ref true in
+          while !continue do
+            v := !v + geometric_skip rng ~p;
+            if !v < n then f u !v (Rng.int_in rng 1 wmax)
+            else continue := false
+          done
+        end
+      done)
+
 let bkj_star_cycle k ~heavy =
   if k < 3 then invalid_arg "Generators.bkj_star_cycle: k >= 3 required";
   if heavy < 1 then invalid_arg "Generators.bkj_star_cycle: bad weight";

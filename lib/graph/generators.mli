@@ -70,3 +70,32 @@ val chorded_cycle : int -> chord_w:int -> Graph.t
     to [k] rim vertices by spokes of weight [heavy], with consecutive rim
     vertices joined by weight-1 edges. *)
 val bkj_star_cycle : int -> heavy:int -> Graph.t
+
+(** {2 Streaming builders}
+
+    Large-n variants built through {!Graph.of_stream}'s two-pass CSR
+    construction: no [(src, dst, w)] tuple list is ever materialised, so
+    a 10^6–10^7-vertex family costs O(E) flat-array words. Randomness is
+    re-derived per row from pure seed mixes, making the two passes
+    replay identically. *)
+
+(** [grid_stream rows cols ~w] builds the {e identical} graph to
+    [grid rows cols ~w] — same vertex ids, same edge-id order — without
+    the intermediate edge list. *)
+val grid_stream : int -> int -> w:int -> Graph.t
+
+(** [lower_bound_gn_stream n ~x] builds the identical graph to
+    [lower_bound_gn n ~x] (same edge-id order) without the intermediate
+    edge list; the §7.1 family at million-vertex scale. *)
+val lower_bound_gn_stream : int -> x:int -> Graph.t
+
+(** [gnp ~seed n ~p ~wmax] is Gilbert's G(n, p) with independent uniform
+    weights in [[1, wmax]], sampled by per-row geometric skips — O(E)
+    work and allocation, never Theta(n^2) coin flips. Deterministic in
+    [(seed, n, p, wmax)].
+
+    With [~connected:true] (default [false]) a path backbone
+    [(i, i+1)] is woven in wherever the row's own sample did not already
+    produce that edge, guaranteeing connectivity (flood and SPT targets
+    require it) at the cost of at most [n - 1] extra edges. *)
+val gnp : ?connected:bool -> seed:int -> int -> p:float -> wmax:int -> Graph.t

@@ -18,9 +18,6 @@ type t = {
   nbr : int array;
   wt : int array;
   eid : int array;
-  (* Compatibility shim for the deprecated tuple API: the same rows
-     materialised as boxed tuples, built once in [create]. *)
-  adj : (int * int * int) array array;
   (* Hot-path edge index: per-vertex neighbour ids sorted ascending (flat,
      sharing [off]), with the incident edge id and the position of the
      neighbour within the vertex's CSR row kept aligned, so membership
@@ -41,17 +38,38 @@ let normalise_edge n (u, v, w) =
   if w < 1 then invalid_arg "Graph.create: weight must be >= 1";
   if u < v then { u; v; w } else { u = v; v = u; w }
 
-let create ~n edge_list =
-  if n < 0 then invalid_arg "Graph.create: negative n";
-  let edges = Array.of_list (List.map (normalise_edge n) edge_list) in
+(* Sorted-adjacency index over finished CSR rows: sort each row's
+   (neighbour, edge id, position) triples by neighbour id. *)
+let build_sorted_index ~n ~off ~nbr ~eid =
+  let two_m = Array.length nbr in
+  let sorted_nbr = Array.make two_m 0
+  and sorted_eid = Array.make two_m 0
+  and sorted_pos = Array.make two_m 0 in
+  let max_deg = ref 0 in
+  for v = 0 to n - 1 do
+    max_deg := max !max_deg (off.(v + 1) - off.(v))
+  done;
+  let triples = Array.make !max_deg (0, 0, 0) in
+  for v = 0 to n - 1 do
+    let lo = off.(v) in
+    let d = off.(v + 1) - lo in
+    for i = 0 to d - 1 do
+      triples.(i) <- (nbr.(lo + i), eid.(lo + i), i)
+    done;
+    let slice = Array.sub triples 0 d in
+    Array.sort compare slice;
+    Array.iteri
+      (fun i (u, id, pos) ->
+        sorted_nbr.(lo + i) <- u;
+        sorted_eid.(lo + i) <- id;
+        sorted_pos.(lo + i) <- pos)
+      slice
+  done;
+  (sorted_nbr, sorted_eid, sorted_pos)
+
+(* Shared CSR finisher over a validated, normalised edge array. *)
+let of_edge_array ~n edges =
   let m = Array.length edges in
-  let seen = Hashtbl.create m in
-  Array.iter
-    (fun e ->
-      if Hashtbl.mem seen (e.u, e.v) then
-        invalid_arg "Graph.create: duplicate edge";
-      Hashtbl.add seen (e.u, e.v) ())
-    edges;
   let off = Array.make (n + 1) 0 in
   Array.iter
     (fun e ->
@@ -81,39 +99,9 @@ let create ~n edge_list =
       slot e.u e.v;
       slot e.v e.u)
     edges;
-  (* The tuple compatibility shim shares nothing mutable: each row is its
-     own tuple array over the flat data. *)
-  let adj =
-    Array.init n (fun v ->
-        let lo = off.(v) in
-        Array.init (off.(v + 1) - lo) (fun i ->
-            (nbr.(lo + i), wt.(lo + i), eid.(lo + i))))
+  let sorted_nbr, sorted_eid, sorted_pos =
+    build_sorted_index ~n ~off ~nbr ~eid
   in
-  (* Sorted-adjacency index: sort each row's (neighbour, edge id, position)
-     triples by neighbour id. *)
-  let sorted_nbr = Array.make (2 * m) 0
-  and sorted_eid = Array.make (2 * m) 0
-  and sorted_pos = Array.make (2 * m) 0 in
-  let max_deg = ref 0 in
-  for v = 0 to n - 1 do
-    max_deg := max !max_deg (off.(v + 1) - off.(v))
-  done;
-  let triples = Array.make !max_deg (0, 0, 0) in
-  for v = 0 to n - 1 do
-    let lo = off.(v) in
-    let d = off.(v + 1) - lo in
-    for i = 0 to d - 1 do
-      triples.(i) <- (nbr.(lo + i), eid.(lo + i), i)
-    done;
-    let slice = Array.sub triples 0 d in
-    Array.sort compare slice;
-    Array.iteri
-      (fun i (u, id, pos) ->
-        sorted_nbr.(lo + i) <- u;
-        sorted_eid.(lo + i) <- id;
-        sorted_pos.(lo + i) <- pos)
-      slice
-  done;
   {
     n;
     id = next_id ();
@@ -122,7 +110,84 @@ let create ~n edge_list =
     nbr;
     wt;
     eid;
-    adj;
+    sorted_nbr;
+    sorted_eid;
+    sorted_pos;
+  }
+
+let create ~n edge_list =
+  if n < 0 then invalid_arg "Graph.create: negative n";
+  let edges = Array.of_list (List.map (normalise_edge n) edge_list) in
+  let m = Array.length edges in
+  let seen = Hashtbl.create m in
+  Array.iter
+    (fun e ->
+      if Hashtbl.mem seen (e.u, e.v) then
+        invalid_arg "Graph.create: duplicate edge";
+      Hashtbl.add seen (e.u, e.v) ())
+    edges;
+  of_edge_array ~n edges
+
+let of_stream ~n iter =
+  if n < 0 then invalid_arg "Graph.of_stream: negative n";
+  (* Count pass: degrees and edge count only — no tuple list, no
+     per-edge allocation. Endpoint/weight validation happens here so the
+     fill pass can trust the stream. Duplicate detection is skipped: it
+     needs O(m) auxiliary hash state, which is exactly what this path
+     exists to avoid; generators feeding it must emit each edge once. *)
+  let off = Array.make (n + 1) 0 in
+  let m = ref 0 in
+  iter (fun u v w ->
+      if u = v then invalid_arg "Graph.of_stream: self-loop";
+      if u < 0 || u >= n || v < 0 || v >= n then
+        invalid_arg "Graph.of_stream: endpoint out of range";
+      if w < 1 then invalid_arg "Graph.of_stream: weight must be >= 1";
+      off.(u) <- off.(u) + 1;
+      off.(v) <- off.(v) + 1;
+      incr m);
+  let m = !m in
+  let total = ref 0 in
+  for v = 0 to n do
+    let d = off.(v) in
+    off.(v) <- !total;
+    if v < n then total := !total + d
+  done;
+  (* Fill pass: the generator replays the identical stream; edge ids are
+     assigned in stream order, matching what [create] would produce on
+     the same sequence. *)
+  let edges = Array.make m { u = 0; v = 0; w = 0 } in
+  let nbr = Array.make (2 * m) 0
+  and wt = Array.make (2 * m) 0
+  and eid = Array.make (2 * m) 0 in
+  let fill = Array.make n 0 in
+  let id = ref 0 in
+  iter (fun u v w ->
+      if !id >= m then
+        invalid_arg "Graph.of_stream: stream grew between passes";
+      let u, v = if u < v then (u, v) else (v, u) in
+      edges.(!id) <- { u; v; w };
+      let slot x other =
+        let i = off.(x) + fill.(x) in
+        fill.(x) <- fill.(x) + 1;
+        nbr.(i) <- other;
+        wt.(i) <- w;
+        eid.(i) <- !id
+      in
+      slot u v;
+      slot v u;
+      incr id);
+  if !id <> m then invalid_arg "Graph.of_stream: stream shrank between passes";
+  let sorted_nbr, sorted_eid, sorted_pos =
+    build_sorted_index ~n ~off ~nbr ~eid
+  in
+  {
+    n;
+    id = next_id ();
+    edges;
+    off;
+    nbr;
+    wt;
+    eid;
     sorted_nbr;
     sorted_eid;
     sorted_pos;
@@ -133,7 +198,14 @@ let m t = Array.length t.edges
 let id t = t.id
 let edges t = t.edges
 let edge t id = t.edges.(id)
-let neighbors t v = t.adj.(v)
+(* Materialised on demand (not cached): the deprecated shim is a cold
+   path, and caching it would cost O(m) boxed tuples on every graph —
+   prohibitive for the streaming million-vertex families. *)
+let neighbors t v =
+  let lo = t.off.(v) in
+  Array.init
+    (t.off.(v + 1) - lo)
+    (fun i -> (t.nbr.(lo + i), t.wt.(lo + i), t.eid.(lo + i)))
 let degree t v = t.off.(v + 1) - t.off.(v)
 
 let csr_offsets t = t.off

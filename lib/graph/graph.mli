@@ -20,6 +20,24 @@ type t
     or endpoints out of range. Edge endpoints are normalised so [u < v]. *)
 val create : n:int -> (int * int * int) list -> t
 
+(** [of_stream ~n iter] builds a graph from a replayable edge stream:
+    [iter f] must call [f u v w] once per edge, and is invoked {e twice}
+    — a count pass (degrees and edge count) and a fill pass writing the
+    CSR arrays directly. No intermediate tuple list is materialised, so
+    an m-edge graph builds in O(m) flat-array words; this is the
+    million-vertex generator path.
+
+    Edge ids are assigned in stream order, so a generator emitting the
+    same sequence as a tuple list fed to {!create} produces an
+    identical graph. The two passes must replay identically (generators
+    derive weights from pure hashes or re-seeded RNGs, never shared
+    mutable state); a stream that changes length between passes raises
+    [Invalid_argument]. Self-loops, out-of-range endpoints and weights
+    [< 1] are rejected as in {!create}, but {e duplicate edges are not
+    detected} — avoiding the O(m) hash table is the point — so callers
+    must guarantee each undirected edge appears once. *)
+val of_stream : n:int -> ((int -> int -> int -> unit) -> unit) -> t
+
 (** Number of vertices. *)
 val n : t -> int
 
@@ -41,15 +59,16 @@ val edge : t -> int -> edge
 (** [neighbors t v] lists [(u, w, edge_id)] for every edge [{v,u}] incident
     to [v].
 
-    Deprecated compatibility shim over the flat CSR rows: the returned
-    array is shared — mutating it corrupts the graph for every other
-    caller, the footgun that motivated the allocation-free
-    {!iter_neighbors} / {!fold_neighbors} replacements. New code should
-    use those; remaining cold call sites silence the alert explicitly. *)
+    Deprecated compatibility shim over the flat CSR rows, materialised
+    afresh on every call (an O(degree) boxed-tuple allocation — it is no
+    longer cached, so large graphs pay nothing for its existence). New
+    code should use the allocation-free {!iter_neighbors} /
+    {!fold_neighbors}; remaining cold call sites silence the alert
+    explicitly. *)
 val neighbors : t -> int -> (int * int * int) array
 [@@alert
   deprecated
-    "shared-array footgun: use iter_neighbors / fold_neighbors instead"]
+    "per-call allocating shim: use iter_neighbors / fold_neighbors instead"]
 
 (** [iter_neighbors t v f] calls [f u w edge_id] for every edge [{v,u}]
     incident to [v], in the same per-vertex edge-id order {!neighbors}

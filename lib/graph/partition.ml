@@ -1,0 +1,96 @@
+type t = {
+  graph_id : int;
+  n : int;
+  k : int;
+  part : int array;
+  sizes : int array;
+  cut_edges : int array;
+}
+
+let check_k ~n k =
+  if k < 1 then invalid_arg "Partition: k >= 1 required";
+  if n > 0 && k > n then
+    invalid_arg
+      (Printf.sprintf "Partition: k = %d exceeds vertex count %d" k n)
+
+(* Derive everything but the vertex assignment: block sizes and the ids
+   of edges whose endpoints land in different blocks, in edge-id order
+   (so the cut enumeration is deterministic). *)
+let finish g ~k part =
+  let n = Graph.n g in
+  let sizes = Array.make k 0 in
+  Array.iter (fun p -> sizes.(p) <- sizes.(p) + 1) part;
+  let edges = Graph.edges g in
+  let cut = ref [] in
+  let count = ref 0 in
+  for id = Array.length edges - 1 downto 0 do
+    let e = edges.(id) in
+    if part.(e.Graph.u) <> part.(e.Graph.v) then begin
+      cut := id :: !cut;
+      incr count
+    end
+  done;
+  {
+    graph_id = Graph.id g;
+    n;
+    k;
+    part;
+    sizes;
+    cut_edges = Array.of_list !cut;
+  }
+
+let striped g ~k =
+  let n = Graph.n g in
+  check_k ~n k;
+  let part = Array.init n (fun v -> v * k / max 1 n) in
+  finish g ~k part
+
+let bfs g ~k =
+  let n = Graph.n g in
+  check_k ~n k;
+  (* BFS visit order from vertex 0 (restarting at the lowest unvisited
+     vertex on disconnected graphs), then contiguous blocks of that
+     order: neighbouring vertices tend to share a block, cutting fewer
+     edges than vertex-id stripes on families whose ids are not already
+     laid out geographically. *)
+  let order = Array.make n 0 in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  let pos = ref 0 in
+  for start = 0 to n - 1 do
+    if not visited.(start) then begin
+      visited.(start) <- true;
+      Queue.add start queue;
+      while not (Queue.is_empty queue) do
+        let v = Queue.pop queue in
+        order.(v) <- !pos;
+        incr pos;
+        Graph.iter_neighbors g v (fun u _ _ ->
+            if not visited.(u) then begin
+              visited.(u) <- true;
+              Queue.add u queue
+            end)
+      done
+    end
+  done;
+  let part = Array.init n (fun v -> order.(v) * k / max 1 n) in
+  finish g ~k part
+
+let k t = t.k
+let graph_id t = t.graph_id
+let part_of t v = t.part.(v)
+let size t p = t.sizes.(p)
+let cut_edges t = t.cut_edges
+let cut_size t = Array.length t.cut_edges
+
+let min_cut_weight g t =
+  if Graph.id g <> t.graph_id then
+    invalid_arg "Partition.min_cut_weight: partition of a different graph";
+  Array.fold_left
+    (fun acc id -> min acc (Graph.edge g id).Graph.w)
+    max_int t.cut_edges
+
+let pp ppf t =
+  Format.fprintf ppf "partition k=%d n=%d cut=%d sizes=[%s]" t.k t.n
+    (cut_size t)
+    (String.concat ";" (Array.to_list (Array.map string_of_int t.sizes)))

@@ -1,0 +1,52 @@
+(** Edge-cut vertex partitions for the partitioned simulation engine.
+
+    A partition splits the vertex set into [k] blocks; every edge whose
+    endpoints land in different blocks is a {e cut edge}. The
+    partitioned engine ([Csap_dsim.Pengine]) runs one domain per block
+    and derives its conservative lookahead from the minimum delay lower
+    bound over the cut edges, so a good partition is one with few,
+    heavy cut edges. Both partitioners here are deliberately cheap —
+    O(n + m) — because graph construction at n = 10^6 must stay
+    generator-bound. *)
+
+type t
+
+(** [striped g ~k] assigns vertex [v] to block [v * k / n]: contiguous
+    vertex-id ranges. On families whose ids are laid out geographically
+    (grids in row-major order, paths) this is already a near-minimal
+    cut. Raises [Invalid_argument] unless [1 <= k <= n]. *)
+val striped : Graph.t -> k:int -> t
+
+(** [bfs g ~k] orders vertices by BFS from vertex 0 (restarting at the
+    lowest unvisited vertex if disconnected) and stripes that order
+    into [k] contiguous blocks, grouping topological neighbourhoods
+    when vertex ids carry no locality. *)
+val bfs : Graph.t -> k:int -> t
+
+(** Number of blocks. *)
+val k : t -> int
+
+(** Identity of the graph this partition was built over (see
+    {!Graph.id}); consumers validate it before trusting the vertex
+    assignment. *)
+val graph_id : t -> int
+
+(** [part_of t v] is the block of vertex [v], in [0 .. k-1]. *)
+val part_of : t -> int -> int
+
+(** [size t p] is the number of vertices in block [p]. *)
+val size : t -> int -> int
+
+(** Ids of the edges crossing between blocks, in ascending edge-id
+    order. The array is the partition's own — do not mutate. *)
+val cut_edges : t -> int array
+
+(** Number of cut edges. *)
+val cut_size : t -> int
+
+(** Minimum weight over the cut edges, or [max_int] when the cut is
+    empty (single block, or a disconnected family that splits cleanly).
+    Raises [Invalid_argument] when [g] is not the partitioned graph. *)
+val min_cut_weight : Graph.t -> t -> int
+
+val pp : Format.formatter -> t -> unit

@@ -118,6 +118,91 @@ let test_bkj_star_cycle () =
   Alcotest.(check int) "SPT heavy" (8 * 50) spt_w;
   Alcotest.(check int) "MST light" 57 (Csap_graph.Mst.weight g)
 
+(* ---- streaming CSR builders ------------------------------------------- *)
+
+let same_graph name a b =
+  Alcotest.(check int) (name ^ " n") (G.n a) (G.n b);
+  Alcotest.(check int) (name ^ " m") (G.m a) (G.m b);
+  for id = 0 to G.m a - 1 do
+    let ea = G.edge a id and eb = G.edge b id in
+    if (ea.G.u, ea.G.v, ea.G.w) <> (eb.G.u, eb.G.v, eb.G.w) then
+      Alcotest.failf "%s: edge %d differs" name id
+  done
+
+let test_grid_stream_identical () =
+  List.iter
+    (fun (r, c) ->
+      same_graph
+        (Printf.sprintf "grid %dx%d" r c)
+        (Gen.grid r c ~w:4) (Gen.grid_stream r c ~w:4))
+    [ (1, 1); (1, 7); (5, 1); (4, 5); (13, 9) ]
+
+let test_lower_bound_gn_stream_identical () =
+  List.iter
+    (fun (n, x) ->
+      same_graph
+        (Printf.sprintf "gn n=%d x=%d" n x)
+        (Gen.lower_bound_gn n ~x)
+        (Gen.lower_bound_gn_stream n ~x))
+    [ (9, 2); (16, 3); (25, 4) ]
+
+let test_gnp () =
+  let g = Gen.gnp ~seed:42 300 ~p:0.03 ~wmax:7 in
+  (* Deterministic in the seed, different across seeds. *)
+  same_graph "gnp replay" g (Gen.gnp ~seed:42 300 ~p:0.03 ~wmax:7);
+  let h = Gen.gnp ~seed:43 300 ~p:0.03 ~wmax:7 in
+  Alcotest.(check bool)
+    "seed changes the sample" true
+    (G.m g <> G.m h
+    ||
+    try
+      same_graph "" g h;
+      false
+    with _ -> true);
+  (* Simple graph: ordered endpoints, no duplicates, weights in range. *)
+  let seen = Hashtbl.create (G.m g) in
+  for id = 0 to G.m g - 1 do
+    let e = G.edge g id in
+    Alcotest.(check bool) "ordered endpoints" true (e.G.u < e.G.v);
+    Alcotest.(check bool) "weight in range" true (e.G.w >= 1 && e.G.w <= 7);
+    if Hashtbl.mem seen (e.G.u, e.G.v) then Alcotest.failf "duplicate edge %d" id;
+    Hashtbl.add seen (e.G.u, e.G.v) ()
+  done;
+  (* Density lands near the n*(n-1)/2 * p expectation. *)
+  let expect = float_of_int (300 * 299 / 2) *. 0.03 in
+  Alcotest.(check bool)
+    "density plausible" true
+    (float_of_int (G.m g) > 0.6 *. expect
+    && float_of_int (G.m g) < 1.4 *. expect)
+
+let test_gnp_connected () =
+  (* Far below the connectivity threshold, the backbone still connects. *)
+  let g = Gen.gnp ~connected:true ~seed:7 500 ~p:0.001 ~wmax:5 in
+  check_connected "gnp backbone" g;
+  (* The backbone only adds the path edges the sample missed. *)
+  let plain = Gen.gnp ~seed:7 500 ~p:0.001 ~wmax:5 in
+  Alcotest.(check bool)
+    "at most n-1 extra edges" true
+    (G.m g - G.m plain <= 499)
+
+let test_of_stream_replay_validated () =
+  let flaky grow =
+    let calls = ref 0 in
+    fun emit ->
+      incr calls;
+      emit 0 1 1;
+      (* Second pass emits a different number of edges. *)
+      if grow = (!calls > 1) then emit 1 2 1
+  in
+  List.iter
+    (fun (label, grow, msg) ->
+      Alcotest.check_raises label (Invalid_argument msg) (fun () ->
+          ignore (G.of_stream ~n:3 (flaky grow))))
+    [
+      ("growing stream", true, "Graph.of_stream: stream grew between passes");
+      ("shrinking stream", false, "Graph.of_stream: stream shrank between passes");
+    ]
+
 let prop_generated_graphs_connected =
   QCheck.Test.make ~count:100 ~name:"random_connected is connected"
     (Gen_qcheck.connected_graph_gen ())
@@ -140,5 +225,12 @@ let suite =
     Alcotest.test_case "lower-bound G_n^i" `Quick test_lower_bound_gn_i;
     Alcotest.test_case "chorded cycle" `Quick test_chorded_cycle;
     Alcotest.test_case "BKJ star-cycle" `Quick test_bkj_star_cycle;
+    Alcotest.test_case "grid_stream = grid" `Quick test_grid_stream_identical;
+    Alcotest.test_case "lower_bound_gn_stream = lower_bound_gn" `Quick
+      test_lower_bound_gn_stream_identical;
+    Alcotest.test_case "gnp determinism and simplicity" `Quick test_gnp;
+    Alcotest.test_case "gnp connected backbone" `Quick test_gnp_connected;
+    Alcotest.test_case "of_stream replay validated" `Quick
+      test_of_stream_replay_validated;
     QCheck_alcotest.to_alcotest prop_generated_graphs_connected;
   ]

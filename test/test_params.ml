@@ -62,6 +62,39 @@ let test_cache_eviction () =
         (Invalid_argument "Params.set_cache_capacity: capacity < 1")
         (fun () -> Params.set_cache_capacity 0))
 
+(* The memo cache is shared mutable state behind a mutex; hammer it from
+   several domains computing overlapping graphs and check every answer
+   against a sequential recomputation. *)
+let test_cache_domain_safe () =
+  Params.cache_clear ();
+  let gs =
+    [|
+      Gen.grid 5 6 ~w:3;
+      Gen.lower_bound_gn 8 ~x:2;
+      Gen.chorded_cycle 14 ~chord_w:9;
+      Gen.random_connected (Csap_graph.Rng.create 7) 20 ~extra_edges:15 ~wmax:6;
+    |]
+  in
+  let worker d () =
+    (* Each domain walks the graphs in a different rotation so lookups
+       and inserts interleave. *)
+    Array.init 40 (fun i -> Params.compute gs.((d + i) mod Array.length gs))
+  in
+  let domains = List.init 4 (fun d -> Domain.spawn (worker d)) in
+  let results = List.map Domain.join domains in
+  Params.cache_clear ();
+  let expected = Array.map Params.compute gs in
+  List.iteri
+    (fun d got ->
+      Array.iteri
+        (fun i p ->
+          Alcotest.(check bool)
+            (Printf.sprintf "domain %d compute %d" d i)
+            true
+            (p = expected.((d + i) mod Array.length gs)))
+        got)
+    results
+
 let prop_invariants =
   QCheck.Test.make ~count:120 ~name:"paper parameter relations hold"
     (Gen_qcheck.connected_graph_gen ())
@@ -74,5 +107,6 @@ let suite =
     Alcotest.test_case "lower-bound separation" `Quick test_gn_params;
     Alcotest.test_case "d vs W separation" `Quick test_chorded_params;
     Alcotest.test_case "memo cache FIFO eviction" `Quick test_cache_eviction;
+    Alcotest.test_case "memo cache is domain-safe" `Quick test_cache_domain_safe;
     QCheck_alcotest.to_alcotest prop_invariants;
   ]

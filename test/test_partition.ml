@@ -1,0 +1,123 @@
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module Partition = Csap_graph.Partition
+
+(* Structural invariants shared by both partitioners: every vertex in a
+   block in range, sizes summing to n, the cut being exactly the edges
+   with endpoints in different blocks, in ascending id order. *)
+let check_partition name g part ~k =
+  Alcotest.(check int) (name ^ " k") k (Partition.k part);
+  Alcotest.(check int) (name ^ " graph id") (G.id g) (Partition.graph_id part);
+  let sizes = Array.make k 0 in
+  for v = 0 to G.n g - 1 do
+    let p = Partition.part_of part v in
+    Alcotest.(check bool) (name ^ " block in range") true (p >= 0 && p < k);
+    sizes.(p) <- sizes.(p) + 1
+  done;
+  Array.iteri
+    (fun p s -> Alcotest.(check int) (name ^ " size") s (Partition.size part p))
+    sizes;
+  Alcotest.(check int)
+    (name ^ " sizes sum")
+    (G.n g)
+    (Array.fold_left ( + ) 0 sizes);
+  let expected_cut = ref [] in
+  for id = G.m g - 1 downto 0 do
+    let e = G.edge g id in
+    if Partition.part_of part e.G.u <> Partition.part_of part e.G.v then
+      expected_cut := id :: !expected_cut
+  done;
+  Alcotest.(check (array int))
+    (name ^ " cut edges")
+    (Array.of_list !expected_cut)
+    (Partition.cut_edges part);
+  Alcotest.(check int)
+    (name ^ " cut size")
+    (List.length !expected_cut)
+    (Partition.cut_size part);
+  let mcw =
+    List.fold_left
+      (fun acc id -> min acc (G.edge g id).G.w)
+      max_int !expected_cut
+  in
+  Alcotest.(check int)
+    (name ^ " min cut weight")
+    mcw
+    (Partition.min_cut_weight g part)
+
+let test_striped_grid () =
+  let g = Gen.grid 4 5 ~w:3 in
+  List.iter
+    (fun k -> check_partition "striped" g (Partition.striped g ~k) ~k)
+    [ 1; 2; 3; 4; 20 ]
+
+let test_bfs_grid () =
+  let g = Gen.grid 4 5 ~w:3 in
+  List.iter
+    (fun k -> check_partition "bfs" g (Partition.bfs g ~k) ~k)
+    [ 1; 2; 3; 4; 20 ]
+
+let test_single_block_has_no_cut () =
+  let g = Gen.complete 6 ~w:2 in
+  let part = Partition.striped g ~k:1 in
+  Alcotest.(check int) "cut" 0 (Partition.cut_size part);
+  Alcotest.(check int) "min cut weight" max_int
+    (Partition.min_cut_weight g part)
+
+let test_k_validated () =
+  let g = Gen.path 4 ~w:1 in
+  List.iter
+    (fun (label, k) ->
+      match Partition.striped g ~k with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "striped accepted %s" label)
+    [ ("k=0", 0); ("k=-1", -1); ("k=n+1", 5) ]
+
+let test_graph_identity_validated () =
+  let g = Gen.path 5 ~w:1 in
+  let other = Gen.path 5 ~w:1 in
+  let part = Partition.striped g ~k:2 in
+  Alcotest.(check bool)
+    "wrong graph rejected" true
+    (match Partition.min_cut_weight other part with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+(* The BFS partitioner must beat (or match) striping on a family whose
+   vertex ids carry no locality: a grid with ids scrambled would be the
+   real case, but even on the row-major grid BFS must stay sane. *)
+let prop_partitions_valid =
+  QCheck.Test.make ~count:60 ~name:"both partitioners produce valid partitions"
+    (QCheck.pair
+       (Gen_qcheck.connected_graph_gen ())
+       QCheck.(int_range 1 6))
+    (fun (g, k) ->
+      let k = min k (G.n g) in
+      let s = Partition.striped g ~k and b = Partition.bfs g ~k in
+      let valid part =
+        let sizes = Array.make k 0 in
+        for v = 0 to G.n g - 1 do
+          let p = Partition.part_of part v in
+          if p < 0 || p >= k then QCheck.Test.fail_report "block out of range";
+          sizes.(p) <- sizes.(p) + 1
+        done;
+        Array.fold_left ( + ) 0 sizes = G.n g
+        && Array.for_all
+             (fun id ->
+               let e = G.edge g id in
+               Partition.part_of part e.G.u <> Partition.part_of part e.G.v)
+             (Partition.cut_edges part)
+      in
+      valid s && valid b)
+
+let suite =
+  [
+    Alcotest.test_case "striped on a grid" `Quick test_striped_grid;
+    Alcotest.test_case "bfs on a grid" `Quick test_bfs_grid;
+    Alcotest.test_case "single block has no cut" `Quick
+      test_single_block_has_no_cut;
+    Alcotest.test_case "k out of range rejected" `Quick test_k_validated;
+    Alcotest.test_case "graph identity validated" `Quick
+      test_graph_identity_validated;
+    QCheck_alcotest.to_alcotest prop_partitions_valid;
+  ]

@@ -16,6 +16,7 @@ let expected_names =
     "spt-synch";
     "spt-recur";
     "spt-hybrid";
+    "spt-async";
     "slt-dist";
     "global-sum";
     "clock-alpha";
