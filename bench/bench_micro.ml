@@ -5,6 +5,10 @@
    all-sources diameter (lazy-deletion tuple heap vs the indexed heap
    with decrease_key). Always run on the main domain. *)
 
+(* The boxed event queue is benchmarked here on purpose — it is the
+   "before" half of the send-path pair. *)
+[@@@alert "-boxed_oracle"]
+
 open Bechamel
 
 module G = Csap_graph.Graph
@@ -81,6 +85,44 @@ let flood_trials ~reuse g =
   done;
   !acc
 
+(* One-shot allocation gauge for the send path: arm and run a flood
+   once to warm the engine (queue capacity grown, handler tables
+   filled), reset, re-arm, then measure minor-heap bytes across the
+   second run and divide by its message count. With growth pre-paid the
+   quotient is the true per-message footprint of [Engine.send] plus the
+   queue push/pop — ~0 B for the packed SOA queue, ~10 words for the
+   boxed oracle. *)
+let flood_bytes_per_msg queue g =
+  let n = G.n g in
+  let eng = E.create ~edge_lookup:E.Indexed ~event_queue:queue g in
+  let reached = Array.make n false in
+  let forward v ~except =
+    G.iter_neighbors g v (fun u _ _ ->
+        if u <> except then E.send eng ~src:v ~dst:u Wave)
+  in
+  let arm () =
+    Array.fill reached 0 n false;
+    for v = 0 to n - 1 do
+      E.set_handler eng v (fun ~src Wave ->
+          if not reached.(v) then begin
+            reached.(v) <- true;
+            forward v ~except:src
+          end)
+    done;
+    E.schedule eng ~delay:0.0 (fun () ->
+        reached.(0) <- true;
+        forward 0 ~except:(-1))
+  in
+  arm ();
+  ignore (E.run eng);
+  E.reset eng;
+  arm ();
+  let w0 = Gc.minor_words () in
+  ignore (E.run eng);
+  let w1 = Gc.minor_words () in
+  let msgs = (E.metrics eng).Csap_dsim.Metrics.messages in
+  (w1 -. w0) *. 8.0 /. float_of_int (max 1 msgs)
+
 (* The pre-index diameter: n independent lazy-deletion Dijkstras, fresh
    buffers each time. *)
 let diameter_lazy g =
@@ -132,6 +174,15 @@ let tests =
       (Staged.stage (fun () ->
            flood_with E.Scan E.Boxed (Lazy.force dense96)));
     Test.make ~name:"send: flood dense96 hot-path"
+      (Staged.stage (fun () ->
+           flood_with E.Indexed E.Packed (Lazy.force dense96)));
+    (* Before/after: the event queue alone (both sides use the indexed
+       edge lookup) — boxed record heap vs the allocation-free SOA
+       queue. *)
+    Test.make ~name:"engine: send-path boxed"
+      (Staged.stage (fun () ->
+           flood_with E.Indexed E.Boxed (Lazy.force dense96)));
+    Test.make ~name:"engine: send-path soa"
       (Staged.stage (fun () ->
            flood_with E.Indexed E.Packed (Lazy.force dense96)));
     (* Before/after: the diameter sweep's Dijkstra core. *)
@@ -218,9 +269,25 @@ let run () =
         find_ns rows "extrema: n512 seq" /. find_ns rows "extrema: n512 par4" );
       ( "speedup: engine trial-loop (recreate/reset)",
         find_ns rows "trial-loop recreate" /. find_ns rows "trial-loop reset" );
+      ( "speedup: engine send-path (boxed/soa)",
+        find_ns rows "send-path boxed" /. find_ns rows "send-path soa" );
     ]
   in
   Report.subheading "hot-path before/after (ratios > 1 mean faster now)";
   Report.table ~columns:[ "workload"; "speedup" ]
     (List.map (fun (name, x) -> [ Report.Str name; Report.Float x ]) speedups);
-  rows @ speedups
+  (* One-shot gauges (not bechamel-timed): minor-heap bytes allocated per
+     message on the warmed send path. CI holds the soa figure to a hard
+     ceiling so a boxing regression anywhere on the path fails fast. *)
+  let gauges =
+    [
+      ( "alloc: send-path boxed bytes/msg",
+        flood_bytes_per_msg E.Boxed (Lazy.force dense96) );
+      ( "alloc: send-path soa bytes/msg",
+        flood_bytes_per_msg E.Packed (Lazy.force dense96) );
+    ]
+  in
+  Report.subheading "send-path allocation (bytes per message, warmed engine)";
+  Report.table ~columns:[ "gauge"; "bytes/msg" ]
+    (List.map (fun (name, x) -> [ Report.Str name; Report.Float x ]) gauges);
+  rows @ speedups @ gauges

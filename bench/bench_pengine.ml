@@ -39,6 +39,23 @@ let wall f =
   let r = f () in
   (r, (Unix.gettimeofday () -. t0) *. 1000.0)
 
+(* Like [wall] but also reports the minor-heap traffic of the call:
+   (minor words allocated, minor collections finished). Domain-local, so
+   only the calling domain's work is counted. *)
+let wall_gc f =
+  (* Minor words via the dedicated external — quick_stat's field only
+     advances at minor collections (OCaml 5.1). *)
+  let g0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+  let g1 = Gc.quick_stat () in
+  ( r,
+    ms,
+    Gc.minor_words () -. w0,
+    g1.Gc.minor_collections - g0.Gc.minor_collections )
+
 (* VmHWM from /proc/self/status, in MB; 0 when unavailable. Process-wide
    high-water mark, so only the big rows move it meaningfully. *)
 let peak_rss_mb () =
@@ -139,11 +156,15 @@ let sweep_row { fname; build } n () =
   let a0 = Gc.allocated_bytes () in
   let g, build_ms = wall (fun () -> build n) in
   let build_mb = (Gc.allocated_bytes () -. a0) /. 1048576.0 in
-  let flood_seq, seq_f = wall (fun () -> F.run g ~source:0) in
+  let flood_seq, seq_f, seq_f_mw, seq_f_gc =
+    wall_gc (fun () -> F.run g ~source:0)
+  in
   let flood_par, par_f =
     wall (fun () -> F.run_partitioned ~domains g ~source:0)
   in
-  let spt_seq, seq_s = wall (fun () -> S.run g ~source:0) in
+  let spt_seq, seq_s, seq_s_mw, seq_s_gc =
+    wall_gc (fun () -> S.run g ~source:0)
+  in
   let spt_par, par_s =
     wall (fun () -> S.run_partitioned ~domains g ~source:0)
   in
@@ -172,6 +193,13 @@ let sweep_row { fname; build } n () =
       Report.Int domains;
       Report.Int ident;
       Report.Float (peak_rss_mb ());
+      (* Minor-heap traffic of the two sequential runs: allocated minor
+         words (millions) and minor collections — the before/after gauge
+         for the allocation-free delivery path. *)
+      Report.Float (seq_f_mw /. 1e6);
+      Report.Int seq_f_gc;
+      Report.Float (seq_s_mw /. 1e6);
+      Report.Int seq_s_gc;
     ];
   ]
 
@@ -251,7 +279,8 @@ let px () =
             [
               "family"; "n"; "m"; "build_ms"; "build_MB"; "flood_seq_ms";
               "flood_par_ms"; "flood_x"; "spt_seq_ms"; "spt_par_ms"; "spt_x";
-              "domains"; "ident"; "peak_rss_MB";
+              "domains"; "ident"; "peak_rss_MB"; "flood_mwords_M";
+              "flood_min_gcs"; "spt_mwords_M"; "spt_min_gcs";
             ]
           (List.concat
              (Array.to_list (Array.sub results 2 (Array.length results - 2)))));

@@ -113,12 +113,30 @@ let () =
          (fun fig fig_slots ->
            List.mapi
              (fun ji job () ->
+               (* GC stats are domain-local in OCaml 5 and a job runs
+                  wholly on one pool worker, so the delta is exactly this
+                  job's allocation. Minor words come from the dedicated
+                  [Gc.minor_words] external — quick_stat's field only
+                  advances at minor collections (OCaml 5.1). *)
+               let g0 = Gc.quick_stat () in
+               let w0 = Gc.minor_words () in
                let t0 = Unix.gettimeofday () in
                match job.Report.run () with
                | rows ->
                  let wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 in
+                 let g1 = Gc.quick_stat () in
                  fig_slots.(ji) <-
-                   Done { Report.job_label = job.Report.label; rows; wall_ms }
+                   Done
+                     {
+                       Report.job_label = job.Report.label;
+                       rows;
+                       wall_ms;
+                       alloc_minor_words = Gc.minor_words () -. w0;
+                       alloc_promoted_words =
+                         g1.Gc.promoted_words -. g0.Gc.promoted_words;
+                       alloc_major_collections =
+                         g1.Gc.major_collections - g0.Gc.major_collections;
+                     }
                | exception e ->
                  fig_slots.(ji) <-
                    Failed

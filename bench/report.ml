@@ -75,11 +75,18 @@ type figure = {
   render : cell list list array -> unit;
 }
 
-(* A timed job result, as recorded by the pool. *)
+(* A timed job result, as recorded by the pool. The alloc_* fields are
+   the GC delta over the job body, read from the worker domain's own
+   counters (OCaml 5 GC stats are domain-local, and a job runs entirely
+   on one domain): minor words allocated, words promoted to the major
+   heap, and major collections finished. *)
 type job_result = {
   job_label : string;
   rows : cell list list;
   wall_ms : float;
+  alloc_minor_words : float;
+  alloc_promoted_words : float;
+  alloc_major_collections : int;
 }
 
 let job label run = { label; run }
@@ -125,8 +132,10 @@ let json_list to_json xs =
 let json_of_row row = json_list json_of_cell row
 
 let json_of_job_result r =
-  Printf.sprintf "{\"label\":\"%s\",\"wall_ms\":%.3f,\"rows\":%s}"
-    (json_escape r.job_label) r.wall_ms
+  Printf.sprintf
+    "{\"label\":\"%s\",\"wall_ms\":%.3f,\"alloc_minor_words\":%.0f,\"alloc_promoted_words\":%.0f,\"alloc_major_collections\":%d,\"rows\":%s}"
+    (json_escape r.job_label) r.wall_ms r.alloc_minor_words
+    r.alloc_promoted_words r.alloc_major_collections
     (json_list json_of_row r.rows)
 
 let json_of_figure ~id ~title results =

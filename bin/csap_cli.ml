@@ -97,7 +97,7 @@ let list_protocols names_only =
 (* ---- run --------------------------------------------------------------- *)
 
 let run_protocol name family n w seed root delay loss dup fault_seed reliable
-    pulses strip k q domains trace check =
+    pulses strip k q domains trace check gc_stats =
   match P.find name with
   | None ->
     Format.eprintf "unknown protocol %S; try `csap_cli list`@." name;
@@ -116,13 +116,41 @@ let run_protocol name family n w seed root delay loss dup fault_seed reliable
       P.Run.make ~root ?delay ?faults ~reliable ?trace ?pulses ?strip ?k ?q
         ?domains g
     in
+    (* Pair of (quick_stat, minor_words): quick_stat's minor_words only
+       advances at minor collections (OCaml 5.1); the dedicated external
+       reads the live allocation pointer. *)
+    let g0 =
+      if gc_stats then Some (Gc.quick_stat (), Gc.minor_words ()) else None
+    in
     match P.execute entry cfg with
     | exception Invalid_argument msg ->
       Format.eprintf "error: %s@." msg;
       1
     | o ->
+      (* Snapshot before any printing so formatter allocation doesn't
+         pollute the run's numbers. Note: with --domains the workers'
+         minor words are invisible here (OCaml 5 GC counters are
+         domain-local); this reports the driving domain. *)
+      let gc_line =
+        match g0 with
+        | None -> None
+        | Some (s0, w0) ->
+          let s1 = Gc.quick_stat () in
+          Some
+            (Printf.sprintf
+               "minor_words=%.0f promoted_words=%.0f minor_gcs=%d \
+                major_gcs=%d top_heap_mb=%.1f"
+               (Gc.minor_words () -. w0)
+               (s1.Gc.promoted_words -. s0.Gc.promoted_words)
+               (s1.Gc.minor_collections - s0.Gc.minor_collections)
+               (s1.Gc.major_collections - s0.Gc.major_collections)
+               (float_of_int s1.Gc.top_heap_words *. 8.0 /. 1e6))
+      in
       Format.printf "%-14s %a@." M.name Csap.Measures.pp
         o.P.Outcome.measures;
+      (match gc_line with
+      | Some line -> Format.printf "gc: %s@." line
+      | None -> ());
       if o.P.Outcome.retransmissions > 0 || o.P.Outcome.restarts > 0 then
         Format.printf "transport: retransmissions=%d restarts=%d@."
           o.P.Outcome.retransmissions o.P.Outcome.restarts;
@@ -274,12 +302,21 @@ let run_cmd =
             "Check the outcome against the sequential oracles; exit \
              non-zero on failure.")
   in
+  let gc_stats =
+    Arg.(
+      value & flag
+      & info [ "gc-stats" ]
+          ~doc:
+            "Print a `gc:' line after the run: minor/promoted words, \
+             minor/major collection counts and top heap size measured \
+             across the protocol execution (driving domain only).")
+  in
   Cmd.v
     (Cmd.info "run" ~doc:"Run one registered protocol on a generated graph.")
     Term.(
       const run_protocol $ pname $ family $ n $ w $ seed $ root $ delay $ loss
       $ dup $ fault_seed $ reliable $ pulses $ strip $ k $ q $ domains $ trace
-      $ check)
+      $ check $ gc_stats)
 
 let params_cmd =
   let domains =

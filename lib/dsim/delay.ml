@@ -40,6 +40,30 @@ let sample_on t ~edge_id ~dir ~nth ~w =
   | Oracle { fn; _ } -> fn ~edge_id ~dir ~nth ~w
   | _ -> sample t ~w
 
+(* [sample_on], but the sample is stored into [out.(0)] instead of
+   returned: a float returned across a non-inlined call is boxed, and
+   the engine's send path must not allocate. Each branch stores its
+   result directly (a float-array write, unboxed), so the static models
+   (Exact, Scaled, Near_zero) produce zero heap words; the RNG and
+   oracle models still pay their callee's boxed return. Must sample
+   exactly like [sample_on] — same RNG consumption, same values. *)
+let sample_into t ~edge_id ~dir ~nth ~w out =
+  assert (w >= 1);
+  let fw = float_of_int w in
+  match t with
+  | Exact -> out.(0) <- fw
+  | Uniform rng ->
+    let u = Csap_graph.Rng.float rng in
+    out.(0) <- (1.0 -. u) *. fw
+  | Scaled c ->
+    assert (c > 0.0 && c <= 1.0);
+    out.(0) <- c *. fw
+  | Near_zero -> out.(0) <- epsilon
+  | Jitter rng ->
+    let u = Csap_graph.Rng.float rng in
+    out.(0) <- (0.5 +. (0.5 *. (1.0 -. u))) *. fw
+  | Oracle { fn; _ } -> out.(0) <- fn ~edge_id ~dir ~nth ~w
+
 let oracle ~name fn = Oracle { name; fn }
 
 let slow_edge ?(slow = 1.0) ?(fast = epsilon) target =

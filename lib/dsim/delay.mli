@@ -50,6 +50,15 @@ val sample : t -> w:int -> float
     ignored); for {!Oracle} it applies the oracle function. *)
 val sample_on : t -> edge_id:int -> dir:int -> nth:int -> w:int -> float
 
+(** [sample_into t ~edge_id ~dir ~nth ~w out] is {!sample_on} with the
+    sample stored into [out.(0)] instead of returned — a float-array
+    write instead of a boxed float return, so the engine's send path
+    stays allocation-free under the static models (Exact, Scaled,
+    Near_zero). Samples exactly like {!sample_on}: same RNG consumption
+    order, same values. *)
+val sample_into :
+  t -> edge_id:int -> dir:int -> nth:int -> w:int -> float array -> unit
+
 (** [oracle ~name fn] is [Oracle {name; fn}]. *)
 val oracle :
   name:string -> (edge_id:int -> dir:int -> nth:int -> w:int -> float) -> t

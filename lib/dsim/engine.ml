@@ -1,3 +1,8 @@
+(* The Boxed queue constructor is alert-flagged for everyone else (it is
+   a test oracle, not a production path); the engine itself must of
+   course still implement it. *)
+[@@@alert "-boxed_oracle"]
+
 type 'msg action =
   | Deliver of { src : int; dst : int; payload : 'msg; epoch : int }
     (* [epoch] is the receiver's crash epoch at send time: a crash bumps
@@ -21,7 +26,7 @@ type event_queue =
   | Boxed
 
 type 'msg queue =
-  | Q_packed of 'msg action Event_queue.t
+  | Q_packed of 'msg Event_queue.t
   | Q_boxed of 'msg event Csap_graph.Heap.t
 
 type 'msg t = {
@@ -42,7 +47,15 @@ type 'msg t = {
      trace is attached (FIFO links make the nth delivery the nth send). *)
   deliver_counts : int array;
   mutable trace : Trace.t option;
-  mutable clock : float;
+  (* The simulation clock, in a one-slot float array rather than a
+     mutable float field: a float stored into a mixed record is boxed
+     (one minor allocation per store), a float-array write is not — and
+     the clock is written once per event. [fscratch] holds the delay
+     sample for the same reason: cold consumers (trace records, error
+     messages) read it back from the slot, so the hot path's sample
+     never escapes into a boxed argument. *)
+  clock : float array;
+  fscratch : float array;
   mutable seq : int;
   (* Fault layer; [faults = None] keeps the historical reliable-network
      semantics bit-for-bit (down/epoch stay all-false/zero). *)
@@ -52,14 +65,25 @@ type 'msg t = {
   restart_handlers : (unit -> unit) option array;
 }
 
+(* Explicit monomorphic compares: polymorphic [compare] on a float walks
+   the boxed representation through the generic C path (and orders NaN
+   inconsistently with [Float.compare]'s total order). The event times
+   here are validated non-NaN, so this order agrees with the packed
+   queue's strict [(<)] order. *)
 let compare_events a b =
-  let c = compare a.time b.time in
-  if c <> 0 then c else compare a.seq b.seq
+  let c = Float.compare a.time b.time in
+  if c <> 0 then c else Int.compare a.seq b.seq
 
-let push t time action =
+(* [Float.max] without the cross-module call (which boxes its result)
+   and without the NaN/signed-zero cases: every float on these paths is
+   validated non-NaN and non-negative. *)
+let[@inline] fmax (a : float) b = if a >= b then a else b
+
+(* Local (timer / crash) events; setup-path pushes, not the hot path. *)
+let push_local t time f =
   (match t.queue with
-  | Q_packed q -> Event_queue.add q ~time ~seq:t.seq action
-  | Q_boxed q -> Csap_graph.Heap.add q { time; seq = t.seq; action });
+  | Q_packed q -> Event_queue.push_local q ~time ~seq:t.seq f
+  | Q_boxed q -> Csap_graph.Heap.add q { time; seq = t.seq; action = Local f });
   t.seq <- t.seq + 1
 
 (* Crash-restart events run as ordinary local events: at [at] the vertex
@@ -77,22 +101,19 @@ let install_faults t = function
         if v < 0 || v >= n then
           invalid_arg
             (Printf.sprintf "Engine: crash vertex %d out of range" v);
-        push t at
-          (Local
-             (fun () ->
-               t.down.(v) <- true;
-               t.epoch.(v) <- t.epoch.(v) + 1));
-        push t restart
-          (Local
-             (fun () ->
-               t.down.(v) <- false;
-               match t.restart_handlers.(v) with
-               | Some f -> f ()
-               | None -> ())))
+        push_local t at (fun () ->
+            t.down.(v) <- true;
+            t.epoch.(v) <- t.epoch.(v) + 1);
+        push_local t restart (fun () ->
+            t.down.(v) <- false;
+            match t.restart_handlers.(v) with
+            | Some f -> f ()
+            | None -> ()))
       plan.Fault.crashes
 
 let create ?(delay = Delay.Exact) ?faults ?(edge_lookup = Indexed)
     ?(event_queue = Packed) g =
+  let m = Csap_graph.Graph.m g in
   let t =
     {
       g;
@@ -100,16 +121,21 @@ let create ?(delay = Delay.Exact) ?faults ?(edge_lookup = Indexed)
       lookup = edge_lookup;
       queue =
         (match event_queue with
-        | Packed -> Q_packed (Event_queue.create ~dummy:(Local (fun () -> ())))
+        | Packed ->
+          (* Pre-sized from the edge count (capped — growth is geometric
+             and amortised-free anyway) so steady-state floods never
+             grow the heap mid-run. *)
+          Q_packed (Event_queue.create ~capacity:(max 16 (min (2 * m) 65536)) ())
         | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events));
       handlers = Array.make (Csap_graph.Graph.n g) None;
       metrics = Metrics.create ();
-      traffic = Array.make (Csap_graph.Graph.m g) 0;
-      last_delivery = Array.make (2 * Csap_graph.Graph.m g) 0.0;
-      send_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
-      deliver_counts = Array.make (2 * Csap_graph.Graph.m g) 0;
+      traffic = Array.make m 0;
+      last_delivery = Array.make (2 * m) 0.0;
+      send_counts = Array.make (2 * m) 0;
+      deliver_counts = Array.make (2 * m) 0;
       trace = Trace.register ();
-      clock = 0.0;
+      clock = Array.make 1 0.0;
+      fscratch = Array.make 1 0.0;
       seq = 0;
       faults;
       down = Array.make (Csap_graph.Graph.n g) false;
@@ -137,7 +163,7 @@ let reset ?delay ?faults t =
   Array.fill t.send_counts 0 (Array.length t.send_counts) 0;
   Array.fill t.deliver_counts 0 (Array.length t.deliver_counts) 0;
   (match t.trace with Some tr -> Trace.clear tr | None -> ());
-  t.clock <- 0.0;
+  t.clock.(0) <- 0.0;
   t.seq <- 0;
   (* Fault state never leaks between trials: the plan, down flags, crash
      epochs and restart handlers are all cleared; [?faults] installs a
@@ -149,7 +175,7 @@ let reset ?delay ?faults t =
   install_faults t faults
 
 let graph t = t.g
-let now t = t.clock
+let now t = t.clock.(0)
 
 let set_trace t trace = t.trace <- trace
 let trace t = t.trace
@@ -165,33 +191,6 @@ let queue_empty t =
   | Q_packed q -> Event_queue.is_empty q
   | Q_boxed q -> Csap_graph.Heap.is_empty q
 
-(* Time of the next event; only called when the queue is non-empty. *)
-let next_time t =
-  match t.queue with
-  | Q_packed q -> Event_queue.min_time q
-  | Q_boxed q -> (
-    match Csap_graph.Heap.peek_min q with
-    | Some e -> e.time
-    | None -> assert false)
-
-(* Sequence number of the next event; only called when the queue is
-   non-empty (the tracer's event stamp). *)
-let next_seq t =
-  match t.queue with
-  | Q_packed q -> Event_queue.min_seq q
-  | Q_boxed q -> (
-    match Csap_graph.Heap.peek_min q with
-    | Some e -> e.seq
-    | None -> assert false)
-
-let pop_action t =
-  match t.queue with
-  | Q_packed q -> Event_queue.pop q
-  | Q_boxed q -> (
-    match Csap_graph.Heap.pop_min q with
-    | Some e -> e.action
-    | None -> assert false)
-
 let trace_send_kind t kind ~id ~dir ~nth ~src ~dst ~delay =
   match t.trace with
   | None -> ()
@@ -199,7 +198,7 @@ let trace_send_kind t kind ~id ~dir ~nth ~src ~dst ~delay =
     Trace.add tr
       {
         Trace.kind;
-        time = t.clock;
+        time = t.clock.(0);
         seq = t.seq;
         edge = id;
         dir;
@@ -208,6 +207,49 @@ let trace_send_kind t kind ~id ~dir ~nth ~src ~dst ~delay =
         dst;
         delay;
       }
+
+(* Send-path trace record reading the delay back from the scratch slot:
+   passing the sample as a float argument would force it boxed on the
+   (trace-off) hot path too. *)
+let[@inline never] trace_send_scratch t kind ~id ~dir ~nth ~src ~dst =
+  match t.trace with
+  | None -> ()
+  | Some tr ->
+    Trace.add tr
+      {
+        Trace.kind;
+        time = t.clock.(0);
+        seq = t.seq;
+        edge = id;
+        dir;
+        nth;
+        src;
+        dst;
+        delay = t.fscratch.(0);
+      }
+
+let[@inline never] invalid_sample t id =
+  invalid_arg
+    (Printf.sprintf
+       "Engine.send: delay model produced invalid delay %g on edge %d"
+       t.fscratch.(0) id)
+
+(* Deliver push on either queue backend; the cold paths (duplicates) use
+   this, the hot path inlines the packed case to keep [arrival]
+   unboxed. *)
+let push_deliver_any t ~time ~src ~dst payload =
+  (match t.queue with
+  | Q_packed q ->
+    Event_queue.push_deliver q ~time ~seq:t.seq ~src ~dst
+      ~epoch:t.epoch.(dst) payload
+  | Q_boxed q ->
+    Csap_graph.Heap.add q
+      {
+        time;
+        seq = t.seq;
+        action = Deliver { src; dst; payload; epoch = t.epoch.(dst) };
+      });
+  t.seq <- t.seq + 1
 
 let send t ~src ~dst payload =
   (* The per-message hot path: an O(1)-amortised indexed lookup (no
@@ -233,7 +275,7 @@ let send t ~src ~dst payload =
       (* A down sender executes nothing, so a send reaching here (a stale
          timer closure) transmits nothing and pays nothing. *)
       if t.down.(src) then Fault.Drop
-      else plan.Fault.disposition ~edge_id:id ~dir ~nth ~now:t.clock
+      else plan.Fault.disposition ~edge_id:id ~dir ~nth ~now:t.clock.(0)
   in
   match disp with
   | Fault.Drop ->
@@ -247,20 +289,35 @@ let send t ~src ~dst payload =
   | Fault.Pass | Fault.Duplicate _ -> (
     Metrics.add_send t.metrics ~w;
     t.traffic.(id) <- t.traffic.(id) + 1;
-    let d = Delay.sample_on t.delay ~edge_id:id ~dir ~nth ~w in
+    Delay.sample_into t.delay ~edge_id:id ~dir ~nth ~w t.fscratch;
+    let d = Array.unsafe_get t.fscratch 0 in
     (* Validate the sample once, at the send site: NaN fails every
        comparison (it would corrupt the heap's strict (<) order), infinities
        stall the clock, negatives run time backwards. *)
-    if not (d >= 0.0 && d < infinity) then
-      invalid_arg
-        (Printf.sprintf
-           "Engine.send: delay model produced invalid delay %g on edge %d" d
-           id);
-    trace_send_kind t Trace.Send ~id ~dir ~nth ~src ~dst ~delay:d;
-    let arrival = t.clock +. d in
-    let arrival = Float.max arrival t.last_delivery.(slot) in
-    t.last_delivery.(slot) <- arrival;
-    push t arrival (Deliver { src; dst; payload; epoch = t.epoch.(dst) });
+    if not (d >= 0.0 && d < infinity) then invalid_sample t id;
+    trace_send_scratch t Trace.Send ~id ~dir ~nth ~src ~dst;
+    let arrival =
+      fmax (Array.unsafe_get t.clock 0 +. d) (Array.unsafe_get t.last_delivery slot)
+    in
+    Array.unsafe_set t.last_delivery slot arrival;
+    (match t.queue with
+    | Q_packed q ->
+      (* Zero heap words: six unboxed row writes into the SOA queue. The
+         arrival crosses into the queue via the FIFO-stamp column just
+         written — a float argument would be boxed ([-opaque] blocks
+         cross-module inlining). *)
+      Event_queue.push_deliver_from q ~times:t.last_delivery ~at:slot
+        ~seq:t.seq ~src ~dst ~epoch:(Array.unsafe_get t.epoch dst) payload
+    | Q_boxed q ->
+      (* The oracle path re-reads the FIFO stamp (= [arrival]) so the
+         hot path's unboxed arrival never escapes into the record. *)
+      Csap_graph.Heap.add q
+        {
+          time = t.last_delivery.(slot);
+          seq = t.seq;
+          action = Deliver { src; dst; payload; epoch = t.epoch.(dst) };
+        });
+    t.seq <- t.seq + 1;
     match disp with
     | Fault.Duplicate u ->
       (* The network's extra copy: same identity, its own delay (the
@@ -274,9 +331,9 @@ let send t ~src ~dst payload =
               on edge %d"
              d2 id);
       trace_send_kind t Trace.Dup ~id ~dir ~nth ~src ~dst ~delay:d2;
-      let arrival2 = Float.max (t.clock +. d2) t.last_delivery.(slot) in
+      let arrival2 = Float.max (t.clock.(0) +. d2) t.last_delivery.(slot) in
       t.last_delivery.(slot) <- arrival2;
-      push t arrival2 (Deliver { src; dst; payload; epoch = t.epoch.(dst) })
+      push_deliver_any t ~time:arrival2 ~src ~dst payload
     | _ -> ())
 
 let schedule t ~delay f =
@@ -284,19 +341,26 @@ let schedule t ~delay f =
     invalid_arg
       (Printf.sprintf "Engine.schedule: invalid delay %g (must be finite, >= 0)"
          delay);
-  push t (t.clock +. delay) (Local f)
+  push_local t (t.clock.(0) +. delay) f
 
 let quiescent t = queue_empty t
+
+let[@inline never] no_handler src dst =
+  failwith
+    (Printf.sprintf "Engine: no handler at vertex %d (message sent from %d)"
+       dst src)
+
+(* ---- the boxed oracle loop --------------------------------------------- *)
+(* Kept verbatim in spirit from the historical generic loop; it dispatches
+   boxed [action] values and allocates freely — the QCheck identity suite
+   runs it against the packed loop below. *)
 
 let dispatch t = function
   | Local f -> f ()
   | Deliver { src; dst; payload; epoch = _ } -> (
     match t.handlers.(dst) with
     | Some f -> f ~src payload
-    | None ->
-      failwith
-        (Printf.sprintf
-           "Engine: no handler at vertex %d (message sent from %d)" dst src))
+    | None -> no_handler src dst)
 
 (* True when a popped delivery is lost to a crash: the receiver is down
    right now, or crashed (and so shed its pending deliveries) after the
@@ -305,100 +369,222 @@ let delivery_dropped t = function
   | Deliver { dst; epoch; _ } -> t.down.(dst) || epoch <> t.epoch.(dst)
   | Local _ -> false
 
+let trace_deliver t tr seq ~dropped ~src ~dst =
+  let id =
+    match t.lookup with
+    | Indexed -> Csap_graph.Graph.edge_id_between t.g src dst
+    | Scan -> Csap_graph.Graph.edge_id_between_scan t.g src dst
+  in
+  let e = Csap_graph.Graph.edge t.g id in
+  let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
+  let slot = (2 * id) + dir in
+  let nth =
+    if dropped then -1
+    else begin
+      let nth = t.deliver_counts.(slot) in
+      t.deliver_counts.(slot) <- nth + 1;
+      nth
+    end
+  in
+  Trace.add tr
+    {
+      Trace.kind = (if dropped then Trace.Dropped else Trace.Deliver);
+      time = t.clock.(0);
+      seq;
+      edge = id;
+      dir;
+      nth;
+      src;
+      dst;
+      delay = 0.0;
+    }
+
+let trace_local t tr seq =
+  Trace.add tr
+    {
+      Trace.kind = Trace.Local;
+      time = t.clock.(0);
+      seq;
+      edge = -1;
+      dir = -1;
+      nth = -1;
+      src = -1;
+      dst = -1;
+      delay = 0.0;
+    }
+
 let record_dispatch t tr seq ~dropped action =
   match action with
-  | Deliver { src; dst; _ } ->
-    let id =
-      match t.lookup with
-      | Indexed -> Csap_graph.Graph.edge_id_between t.g src dst
-      | Scan -> Csap_graph.Graph.edge_id_between_scan t.g src dst
-    in
-    let e = Csap_graph.Graph.edge t.g id in
-    let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
-    let slot = (2 * id) + dir in
-    let nth =
-      if dropped then -1
-      else begin
-        let nth = t.deliver_counts.(slot) in
-        t.deliver_counts.(slot) <- nth + 1;
-        nth
-      end
-    in
-    Trace.add tr
-      {
-        Trace.kind = (if dropped then Trace.Dropped else Trace.Deliver);
-        time = t.clock;
-        seq;
-        edge = id;
-        dir;
-        nth;
-        src;
-        dst;
-        delay = 0.0;
-      }
-  | Local _ ->
-    Trace.add tr
-      {
-        Trace.kind = Trace.Local;
-        time = t.clock;
-        seq;
-        edge = -1;
-        dir = -1;
-        nth = -1;
-        src = -1;
-        dst = -1;
-        delay = 0.0;
-      }
+  | Deliver { src; dst; _ } -> trace_deliver t tr seq ~dropped ~src ~dst
+  | Local _ -> trace_local t tr seq
 
-let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
+let run_boxed ~until ~max_events ~comm_budget t q =
   let processed = ref 0 in
   let continue = ref true in
-  (* True when the run stopped because it exhausted everything up to
-     [until] (queue drained, or next event beyond the limit) — the cases
-     where the clock may legitimately advance to the limit. *)
   let limit_reached = ref false in
   while
     !continue && !processed < max_events
     && t.metrics.Metrics.weighted_comm < comm_budget
   do
-    if queue_empty t then begin
+    if Csap_graph.Heap.is_empty q then begin
       limit_reached := true;
       continue := false
     end
     else
-      let time = next_time t in
+      let ev =
+        match Csap_graph.Heap.peek_min q with
+        | Some e -> e
+        | None -> assert false
+      in
       match until with
-      | Some limit when time > limit ->
+      | Some limit when ev.time > limit ->
         limit_reached := true;
         continue := false
       | _ ->
-        let seq =
-          match t.trace with Some _ -> next_seq t | None -> 0
-        in
-        let action = pop_action t in
-        t.clock <- Float.max t.clock time;
-        let dropped = delivery_dropped t action in
+        ignore (Csap_graph.Heap.pop_min q);
+        t.clock.(0) <- Float.max t.clock.(0) ev.time;
+        let dropped = delivery_dropped t ev.action in
         (match t.trace with
-        | Some tr -> record_dispatch t tr seq ~dropped action
+        | Some tr -> record_dispatch t tr ev.seq ~dropped ev.action
         | None -> ());
-        if not dropped then dispatch t action;
+        if not dropped then dispatch t ev.action;
         incr processed;
         t.metrics.Metrics.events <- t.metrics.Metrics.events + 1;
-        t.metrics.Metrics.completion_time <- t.clock;
-        (match action with
+        t.metrics.Metrics.completion_time <- t.clock.(0);
+        (match ev.action with
         | Deliver _ when not dropped ->
-          t.metrics.Metrics.last_delivery_time <- t.clock
+          t.metrics.Metrics.last_delivery_time <- t.clock.(0)
         | Deliver _ | Local _ -> ())
   done;
+  !limit_reached
+
+(* ---- the packed hot loop ------------------------------------------------ *)
+(* Specialised to the SOA queue: the minimum is read field-by-field and
+   dropped in place, so processing a delivery allocates nothing — no
+   popped event value, no action match, no boxed clock store. The two
+   per-event float metrics accumulate in local float refs (flat
+   one-field float records, unboxed stores) and flush into the mixed
+   [Metrics.t] record once, after the loop. *)
+
+let run_packed ~until ~max_events ~comm_budget t q =
+  let processed = ref 0 in
+  let continue = ref true in
+  let limit_reached = ref false in
+  let events = ref t.metrics.Metrics.events in
+  (* The two per-event float metrics accumulate in a flat float array —
+     NOT [float ref]s: ['a ref] at [float] is a generic one-field
+     record, so every [:=] would box the float. Slot 0 is
+     completion_time, slot 1 last_delivery_time; flushed into the mixed
+     [Metrics.t] record once, after the loop. *)
+  let facc =
+    [|
+      t.metrics.Metrics.completion_time; t.metrics.Metrics.last_delivery_time;
+    |]
+  in
+  let flush () =
+    t.metrics.Metrics.events <- !events;
+    t.metrics.Metrics.completion_time <- facc.(0);
+    t.metrics.Metrics.last_delivery_time <- facc.(1)
+  in
+  (try
+     while
+       !continue && !processed < max_events
+       && t.metrics.Metrics.weighted_comm < comm_budget
+     do
+       if Event_queue.is_empty q then begin
+         limit_reached := true;
+         continue := false
+       end
+       else begin
+         (* Unboxed read of the minimum's time straight off the SOA
+            column ([min_time]'s float return would box under
+            [-opaque]). Fetched every iteration: a handler's sends can
+            grow — and so replace — the column array. *)
+         let time = Array.unsafe_get (Event_queue.times q) 0 in
+         let beyond =
+           match until with Some limit -> time > limit | None -> false
+         in
+         if beyond then begin
+           limit_reached := true;
+           continue := false
+         end
+         else begin
+           let seq =
+             match t.trace with Some _ -> Event_queue.min_seq q | None -> 0
+           in
+           if Event_queue.min_is_local q then begin
+             let f = Event_queue.min_local q in
+             Event_queue.drop_min q;
+             t.clock.(0) <- fmax (Array.unsafe_get t.clock 0) time;
+             (match t.trace with
+             | Some tr -> trace_local t tr seq
+             | None -> ());
+             f ();
+             incr processed;
+             events := !events + 1;
+             Array.unsafe_set facc 0 (Array.unsafe_get t.clock 0)
+           end
+           else begin
+             let src = Event_queue.min_src q in
+             let dst = Event_queue.min_dst q in
+             let epoch = Event_queue.min_epoch q in
+             let payload = Event_queue.min_payload q in
+             Event_queue.drop_min q;
+             t.clock.(0) <- fmax (Array.unsafe_get t.clock 0) time;
+             let dropped =
+               Array.unsafe_get t.down dst
+               || epoch <> Array.unsafe_get t.epoch dst
+             in
+             (match t.trace with
+             | Some tr -> trace_deliver t tr seq ~dropped ~src ~dst
+             | None -> ());
+             if not dropped then begin
+               match Array.unsafe_get t.handlers dst with
+               | Some f -> f ~src payload
+               | None -> no_handler src dst
+             end;
+             incr processed;
+             events := !events + 1;
+             Array.unsafe_set facc 0 (Array.unsafe_get t.clock 0);
+             if not dropped then
+               Array.unsafe_set facc 1 (Array.unsafe_get t.clock 0)
+           end
+         end
+       end
+     done
+   with e ->
+     flush ();
+     raise e);
+  flush ();
+  !limit_reached
+
+let run ?until ?(max_events = max_int) ?(comm_budget = max_int) t =
+  (* [Gc.minor_words ()] reads the live allocation pointer;
+     [quick_stat]'s minor_words field only advances at minor
+     collections (OCaml 5.1), which would report 0 for any run that
+     fits in one minor heap. *)
+  let g0 = Gc.quick_stat () in
+  let w0 = Gc.minor_words () in
+  let events0 = t.metrics.Metrics.events in
+  let limit_reached =
+    match t.queue with
+    | Q_packed q -> run_packed ~until ~max_events ~comm_budget t q
+    | Q_boxed q -> run_boxed ~until ~max_events ~comm_budget t q
+  in
   (* Sliced runs compose: after [run ~until:t1] the clock sits at [t1]
      even on quiescence (so relative timers scheduled between slices land
      where a continuous run puts them), and a stale [until < now] never
      moves the clock backwards. Runs cut short by [max_events] or
      [comm_budget] stop at the last processed event instead. *)
   (match until with
-  | Some limit when !limit_reached -> t.clock <- Float.max t.clock limit
+  | Some limit when limit_reached -> t.clock.(0) <- Float.max t.clock.(0) limit
   | _ -> ());
-  !processed
+  let g1 = Gc.quick_stat () in
+  Metrics.add_alloc t.metrics
+    ~minor_words:(Gc.minor_words () -. w0)
+    ~promoted_words:(g1.Gc.promoted_words -. g0.Gc.promoted_words)
+    ~major_collections:(g1.Gc.major_collections - g0.Gc.major_collections);
+  t.metrics.Metrics.events - events0
 
 let metrics t = t.metrics
 

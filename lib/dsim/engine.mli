@@ -21,14 +21,21 @@ type edge_lookup =
   | Scan
 
 (** Which priority queue backs the event loop. [Packed] (the default) is
-    the structure-of-arrays heap of {!Event_queue} — no per-event
-    allocation; [Boxed] is the historical generic heap over boxed event
-    records, kept so the microbenchmarks can measure the before/after
-    difference. Both orders are the same total (time, send-order)
-    order, so executions are identical either way. *)
+    the structure-of-arrays heap of {!Event_queue} — pushing or popping
+    a delivery allocates zero heap words; [Boxed] is the historical
+    generic heap over boxed event records, retained {e only} as the
+    test oracle for the QCheck bit-identity suite (and the send-path
+    microbenchmark pair). Both orders are the same total
+    (time, send-order) order, so executions are identical either way.
+    Uses outside [test/] and [bench/] trip the [boxed_oracle] alert. *)
 type event_queue =
   | Packed
   | Boxed
+      [@alert
+        boxed_oracle
+          "The Boxed event queue is a test oracle: it allocates per event \
+           and exists only to cross-check the packed SOA queue. Use the \
+           default Packed queue."]
 
 (** [create ?delay ?faults ?edge_lookup ?event_queue g] builds an idle
     engine over the network [g]; the default delay model is

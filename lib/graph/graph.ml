@@ -240,14 +240,15 @@ let[@inline] fold_neighbors t v f init =
    the binary search's branching. *)
 let small_degree = 8
 
-let edge_id_between_scan t u v =
-  let hi = t.off.(u + 1) in
-  let rec scan i =
-    if i >= hi then -1
-    else if t.nbr.(i) = v then t.eid.(i)
-    else scan (i + 1)
-  in
-  scan t.off.(u)
+(* Top-level so the scan needs no closure: this sits on [Engine.send]'s
+   allocation-free hot path (and classic-mode ocamlopt allocates local
+   recursive closures per call). *)
+let rec scan_row t v i hi =
+  if i >= hi then -1
+  else if t.nbr.(i) = v then t.eid.(i)
+  else scan_row t v (i + 1) hi
+
+let edge_id_between_scan t u v = scan_row t v t.off.(u) t.off.(u + 1)
 
 (* Binary search for [v] in [u]'s sorted neighbour row; returns the slot
    in the sorted arrays, or -1. *)
@@ -261,11 +262,15 @@ let sorted_slot t u v =
   if !lo < t.off.(u + 1) && t.sorted_nbr.(!lo) = v then !lo else -1
 
 let edge_id_between t u v =
-  (* Query from the endpoint with the smaller degree. *)
-  let u, v = if degree t u <= degree t v then (u, v) else (v, u) in
-  if degree t u <= small_degree then edge_id_between_scan t u v
+  (* Query from the endpoint with the smaller degree. Branchy swap, not
+     a tuple: [let u, v = if .. then (u, v) else (v, u)] allocates the
+     pair on every send. *)
+  let swap = degree t u > degree t v in
+  let a = if swap then v else u in
+  let b = if swap then u else v in
+  if degree t a <= small_degree then edge_id_between_scan t a b
   else
-    let s = sorted_slot t u v in
+    let s = sorted_slot t a b in
     if s < 0 then -1 else t.sorted_eid.(s)
 
 let edge_between t u v =

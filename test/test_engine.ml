@@ -1,3 +1,7 @@
+(* The Boxed event queue is exactly what this file cross-checks the
+   packed queue against — the oracle use the alert exists to protect. *)
+[@@@alert "-boxed_oracle"]
+
 module E = Csap_dsim.Engine
 module G = Csap_graph.Graph
 module Gen = Csap_graph.Generators
