@@ -1,0 +1,139 @@
+(* Bench FM: farm parity.
+
+   The farm must be a transport, not a semantics: a sweep cell executed
+   by the job server — serialised to JSON, spooled, checkpointed,
+   run on a worker domain — must report exactly the measures the same
+   cell reports when run directly in-process. This figure runs one
+   roster both ways and prints the two sides next to each other; any
+   `MISMATCH' in the parity column fails the figure (the CI farm job
+   asserts it). The farm side also resumes its own finished checkpoint
+   and reports how many cells the resume skipped — which must be all of
+   them. *)
+
+module Cell = Csap_farm.Cell
+module Farm = Csap_farm.Farm
+module Manifest = Csap_farm.Manifest
+
+(* The parity roster: one cell per protocol family of the registry
+   sweep, under both the deterministic default and a seeded adversarial
+   schedule. Everything carries check=true, so the sequential-oracle
+   invariants are asserted inside the farm workers too. *)
+let roster =
+  [
+    Cell.make ~family:"grid" ~n:25 ~w:4 ~delay:"exact" "flood";
+    Cell.make ~family:"grid" ~n:25 ~w:4 ~delay:"seeded:3" "flood";
+    Cell.make ~family:"complete" ~n:10 ~w:5 ~delay:"exact" "mst-ghs";
+    Cell.make ~family:"complete" ~n:10 ~w:5 ~delay:"seeded:5" "mst-ghs";
+    Cell.make ~family:"random" ~n:12 ~delay:"exact" "spt-synch";
+    Cell.make ~family:"grid" ~n:16 ~delay:"seeded:7" "dfs-token";
+  ]
+
+let measures_row (m : Csap.Measures.t) =
+  (m.Csap.Measures.comm, m.Csap.Measures.time, m.Csap.Measures.messages)
+
+(* Direct side: the cells executed in-process, sequentially. *)
+let direct_job =
+  {
+    Report.label = "direct";
+    run =
+      (fun () ->
+        List.map
+          (fun c ->
+            match (Cell.run c).Cell.result with
+            | Ok o ->
+              let comm, time, msgs =
+                measures_row o.Csap.Protocol.Outcome.measures
+              in
+              [ Report.Int comm; Report.Float time; Report.Int msgs ]
+            | Error e ->
+              [ Report.Str (Cell.error_message e); Report.Str "-";
+                Report.Str "-" ])
+          roster);
+  }
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+(* Farm side: the same cells through Farm.sweep (spool-format cells,
+   checkpoint manifest, worker domains), results read back from the
+   manifest; then a resume of the finished checkpoint, which must skip
+   every cell. *)
+let farm_job =
+  {
+    Report.label = "farm";
+    run =
+      (fun () ->
+        let dir =
+          Filename.concat
+            (Filename.get_temp_dir_name ())
+            (Printf.sprintf "csap-bench-farm-%d-%.0f" (Unix.getpid ())
+               (Unix.gettimeofday () *. 1e6))
+        in
+        let cfg = Farm.config ~workers:2 ~dir () in
+        let s = Farm.sweep cfg roster in
+        let s' = Farm.sweep ~resume:true cfg roster in
+        let entries =
+          Manifest.entries
+            (Manifest.load ~readonly:true (Farm.manifest_path ~dir))
+        in
+        let rows =
+          List.map
+            (fun (e : Manifest.entry) ->
+              match (e.Manifest.state, e.Manifest.result) with
+              | Manifest.Done, Some r ->
+                [ Report.Int r.Manifest.comm; Report.Float r.Manifest.time;
+                  Report.Int r.Manifest.messages ]
+              | _ ->
+                [ Report.Str
+                    (Option.value ~default:"no result" e.Manifest.error);
+                  Report.Str "-"; Report.Str "-" ])
+            entries
+        in
+        rm_rf dir;
+        rows
+        @ [
+            [ Report.Int s.Farm.completed; Report.Int s.Farm.failed;
+              Report.Int s'.Farm.skipped ];
+          ]);
+  }
+
+let fm () =
+  {
+    Report.id = "FM";
+    title = "farm parity (in-process vs. job-server execution)";
+    jobs = [ direct_job; farm_job ];
+    render =
+      (fun results ->
+        let direct = results.(0) in
+        let farm_rows = results.(1) in
+        let n = List.length roster in
+        let farm = List.filteri (fun i _ -> i < n) farm_rows in
+        let summary = List.nth farm_rows n in
+        let rows =
+          List.mapi
+            (fun i c ->
+              let d = List.nth direct i and f = List.nth farm i in
+              let parity = if d = f then "ok" else "MISMATCH" in
+              [ Report.Str c.Cell.protocol;
+                Report.Str (Option.value ~default:"exact" c.Cell.delay);
+                Report.Str c.Cell.family; Report.Int c.Cell.n ]
+              @ d @ f
+              @ [ Report.Str parity ])
+            roster
+        in
+        Report.table
+          ~columns:
+            [ "protocol"; "delay"; "family"; "n"; "comm"; "time"; "msgs";
+              "comm'"; "time'"; "msgs'"; "parity" ]
+          rows;
+        match summary with
+        | [ done_; failed; skipped ] ->
+          Report.table
+            ~columns:[ "farm done"; "farm failed"; "resume skipped" ]
+            [ [ done_; failed; skipped ] ]
+        | _ -> ());
+  }

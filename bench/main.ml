@@ -34,6 +34,7 @@ let benches =
     ("fx", Bench_fault.fx);
     ("rg", Bench_registry.rg);
     ("px", Bench_pengine.px);
+    ("fm", Bench_farm.fm);
   ]
 
 type options = {

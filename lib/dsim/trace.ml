@@ -105,7 +105,7 @@ let kind_of_string = function
   | "local" -> Local
   | "dropped" -> Dropped
   | "dup" -> Dup
-  | s -> invalid_arg (Printf.sprintf "Trace.of_jsonl: unknown kind %S" s)
+  | s -> invalid_arg (Printf.sprintf "unknown kind %S" s)
 
 (* %.17g round-trips every finite double; the engine rejects non-finite
    delays so no nan/inf ever reaches the writer. *)
@@ -123,7 +123,7 @@ let event_of_json line =
         { kind = kind_of_string kind; time; seq; edge; dir; nth; src; dst;
           delay })
   with Scanf.Scan_failure _ | End_of_file | Failure _ ->
-    invalid_arg (Printf.sprintf "Trace.of_jsonl: unparsable line %S" line)
+    invalid_arg (Printf.sprintf "unparsable line %S" line)
 
 let to_jsonl t =
   let buf = Buffer.create (64 * (t.len + 1)) in
@@ -134,12 +134,25 @@ let to_jsonl t =
     (events t);
   Buffer.contents buf
 
-let of_jsonl s =
+(* Parse errors carry the 1-based line number (and the filename, when the
+   input came from a file): a checkpoint-resume reading a half-written
+   JSONL must be able to say exactly where the corruption starts. *)
+let of_jsonl ?file s =
   let t = create () in
-  String.split_on_char '\n' s
-  |> List.iter (fun line ->
-         let line = String.trim line in
-         if line <> "" then add t (event_of_json line));
+  List.iteri
+    (fun i raw ->
+      let line = String.trim raw in
+      if line <> "" then
+        match event_of_json line with
+        | ev -> add t ev
+        | exception Invalid_argument msg ->
+          let where =
+            match file with
+            | None -> Printf.sprintf "line %d" (i + 1)
+            | Some f -> Printf.sprintf "%s: line %d" f (i + 1)
+          in
+          invalid_arg (Printf.sprintf "Trace.of_jsonl: %s: %s" where msg))
+    (String.split_on_char '\n' s);
   t
 
 let save_jsonl t path =
@@ -154,7 +167,7 @@ let load_jsonl path =
     ~finally:(fun () -> close_in ic)
     (fun () ->
       let n = in_channel_length ic in
-      of_jsonl (really_input_string ic n))
+      of_jsonl ~file:path (really_input_string ic n))
 
 (* ---- replay ----------------------------------------------------------- *)
 

@@ -73,8 +73,10 @@ val equal : t -> t -> bool
 val to_jsonl : t -> string
 
 (** Parses traces produced by {!to_jsonl}. Raises [Invalid_argument] on
-    malformed lines. *)
-val of_jsonl : string -> t
+    malformed lines, naming the 1-based line number (and [file], when
+    given) of the first bad line — precise enough to locate the
+    truncation point of a half-written file. *)
+val of_jsonl : ?file:string -> string -> t
 
 val save_jsonl : t -> string -> unit
 val load_jsonl : string -> t

@@ -1,0 +1,112 @@
+(** One sweep cell: a protocol name plus a fully-specified run
+    configuration, in the CLI's flag vocabulary.
+
+    A cell is the farm's unit of work and the unit of checkpointing: it
+    serialises to one canonical JSON object whose digest identifies the
+    cell inside a manifest, so a resumed sweep can prove "this completed
+    cell is the same work" before skipping it. Everything needed to
+    rebuild the run — graph family and size, seeds, delay spec, fault
+    probabilities, protocol knobs — lives in the cell; nothing refers to
+    in-memory state. *)
+
+type t = {
+  protocol : string;
+  family : string;  (** graph family, as the CLI's [--family] *)
+  n : int;
+  w : int;
+  seed : int;  (** graph-generator seed *)
+  root : int;
+  delay : string option;  (** delay spec string, as the CLI's [--delay] *)
+  loss : float;
+  dup : float;
+  fault_seed : int;
+  reliable : bool;
+  pulses : int option;
+  strip : int option;
+  k : int option;
+  q : float option;
+  domains : int option;
+  check : bool;  (** run the sequential-oracle invariant *)
+}
+
+val make :
+  ?family:string ->
+  ?n:int ->
+  ?w:int ->
+  ?seed:int ->
+  ?root:int ->
+  ?delay:string ->
+  ?loss:float ->
+  ?dup:float ->
+  ?fault_seed:int ->
+  ?reliable:bool ->
+  ?pulses:int ->
+  ?strip:int ->
+  ?k:int ->
+  ?q:float ->
+  ?domains:int ->
+  ?check:bool ->
+  string ->
+  t
+(** [make protocol] with CLI defaults: family ["random"], [n = 16],
+    [w = 8], [seed = 1], [root = 0], no delay spec (= exact), no faults,
+    [check = true]. *)
+
+(** {2 Canonical serialisation} *)
+
+val to_json : t -> string
+(** One-line JSON object; field order and number formatting are fixed,
+    [None] fields are omitted — so equal cells always produce equal
+    text. *)
+
+val of_json : string -> (t, string) result
+(** Inverse of [to_json]; also accepts hand-written objects (missing
+    optional fields take [make]'s defaults). [protocol] is required. *)
+
+val digest : t -> string
+(** Hex digest of [to_json t]; the identity used by checkpoint
+    manifests. *)
+
+(** {2 Execution} *)
+
+val graph : t -> Csap_graph.Graph.t
+(** Build the cell's graph. Raises [Invalid_argument] on an unknown
+    family. *)
+
+val delay_of_spec : string -> (Csap_dsim.Delay.t, string) result
+(** Parse a [--delay]-style spec: [exact], [near-zero], [race],
+    [scaled:C], [seeded:N], [slow-edge:ID]. *)
+
+(** Why a cell failed, classified for exit codes (see
+    {!error_exit_code}). *)
+type error =
+  | Unknown_protocol of string
+  | Bad_spec of string
+      (** malformed delay spec / family / probability, or a cfg the
+          protocol's capabilities reject *)
+  | Invariant_failed of string  (** [check]ed run broke its oracle *)
+  | Execution_error of string  (** unexpected exception during the run *)
+
+val error_message : error -> string
+
+val error_exit_code : error -> int
+(** The CLI contract: [1] invariant failure, [2] unknown protocol,
+    [3] malformed spec / invalid configuration, [4] unexpected
+    execution error. *)
+
+type outcome = {
+  result : (Csap.Protocol.Outcome.t, error) result;
+  wall_ms : float;  (** wall-clock of the execute (+ invariant) call *)
+}
+
+val run : ?graph:Csap_graph.Graph.t -> ?trace_prefix:string -> t -> outcome
+(** Build the graph, resolve delay and faults, execute through the
+    registry and (when [t.check]) check the invariant. Never raises:
+    every failure is classified into [error]. [graph], when given, must
+    be [graph t] — callers that already built it (to print its
+    parameters) skip the rebuild. *)
+
+val measures_json : Csap.Protocol.Outcome.t -> wall_ms:float -> string
+(** The result summary recorded in manifests and result files:
+    [{"comm":..,"time":..,"messages":..,"retransmissions":..,
+    "restarts":..,"wall_ms":..}]. *)

@@ -1,0 +1,414 @@
+module Bqueue = Csap_pool.Bqueue
+
+type config = {
+  dir : string;
+  workers : int;
+  queue_cap : int;
+  poll_s : float;
+  max_jobs : int option;
+  idle_exit_s : float option;
+  verbose : bool;
+  crash_after : int option;
+}
+
+let config ?(workers = 2) ?(queue_cap = 16) ?(poll_s = 0.05) ?max_jobs
+    ?idle_exit_s ?(verbose = false) ?crash_after ~dir () =
+  if workers < 1 then invalid_arg "Farm.config: workers < 1";
+  { dir; workers; queue_cap; poll_s; max_jobs; idle_exit_s; verbose;
+    crash_after }
+
+type summary = {
+  total : int;
+  completed : int;
+  failed : int;
+  cancelled : int;
+  skipped : int;
+}
+
+let pp_summary ppf s =
+  Format.fprintf ppf "total=%d done=%d failed=%d cancelled=%d skipped=%d"
+    s.total s.completed s.failed s.cancelled s.skipped
+
+(* ------------------------------------------------------------------ *)
+(* Directory layout                                                    *)
+
+let spool_dir ~dir = Filename.concat dir "spool"
+let ctrl_dir ~dir = Filename.concat dir "ctrl"
+let results_dir ~dir = Filename.concat dir "results"
+let manifest_path ~dir = Filename.concat dir "MANIFEST.jsonl"
+let events_path ~dir = Filename.concat dir "events.jsonl"
+
+let ensure_dir d = if not (Sys.file_exists d) then Unix.mkdir d 0o755
+
+let ensure_layout ~dir =
+  ensure_dir dir;
+  ensure_dir (spool_dir ~dir);
+  ensure_dir (ctrl_dir ~dir);
+  ensure_dir (results_dir ~dir)
+
+(* ------------------------------------------------------------------ *)
+(* Submission and cancellation (client side)                           *)
+
+let submit_counter = ref 0
+
+let submit ~dir cell =
+  ensure_layout ~dir;
+  incr submit_counter;
+  let stamp = int_of_float (Unix.gettimeofday () *. 1e6) in
+  let name =
+    Printf.sprintf "job-%d-%d-%d.json" stamp (Unix.getpid ()) !submit_counter
+  in
+  let final = Filename.concat (spool_dir ~dir) name in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Cell.to_json cell);
+  output_char oc '\n';
+  close_out oc;
+  (* Rename is atomic: the ingest loop only ever sees whole files. *)
+  Sys.rename tmp final;
+  final
+
+let request_cancel ~dir id =
+  ensure_layout ~dir;
+  let path = Filename.concat (ctrl_dir ~dir) (Printf.sprintf "cancel-%d" id) in
+  let oc = open_out_bin path in
+  close_out oc
+
+(* ------------------------------------------------------------------ *)
+(* Server state                                                        *)
+
+type state = {
+  cfg : config;
+  man : Manifest.t;
+  queue : int Bqueue.t;
+  lock : Mutex.t;  (* guards [cancelled] and [events] *)
+  cancelled : (int, unit) Hashtbl.t;
+  events : out_channel;
+  terminal : int Atomic.t;  (* cells recorded terminal during this run *)
+}
+
+let make_state cfg man =
+  {
+    cfg;
+    man;
+    queue = Bqueue.create ~capacity:cfg.queue_cap ();
+    lock = Mutex.create ();
+    cancelled = Hashtbl.create 16;
+    events =
+      open_out_gen
+        [ Open_wronly; Open_creat; Open_append ]
+        0o644
+        (events_path ~dir:cfg.dir);
+    terminal = Atomic.make 0;
+  }
+
+let event st name fields =
+  let line =
+    Jsonx.to_string
+      (Jsonx.Obj
+         (("at", Jsonx.Float (Unix.gettimeofday ()))
+         :: ("event", Jsonx.Str name)
+         :: fields))
+  in
+  Mutex.lock st.lock;
+  output_string st.events line;
+  output_char st.events '\n';
+  flush st.events;
+  Mutex.unlock st.lock;
+  if st.cfg.verbose then Printf.printf "[farm] %s\n%!" line
+
+let cell_fields (e : Manifest.entry) =
+  [ ("id", Jsonx.Int e.Manifest.id);
+    ("protocol", Jsonx.Str e.Manifest.cell.Cell.protocol);
+    ("digest", Jsonx.Str e.Manifest.digest) ]
+
+let is_cancelled st id =
+  Mutex.lock st.lock;
+  let c = Hashtbl.mem st.cancelled id in
+  Mutex.unlock st.lock;
+  c
+
+let mark_cancelled st id =
+  Mutex.lock st.lock;
+  Hashtbl.replace st.cancelled id ();
+  Mutex.unlock st.lock
+
+(* ------------------------------------------------------------------ *)
+(* Per-cell result records                                             *)
+
+let write_result st (e : Manifest.entry) (o : Cell.outcome) =
+  let body =
+    let base =
+      [ ("id", Jsonx.Int e.Manifest.id);
+        ("digest", Jsonx.Str e.Manifest.digest);
+        ("protocol", Jsonx.Str e.Manifest.cell.Cell.protocol) ]
+    in
+    match o.Cell.result with
+    | Ok out ->
+      let m = out.Csap.Protocol.Outcome.measures in
+      Jsonx.Obj
+        (base
+        @ [ ("state", Jsonx.Str "done");
+            ("comm", Jsonx.Int m.Csap.Measures.comm);
+            ("time", Jsonx.Float m.Csap.Measures.time);
+            ("messages", Jsonx.Int m.Csap.Measures.messages);
+            ( "retransmissions",
+              Jsonx.Int out.Csap.Protocol.Outcome.retransmissions );
+            ("restarts", Jsonx.Int out.Csap.Protocol.Outcome.restarts);
+            ("wall_ms", Jsonx.Float o.Cell.wall_ms);
+            ( "info",
+              Jsonx.Obj
+                (List.map
+                   (fun (k, v) -> (k, Jsonx.Str v))
+                   out.Csap.Protocol.Outcome.info) ) ])
+    | Error err ->
+      Jsonx.Obj
+        (base
+        @ [ ("state", Jsonx.Str "failed");
+            ("error", Jsonx.Str (Cell.error_message err));
+            ("code", Jsonx.Int (Cell.error_exit_code err));
+            ("wall_ms", Jsonx.Float o.Cell.wall_ms) ])
+  in
+  let final =
+    Filename.concat
+      (results_dir ~dir:st.cfg.dir)
+      (Printf.sprintf "cell-%d.json" e.Manifest.id)
+  in
+  let tmp = final ^ ".tmp" in
+  let oc = open_out_bin tmp in
+  output_string oc (Jsonx.to_string body);
+  output_char oc '\n';
+  close_out oc;
+  Sys.rename tmp final
+
+(* ------------------------------------------------------------------ *)
+(* Workers                                                             *)
+
+let bump_terminal st =
+  let n = Atomic.fetch_and_add st.terminal 1 + 1 in
+  match st.cfg.crash_after with
+  | Some k when n >= k ->
+    (* Crash simulation: die without unwinding, exactly as SIGKILL
+       would, right after the n-th terminal state hit the manifest. *)
+    Unix._exit 37
+  | _ -> ()
+
+let run_cell st (e : Manifest.entry) =
+  Manifest.set_state st.man e Manifest.Running;
+  event st "started" (cell_fields e);
+  let o = Cell.run e.Manifest.cell in
+  (match o.Cell.result with
+  | Ok out ->
+    let result = Manifest.result_of_outcome out ~wall_ms:o.Cell.wall_ms in
+    write_result st e o;
+    Manifest.set_state st.man e ~result Manifest.Done;
+    event st "finished"
+      (cell_fields e @ [ ("wall_ms", Jsonx.Float o.Cell.wall_ms) ])
+  | Error err ->
+    write_result st e o;
+    Manifest.set_state st.man e
+      ~error:(Cell.error_message err)
+      Manifest.Failed;
+    event st "failed"
+      (cell_fields e @ [ ("error", Jsonx.Str (Cell.error_message err)) ]));
+  bump_terminal st
+
+let worker st () =
+  let rec loop () =
+    match Bqueue.pop st.queue with
+    | None -> ()  (* closed and drained *)
+    | Some id ->
+      (match Manifest.find st.man id with
+      | None -> ()
+      | Some e ->
+        if is_cancelled st id then begin
+          Manifest.set_state st.man e Manifest.Cancelled;
+          event st "cancelled" (cell_fields e);
+          bump_terminal st
+        end
+        else run_cell st e);
+      loop ()
+  in
+  loop ()
+
+let spawn_workers st =
+  Array.init st.cfg.workers (fun _ -> Domain.spawn (worker st))
+
+(* ------------------------------------------------------------------ *)
+(* Control and spool ingestion                                         *)
+
+let process_ctrl st =
+  let dir = ctrl_dir ~dir:st.cfg.dir in
+  Array.iter
+    (fun name ->
+      let prefix = "cancel-" in
+      let lp = String.length prefix in
+      if String.length name > lp && String.sub name 0 lp = prefix then begin
+        (match int_of_string_opt (String.sub name lp (String.length name - lp))
+         with
+        | Some id ->
+          mark_cancelled st id;
+          event st "cancel-requested" [ ("id", Jsonx.Int id) ]
+        | None -> ());
+        try Sys.remove (Filename.concat dir name) with Sys_error _ -> ()
+      end)
+    (Sys.readdir dir)
+
+let spool_files st =
+  let dir = spool_dir ~dir:st.cfg.dir in
+  let files =
+    Array.to_list (Sys.readdir dir)
+    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    |> List.sort String.compare
+  in
+  List.map (Filename.concat dir) files
+
+(* Ingest spool files only while the bounded queue has room: this
+   thread is the sole producer, so a checked slot cannot be stolen.
+   Files that do not fit stay in the spool — that is the backpressure
+   contract (bounded memory, unbounded disk). *)
+let ingest st =
+  let rec take = function
+    | [] -> ()
+    | file :: rest when Bqueue.length st.queue < Bqueue.capacity st.queue ->
+      let body =
+        try
+          let ic = open_in_bin file in
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+        with Sys_error _ -> ""
+      in
+      (match Cell.of_json (String.trim body) with
+      | Ok cell ->
+        let e = Manifest.add st.man cell in
+        event st "submitted"
+          (cell_fields e @ [ ("file", Jsonx.Str (Filename.basename file)) ]);
+        Bqueue.push st.queue e.Manifest.id;
+        (try Sys.remove file with Sys_error _ -> ())
+      | Error msg ->
+        event st "rejected"
+          [ ("file", Jsonx.Str (Filename.basename file));
+            ("error", Jsonx.Str msg) ];
+        (try Sys.rename file (file ^ ".bad") with Sys_error _ -> ()));
+      take rest
+    | _ :: _ -> ()  (* queue full: leave the rest spooled *)
+  in
+  take (spool_files st)
+
+(* ------------------------------------------------------------------ *)
+(* Summaries                                                           *)
+
+let summarize st ~skipped =
+  let _, _, d, f, c = Manifest.counts st.man in
+  let skip_done, skip_failed, skip_cancelled = skipped in
+  {
+    total = List.length (Manifest.entries st.man);
+    completed = d - skip_done;
+    failed = f - skip_failed;
+    cancelled = c - skip_cancelled;
+    skipped = skip_done + skip_failed + skip_cancelled;
+  }
+
+let terminal_counts man =
+  let _, _, d, f, c = Manifest.counts man in
+  (d, f, c)
+
+let finalize st doms ~skipped =
+  Bqueue.close st.queue;
+  Array.iter Domain.join doms;
+  let s = summarize st ~skipped in
+  event st "stopped"
+    [ ("done", Jsonx.Int s.completed); ("failed", Jsonx.Int s.failed);
+      ("cancelled", Jsonx.Int s.cancelled); ("skipped", Jsonx.Int s.skipped) ];
+  close_out_noerr st.events;
+  Manifest.close st.man;
+  s
+
+(* ------------------------------------------------------------------ *)
+(* Entry points                                                        *)
+
+let requeue_pending st =
+  (* Cells never started re-run as-is; cells caught [Running] by a
+     crash are re-run too — execution is deterministic, and their
+     terminal line never reached the disk. *)
+  List.iter
+    (fun (e : Manifest.entry) ->
+      match e.Manifest.state with
+      | Manifest.Pending | Manifest.Running -> Bqueue.push st.queue e.Manifest.id
+      | _ -> ())
+    (Manifest.entries st.man)
+
+let open_manifest ~resume ~dir =
+  let path = manifest_path ~dir in
+  if resume then begin
+    if not (Sys.file_exists path) then
+      invalid_arg (Printf.sprintf "Farm: no manifest to resume at %s" path);
+    Manifest.load path
+  end
+  else begin
+    if Sys.file_exists path then
+      invalid_arg
+        (Printf.sprintf
+           "Farm: %s already exists; resume it or use a fresh directory" path);
+    Manifest.create path
+  end
+
+let serve ?(resume = false) cfg =
+  ensure_layout ~dir:cfg.dir;
+  let man = open_manifest ~resume ~dir:cfg.dir in
+  let st = make_state cfg man in
+  let skipped = terminal_counts man in
+  event st "serving"
+    [ ("workers", Jsonx.Int cfg.workers);
+      ("queue_cap", Jsonx.Int cfg.queue_cap);
+      ("resume", Jsonx.Bool resume) ];
+  let doms = spawn_workers st in
+  requeue_pending st;
+  let idle_since = ref None in
+  let stop = ref false in
+  while not !stop do
+    process_ctrl st;
+    ingest st;
+    (match cfg.max_jobs with
+    | Some quota when Atomic.get st.terminal >= quota -> stop := true
+    | _ -> ());
+    (if not !stop then
+       let p, r, _, _, _ = Manifest.counts st.man in
+       let busy = p > 0 || r > 0 || Bqueue.length st.queue > 0 in
+       if busy then idle_since := None
+       else
+         match cfg.idle_exit_s with
+         | None -> ()
+         | Some limit -> (
+           let now = Unix.gettimeofday () in
+           match !idle_since with
+           | None -> idle_since := Some now
+           | Some t0 -> if now -. t0 >= limit then stop := true));
+    if not !stop then Unix.sleepf cfg.poll_s
+  done;
+  finalize st doms ~skipped
+
+let sweep ?(resume = false) cfg cells =
+  ensure_layout ~dir:cfg.dir;
+  let man = open_manifest ~resume ~dir:cfg.dir in
+  if resume then begin
+    (* The caller's cell list (when given) must be the checkpointed
+       sweep: digests prove the skipped work is the requested work. *)
+    if cells <> [] then begin
+      let have = List.map (fun e -> e.Manifest.digest) (Manifest.entries man) in
+      let want = List.map Cell.digest cells in
+      if have <> want then
+        invalid_arg "Farm.sweep: cell list does not match the manifest"
+    end
+  end
+  else List.iter (fun c -> ignore (Manifest.add man c)) cells;
+  let st = make_state cfg man in
+  let skipped = terminal_counts man in
+  event st "sweep"
+    [ ("cells", Jsonx.Int (List.length (Manifest.entries man)));
+      ("resume", Jsonx.Bool resume) ];
+  process_ctrl st;
+  let doms = spawn_workers st in
+  requeue_pending st;
+  finalize st doms ~skipped

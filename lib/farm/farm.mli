@@ -1,0 +1,95 @@
+(** A resumable concurrent job server for sweep cells.
+
+    One farm lives in one directory:
+    {v
+    <dir>/spool/     job-*.json    cells awaiting ingest (one per file)
+    <dir>/ctrl/      cancel-<id>   cancellation requests
+    <dir>/results/   cell-<id>.json   per-cell outcome records
+    <dir>/events.jsonl   lifecycle log (submitted/started/finished/...)
+    <dir>/MANIFEST.jsonl the fsync'd checkpoint (see {!Manifest})
+    v}
+
+    Two entry points share the worker machinery. {!serve} is the
+    long-running mode: a poll loop ingests spool files, worker domains
+    execute cells, and the server exits on a job quota or an idle
+    timeout. {!sweep} is the batch mode: a fixed cell list is enqueued
+    up front and the call returns when every cell is terminal. Both
+    record every transition in the manifest, so either can be
+    [SIGKILL]ed and resumed — completed cells are never re-executed
+    (their digests prove identity), while cells caught mid-run are
+    simply re-run (executions are deterministic).
+
+    Backpressure: the worker queue is a bounded {!Csap_pool.Bqueue};
+    {!serve} only ingests a spool file when the queue has room, so a
+    flood of submissions accumulates as files on disk, not as heap.
+
+    Cancellation is cooperative and queue-level: a cancel request marks
+    the cell, and a worker that dequeues a marked cell records it
+    [Cancelled] without executing. A cell already running cannot be
+    preempted — [Protocol.execute] is atomic — so a cancel that arrives
+    mid-run loses the race and the cell completes normally. *)
+
+type config = {
+  dir : string;
+  workers : int;  (** worker domains executing cells *)
+  queue_cap : int;  (** bounded-queue capacity (backpressure) *)
+  poll_s : float;  (** serve-mode spool poll interval, seconds *)
+  max_jobs : int option;
+      (** serve: exit once this many cells reached a terminal state *)
+  idle_exit_s : float option;
+      (** serve: exit after this long with nothing queued, running or
+          spooled *)
+  verbose : bool;  (** print one line per lifecycle event *)
+  crash_after : int option;
+      (** test hook: [Unix._exit 37] immediately after the [n]-th cell
+          reaches a terminal {e recorded} state — simulates a crash
+          whose manifest suffix is exactly the completed prefix *)
+}
+
+val config :
+  ?workers:int ->
+  ?queue_cap:int ->
+  ?poll_s:float ->
+  ?max_jobs:int ->
+  ?idle_exit_s:float ->
+  ?verbose:bool ->
+  ?crash_after:int ->
+  dir:string ->
+  unit ->
+  config
+(** Defaults: 2 workers, queue capacity 16, 0.05 s poll, no quota, no
+    idle exit, quiet. *)
+
+type summary = {
+  total : int;
+  completed : int;  (** cells that reached [Done] during this run *)
+  failed : int;
+  cancelled : int;
+  skipped : int;  (** already terminal at start — resumed checkpoints *)
+}
+
+val pp_summary : Format.formatter -> summary -> unit
+
+val manifest_path : dir:string -> string
+val events_path : dir:string -> string
+
+val serve : ?resume:bool -> config -> summary
+(** Run the server loop. Fresh start requires no existing manifest
+    ([Invalid_argument] otherwise — a checkpoint is never silently
+    clobbered); [resume] reloads it and requeues every non-terminal
+    cell. Returns when [max_jobs] or [idle_exit_s] triggers. *)
+
+val sweep : ?resume:bool -> config -> Cell.t list -> summary
+(** Run a fixed batch to completion. With [resume], the manifest is
+    reloaded and [cells] (unless empty, meaning "whatever the manifest
+    says") must match it digest-for-digest ([Invalid_argument]
+    otherwise); terminal cells are skipped. *)
+
+val submit : dir:string -> Cell.t -> string
+(** Drop a cell into the spool (atomic write-then-rename); returns the
+    spool file path. The job id is assigned at ingest, visible via
+    {!Manifest.load} or the events log. *)
+
+val request_cancel : dir:string -> int -> unit
+(** Drop a [ctrl/cancel-<id>] request; honored when the id is still
+    queued (see cancellation note above). *)

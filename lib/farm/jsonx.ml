@@ -1,0 +1,287 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Printing                                                            *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\b' -> Buffer.add_string b "\\b"
+      | '\012' -> Buffer.add_string b "\\f"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"';
+  Buffer.contents b
+
+let float_repr f =
+  (* [%.17g] round-trips every finite float; JSON has no inf/nan, so
+     those become null (farm numbers are validated finite upstream). *)
+  if Float.is_finite f then
+    let s = Printf.sprintf "%.17g" f in
+    (* Ensure the text reparses as a float, not an int, so a re-encode
+       of the parse is identical (digest stability). *)
+    if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s then s
+    else s ^ ".0"
+  else "null"
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_repr f)
+  | Str s -> Buffer.add_string b (escape s)
+  | Arr xs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_char b ',';
+        write b x)
+      xs;
+    Buffer.add_char b ']'
+  | Obj kvs ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        Buffer.add_string b (escape k);
+        Buffer.add_char b ':';
+        write b v)
+      kvs;
+    Buffer.add_char b '}'
+
+let to_string v =
+  let b = Buffer.create 128 in
+  write b v;
+  Buffer.contents b
+
+(* ------------------------------------------------------------------ *)
+(* Parsing                                                             *)
+
+exception Fail of string
+
+type cursor = { s : string; mutable pos : int }
+
+let fail c msg = raise (Fail (Printf.sprintf "%s at byte %d" msg c.pos))
+
+let peek c = if c.pos < String.length c.s then Some c.s.[c.pos] else None
+
+let skip_ws c =
+  while
+    c.pos < String.length c.s
+    &&
+    match c.s.[c.pos] with
+    | ' ' | '\t' | '\n' | '\r' -> true
+    | _ -> false
+  do
+    c.pos <- c.pos + 1
+  done
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> c.pos <- c.pos + 1
+  | _ -> fail c (Printf.sprintf "expected %C" ch)
+
+let literal c word v =
+  let n = String.length word in
+  if
+    c.pos + n <= String.length c.s
+    && String.sub c.s c.pos n = word
+  then begin
+    c.pos <- c.pos + n;
+    v
+  end
+  else fail c (Printf.sprintf "expected %s" word)
+
+(* Decode a Unicode scalar value to UTF-8 bytes. *)
+let add_utf8 b u =
+  if u < 0x80 then Buffer.add_char b (Char.chr u)
+  else if u < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (u lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (u lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((u lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (u land 0x3F)))
+  end
+
+let hex4 c =
+  if c.pos + 4 > String.length c.s then fail c "truncated \\u escape";
+  let v = ref 0 in
+  for i = 0 to 3 do
+    let d =
+      match c.s.[c.pos + i] with
+      | '0' .. '9' as ch -> Char.code ch - Char.code '0'
+      | 'a' .. 'f' as ch -> Char.code ch - Char.code 'a' + 10
+      | 'A' .. 'F' as ch -> Char.code ch - Char.code 'A' + 10
+      | _ -> fail c "bad \\u escape"
+    in
+    v := (!v * 16) + d
+  done;
+  c.pos <- c.pos + 4;
+  !v
+
+let parse_string c =
+  expect c '"';
+  let b = Buffer.create 16 in
+  let rec loop () =
+    if c.pos >= String.length c.s then fail c "unterminated string";
+    let ch = c.s.[c.pos] in
+    c.pos <- c.pos + 1;
+    match ch with
+    | '"' -> Buffer.contents b
+    | '\\' ->
+      (if c.pos >= String.length c.s then fail c "unterminated escape";
+       let e = c.s.[c.pos] in
+       c.pos <- c.pos + 1;
+       match e with
+       | '"' -> Buffer.add_char b '"'
+       | '\\' -> Buffer.add_char b '\\'
+       | '/' -> Buffer.add_char b '/'
+       | 'n' -> Buffer.add_char b '\n'
+       | 't' -> Buffer.add_char b '\t'
+       | 'r' -> Buffer.add_char b '\r'
+       | 'b' -> Buffer.add_char b '\b'
+       | 'f' -> Buffer.add_char b '\012'
+       | 'u' -> add_utf8 b (hex4 c)
+       | _ -> fail c "bad escape");
+      loop ()
+    | c -> Buffer.add_char b c; loop ()
+  in
+  loop ()
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let adv () = c.pos <- c.pos + 1 in
+  if peek c = Some '-' then adv ();
+  while
+    match peek c with
+    | Some ('0' .. '9') -> true
+    | Some ('.' | 'e' | 'E' | '+' | '-') -> is_float := true; true
+    | _ -> false
+  do
+    adv ()
+  done;
+  let text = String.sub c.s start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail c (Printf.sprintf "bad number %S" text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> (
+      (* Integer literal out of native range: keep the value as float. *)
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> fail c (Printf.sprintf "bad number %S" text))
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> fail c "unexpected end of input"
+  | Some '"' -> Str (parse_string c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some '[' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some ']' then begin
+      c.pos <- c.pos + 1;
+      Arr []
+    end
+    else begin
+      let rec items acc =
+        let v = parse_value c in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          items (v :: acc)
+        | Some ']' ->
+          c.pos <- c.pos + 1;
+          List.rev (v :: acc)
+        | _ -> fail c "expected ',' or ']'"
+      in
+      Arr (items [])
+    end
+  | Some '{' ->
+    c.pos <- c.pos + 1;
+    skip_ws c;
+    if peek c = Some '}' then begin
+      c.pos <- c.pos + 1;
+      Obj []
+    end
+    else begin
+      let field () =
+        skip_ws c;
+        let k = parse_string c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        (k, v)
+      in
+      let rec fields acc =
+        let kv = field () in
+        skip_ws c;
+        match peek c with
+        | Some ',' ->
+          c.pos <- c.pos + 1;
+          fields (kv :: acc)
+        | Some '}' ->
+          c.pos <- c.pos + 1;
+          List.rev (kv :: acc)
+        | _ -> fail c "expected ',' or '}'"
+      in
+      Obj (fields [])
+    end
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> fail c (Printf.sprintf "unexpected %C" ch)
+
+let parse s =
+  let c = { s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then
+      Error (Printf.sprintf "trailing garbage at byte %d" c.pos)
+    else Ok v
+  | exception Fail msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Accessors                                                           *)
+
+let member k v =
+  match v with
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_int = function Some (Int i) -> Some i | _ -> None
+
+let to_float = function
+  | Some (Float f) -> Some f
+  | Some (Int i) -> Some (float_of_int i)
+  | _ -> None
+
+let to_str = function Some (Str s) -> Some s | _ -> None
+let to_bool = function Some (Bool b) -> Some b | _ -> None

@@ -1,0 +1,42 @@
+(** A minimal JSON codec for the farm's wire formats (job cells,
+    checkpoint manifests, lifecycle events).
+
+    The repository deliberately has no JSON dependency — traces use a
+    fixed printf/scanf line format — but farm cells and manifests are
+    {e objects with optional fields}, which a format string cannot
+    parse. This is the smallest honest recursive-descent parser that
+    covers them: full JSON values, strict syntax, byte-precise error
+    positions. Writers emit canonical text (fixed field order is the
+    caller's job; numbers via [%d] / [%.17g], strings minimally
+    escaped), so digesting [to_string] output is stable. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+(** [parse s] parses one JSON value spanning all of [s] (surrounding
+    whitespace allowed). Errors name the byte offset. *)
+val parse : string -> (t, string) result
+
+val to_string : t -> string
+
+(** [escape s] is [s] as a quoted JSON string literal. *)
+val escape : string -> string
+
+(** {2 Accessors} — total, for destructuring parsed objects. *)
+
+(** Field lookup; [None] on missing field or non-object. *)
+val member : string -> t -> t option
+
+val to_int : t option -> int option
+
+(** Accepts both [Int] and [Float]. *)
+val to_float : t option -> float option
+
+val to_str : t option -> string option
+val to_bool : t option -> bool option

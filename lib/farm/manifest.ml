@@ -1,0 +1,266 @@
+type state = Pending | Running | Done | Failed | Cancelled
+
+let state_name = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Done -> "done"
+  | Failed -> "failed"
+  | Cancelled -> "cancelled"
+
+let state_of_name = function
+  | "pending" -> Some Pending
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "failed" -> Some Failed
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+type result_line = {
+  comm : int;
+  time : float;
+  messages : int;
+  retransmissions : int;
+  restarts : int;
+  wall_ms : float;
+}
+
+type entry = {
+  id : int;
+  cell : Cell.t;
+  digest : string;
+  mutable state : state;
+  mutable result : result_line option;
+  mutable error : string option;
+}
+
+type t = {
+  path : string;
+  lock : Mutex.t;
+  mutable oc : out_channel option;  (* [None] = readonly *)
+  mutable entries_rev : entry list;
+  mutable by_id : (int, entry) Hashtbl.t;
+  mutable next_id : int;
+  mutable torn : bool;
+}
+
+let path t = t.path
+let torn t = t.torn
+
+(* ------------------------------------------------------------------ *)
+(* Line encoding                                                       *)
+
+let header_line = {|{"kind":"manifest","version":1}|}
+
+let cell_line (e : entry) =
+  Printf.sprintf {|{"kind":"cell","id":%d,"digest":%s,"cell":%s}|} e.id
+    (Jsonx.escape e.digest)
+    (Cell.to_json e.cell)
+
+let result_json r =
+  Jsonx.Obj
+    [ ("comm", Jsonx.Int r.comm); ("time", Jsonx.Float r.time);
+      ("messages", Jsonx.Int r.messages);
+      ("retransmissions", Jsonx.Int r.retransmissions);
+      ("restarts", Jsonx.Int r.restarts);
+      ("wall_ms", Jsonx.Float r.wall_ms) ]
+
+let state_line (e : entry) st result error =
+  let fields =
+    [ ("kind", Jsonx.Str "state"); ("id", Jsonx.Int e.id);
+      ("state", Jsonx.Str (state_name st)) ]
+    @ (match result with
+      | None -> []
+      | Some r -> [ ("result", result_json r) ])
+    @ match error with None -> [] | Some m -> [ ("error", Jsonx.Str m) ]
+  in
+  Jsonx.to_string (Jsonx.Obj fields)
+
+(* Durability contract: a line is only "recorded" once it has hit the
+   disk, so a resumed sweep can trust every line it reads. *)
+let append_sync t line =
+  match t.oc with
+  | None -> invalid_arg "Manifest: readonly"
+  | Some oc ->
+    output_string oc line;
+    output_char oc '\n';
+    flush oc;
+    Unix.fsync (Unix.descr_of_out_channel oc)
+
+(* ------------------------------------------------------------------ *)
+(* Loading                                                             *)
+
+let fail_line path lineno msg =
+  invalid_arg
+    (Printf.sprintf "Manifest.load: %s: line %d: %s" path lineno msg)
+
+let parse_result j =
+  match j with
+  | None -> None
+  | Some r ->
+    let int k = Jsonx.to_int (Jsonx.member k r) in
+    let flt k = Jsonx.to_float (Jsonx.member k r) in
+    Some
+      {
+        comm = Option.value ~default:0 (int "comm");
+        time = Option.value ~default:0.0 (flt "time");
+        messages = Option.value ~default:0 (int "messages");
+        retransmissions = Option.value ~default:0 (int "retransmissions");
+        restarts = Option.value ~default:0 (int "restarts");
+        wall_ms = Option.value ~default:0.0 (flt "wall_ms");
+      }
+
+let replay_line t path lineno line =
+  match Jsonx.parse line with
+  | Error e -> fail_line path lineno e
+  | Ok j -> (
+    match Jsonx.to_str (Jsonx.member "kind" j) with
+    | Some "manifest" -> ()
+    | Some "cell" -> (
+      let id = Jsonx.to_int (Jsonx.member "id" j) in
+      let digest = Jsonx.to_str (Jsonx.member "digest" j) in
+      let cell =
+        match Jsonx.member "cell" j with
+        | Some c -> Cell.of_json (Jsonx.to_string c)
+        | None -> Error "missing \"cell\" field"
+      in
+      match (id, digest, cell) with
+      | Some id, Some digest, Ok cell ->
+        let e = { id; cell; digest; state = Pending; result = None; error = None } in
+        if Hashtbl.mem t.by_id id then
+          fail_line path lineno (Printf.sprintf "duplicate cell id %d" id);
+        Hashtbl.add t.by_id id e;
+        t.entries_rev <- e :: t.entries_rev;
+        t.next_id <- max t.next_id (id + 1)
+      | _, _, Error e -> fail_line path lineno e
+      | _ -> fail_line path lineno "cell line missing id or digest")
+    | Some "state" -> (
+      match
+        ( Jsonx.to_int (Jsonx.member "id" j),
+          Option.bind (Jsonx.to_str (Jsonx.member "state" j)) state_of_name )
+      with
+      | Some id, Some st -> (
+        match Hashtbl.find_opt t.by_id id with
+        | None -> fail_line path lineno (Printf.sprintf "state for unknown cell %d" id)
+        | Some e ->
+          e.state <- st;
+          e.result <- parse_result (Jsonx.member "result" j);
+          e.error <- Jsonx.to_str (Jsonx.member "error" j))
+      | _ -> fail_line path lineno "malformed state line")
+    | Some k -> fail_line path lineno (Printf.sprintf "unknown line kind %S" k)
+    | None -> fail_line path lineno "line has no \"kind\" field")
+
+let read_all path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      let n = in_channel_length ic in
+      really_input_string ic n)
+
+let fresh path oc =
+  {
+    path;
+    lock = Mutex.create ();
+    oc;
+    entries_rev = [];
+    by_id = Hashtbl.create 64;
+    next_id = 0;
+    torn = false;
+  }
+
+let create path =
+  let oc = open_out_gen [ Open_wronly; Open_creat; Open_trunc ] 0o644 path in
+  let t = fresh path (Some oc) in
+  append_sync t header_line;
+  t
+
+let load ?(readonly = false) path =
+  let body = read_all path in
+  let t = fresh path None in
+  let lines = String.split_on_char '\n' body in
+  let last_nonempty =
+    List.fold_left
+      (fun (i, last) raw -> (i + 1, if String.trim raw <> "" then i else last))
+      (0, -1) lines
+    |> snd
+  in
+  List.iteri
+    (fun i raw ->
+      let line = String.trim raw in
+      if line <> "" then
+        try replay_line t path (i + 1) line
+        with Invalid_argument _ as e ->
+          (* Only the final non-empty line may be torn: a crash can
+             truncate at most the one append in flight. *)
+          if i = last_nonempty then t.torn <- true else raise e)
+    lines;
+  if not readonly then
+    t.oc <- Some (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path);
+  t
+
+(* ------------------------------------------------------------------ *)
+(* Mutation                                                            *)
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let add t cell =
+  locked t (fun () ->
+      let e =
+        {
+          id = t.next_id;
+          cell;
+          digest = Cell.digest cell;
+          state = Pending;
+          result = None;
+          error = None;
+        }
+      in
+      t.next_id <- t.next_id + 1;
+      Hashtbl.add t.by_id e.id e;
+      t.entries_rev <- e :: t.entries_rev;
+      append_sync t (cell_line e);
+      e)
+
+let set_state t e ?result ?error st =
+  locked t (fun () ->
+      e.state <- st;
+      e.result <- result;
+      e.error <- error;
+      append_sync t (state_line e st result error))
+
+let entries t = locked t (fun () -> List.rev t.entries_rev)
+
+let find t id = locked t (fun () -> Hashtbl.find_opt t.by_id id)
+
+let counts t =
+  locked t (fun () ->
+      List.fold_left
+        (fun (p, r, d, f, c) e ->
+          match e.state with
+          | Pending -> (p + 1, r, d, f, c)
+          | Running -> (p, r + 1, d, f, c)
+          | Done -> (p, r, d + 1, f, c)
+          | Failed -> (p, r, d, f + 1, c)
+          | Cancelled -> (p, r, d, f, c + 1))
+        (0, 0, 0, 0, 0) t.entries_rev)
+
+let result_of_outcome (o : Csap.Protocol.Outcome.t) ~wall_ms =
+  let m = o.Csap.Protocol.Outcome.measures in
+  {
+    comm = m.Csap.Measures.comm;
+    time = m.Csap.Measures.time;
+    messages = m.Csap.Measures.messages;
+    retransmissions = o.Csap.Protocol.Outcome.retransmissions;
+    restarts = o.Csap.Protocol.Outcome.restarts;
+    wall_ms;
+  }
+
+let close t =
+  locked t (fun () ->
+      match t.oc with
+      | None -> ()
+      | Some oc ->
+        close_out_noerr oc;
+        t.oc <- None)

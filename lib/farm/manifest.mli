@@ -1,0 +1,89 @@
+(** Sweep-level checkpoint manifests.
+
+    A manifest is an append-only JSONL file recording every cell of a
+    sweep — its canonical spec and digest — and every lifecycle
+    transition, each line [fsync]'d before the write is considered
+    done. That makes it the crash-safe source of truth: after a
+    [SIGKILL], reloading the manifest reconstructs exactly which cells
+    had completed (their terminal line reached the disk) and which were
+    pending or in flight (re-run them — executions are deterministic,
+    so a cell interrupted mid-run is simply repeated).
+
+    Line kinds:
+    {v
+    {"kind":"manifest","version":1}
+    {"kind":"cell","id":0,"digest":"<md5>","cell":{...}}
+    {"kind":"state","id":0,"state":"running"}
+    {"kind":"state","id":0,"state":"done","result":{"comm":..,...}}
+    {"kind":"state","id":0,"state":"failed","error":"..."}
+    v}
+
+    The loader tolerates exactly one torn line — an unparsable {e final}
+    line, the signature of a crash mid-append — and reports it via
+    {!torn}; an unparsable interior line raises [Invalid_argument] with
+    the file name and 1-based line number. Appends are serialised by an
+    internal mutex, so worker domains may record transitions
+    concurrently. *)
+
+type state = Pending | Running | Done | Failed | Cancelled
+
+val state_name : state -> string
+
+(** The summary persisted for a completed cell. *)
+type result_line = {
+  comm : int;
+  time : float;
+  messages : int;
+  retransmissions : int;
+  restarts : int;
+  wall_ms : float;
+}
+
+type entry = {
+  id : int;
+  cell : Cell.t;
+  digest : string;
+  mutable state : state;
+  mutable result : result_line option;  (** set when [state = Done] *)
+  mutable error : string option;  (** set when [state = Failed] *)
+}
+
+type t
+
+val create : string -> t
+(** Start a fresh manifest at this path (truncating any previous file)
+    and write the header. *)
+
+val load : ?readonly:bool -> string -> t
+(** Reload an existing manifest, replaying every transition. With
+    [readonly] (default [false]) the file is not reopened for append —
+    for status inspection while a server owns the file. Raises
+    [Invalid_argument] (with file and line) on interior corruption,
+    [Sys_error] if the file does not exist. *)
+
+val path : t -> string
+
+val torn : t -> bool
+(** [load] dropped a truncated trailing line (crash signature). *)
+
+val add : t -> Cell.t -> entry
+(** Append a cell with the next free id; fsync'd before returning. *)
+
+val entries : t -> entry list
+(** In id order. *)
+
+val find : t -> int -> entry option
+
+val set_state :
+  t -> entry -> ?result:result_line -> ?error:string -> state -> unit
+(** Record a transition: updates the in-memory entry and appends the
+    fsync'd state line. Raises [Invalid_argument] on a readonly
+    manifest. *)
+
+val counts : t -> int * int * int * int * int
+(** [(pending, running, done, failed, cancelled)]. *)
+
+val result_of_outcome :
+  Csap.Protocol.Outcome.t -> wall_ms:float -> result_line
+
+val close : t -> unit

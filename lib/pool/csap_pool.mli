@@ -50,3 +50,44 @@ val busy_ms : t -> float array
 
 (** Reset the cumulative busy counters to zero. *)
 val reset_stats : t -> unit
+
+(** A bounded blocking queue for long-lived worker domains.
+
+    [run] fans out a {e fixed} batch of tasks; a job {e server} instead
+    keeps worker domains parked on a queue whose bound is the
+    backpressure contract: producers that outrun the workers block (or
+    see [try_push = false]) instead of growing an unbounded backlog.
+    Safe across OCaml 5 domains ([Mutex]/[Condition] from the stdlib);
+    FIFO per queue. *)
+module Bqueue : sig
+  type 'a t
+
+  (** [create ~capacity ()] is an empty queue admitting at most
+      [capacity] unconsumed elements. Raises [Invalid_argument] when
+      [capacity < 1]. *)
+  val create : capacity:int -> unit -> 'a t
+
+  (** Elements currently queued (a racy snapshot). *)
+  val length : 'a t -> int
+
+  val capacity : 'a t -> int
+
+  (** [try_push t x] enqueues [x] unless the queue is full or closed;
+      [false] means "not accepted" (the backpressure signal). *)
+  val try_push : 'a t -> 'a -> bool
+
+  (** [push t x] blocks while the queue is full. Raises
+      [Invalid_argument] if the queue is (or becomes) closed. *)
+  val push : 'a t -> 'a -> unit
+
+  (** [pop t] blocks while the queue is empty; [None] once the queue is
+      closed {e and} drained — the worker-shutdown signal. *)
+  val pop : 'a t -> 'a option
+
+  (** Close the queue: no further pushes are accepted; queued elements
+      drain; blocked and future [pop]s return [None] once empty.
+      Idempotent. *)
+  val close : 'a t -> unit
+
+  val is_closed : 'a t -> bool
+end

@@ -103,6 +103,39 @@ type run_result = {
   measures : Measures.t;
 }
 
+(* The sweep grid as a flat cell list: what [explore] iterates and what
+   external executors (the bench farm) enumerate to run the same work
+   cell-by-cell with checkpoints in between. *)
+let sweep_cells ~targets ~schedules =
+  List.concat_map (fun t -> List.map (fun s -> (t, s)) schedules) targets
+
+let run_cell g ((t : target), (s : schedule)) =
+  match t.execute g (s.make ()) with
+  | Ok m ->
+    {
+      target = t.name;
+      schedule = s.label;
+      ok = true;
+      violation = None;
+      measures = m;
+    }
+  | Error e ->
+    {
+      target = t.name;
+      schedule = s.label;
+      ok = false;
+      violation = Some e;
+      measures = Measures.zero;
+    }
+  | exception e ->
+    {
+      target = t.name;
+      schedule = s.label;
+      ok = false;
+      violation = Some (Printexc.to_string e);
+      measures = Measures.zero;
+    }
+
 type summary = {
   target_name : string;
   runs : run_result array;
@@ -128,37 +161,11 @@ let explore ?pool ?trace_dir g ~targets ~schedules =
   let schedules = Array.of_list schedules in
   let nt = Array.length targets and ns = Array.length schedules in
   let results = Array.make (nt * ns) None in
-  let run_one (t : target) (s : schedule) =
-    match t.execute g (s.make ()) with
-    | Ok m ->
-      {
-        target = t.name;
-        schedule = s.label;
-        ok = true;
-        violation = None;
-        measures = m;
-      }
-    | Error e ->
-      {
-        target = t.name;
-        schedule = s.label;
-        ok = false;
-        violation = Some e;
-        measures = Measures.zero;
-      }
-    | exception e ->
-      {
-        target = t.name;
-        schedule = s.label;
-        ok = false;
-        violation = Some (Printexc.to_string e);
-        measures = Measures.zero;
-      }
-  in
   if nt > 0 && ns > 0 then begin
     let pool = match pool with Some p -> p | None -> Csap_pool.default () in
     Csap_pool.run pool ~tasks:(nt * ns) (fun ~worker:_ i ->
-        results.(i) <- Some (run_one targets.(i / ns) schedules.(i mod ns)))
+        results.(i) <-
+          Some (run_cell g (targets.(i / ns), schedules.(i mod ns))))
   end;
   (* Failures get their schedule dumped: re-run the same deterministic
      (target, schedule) pair under a collector and write every engine's
@@ -334,6 +341,47 @@ type fault_run = {
   foverhead : float;
 }
 
+let fault_sweep_cells ~targets ~delays ~faults =
+  List.concat_map
+    (fun t ->
+      List.concat_map (fun d -> List.map (fun f -> (t, d, f)) faults) delays)
+    targets
+
+let run_fault_cell g ~clean_comm ((t : fault_target), d, (f : fault_schedule))
+    =
+  let denom = float_of_int (max 1 clean_comm) in
+  match t.fexecute g (d.make ()) (f.fmake ()) with
+  | Ok m ->
+    {
+      frun_target = t.fname;
+      fdelay = d.label;
+      fschedule = f.flabel;
+      fok = true;
+      fviolation = None;
+      fmeasures = m;
+      foverhead = float_of_int m.Measures.comm /. denom;
+    }
+  | Error e ->
+    {
+      frun_target = t.fname;
+      fdelay = d.label;
+      fschedule = f.flabel;
+      fok = false;
+      fviolation = Some e;
+      fmeasures = Measures.zero;
+      foverhead = 0.0;
+    }
+  | exception e ->
+    {
+      frun_target = t.fname;
+      fdelay = d.label;
+      fschedule = f.flabel;
+      fok = false;
+      fviolation = Some (Printexc.to_string e);
+      fmeasures = Measures.zero;
+      foverhead = 0.0;
+    }
+
 type fault_summary = {
   ftarget_name : string;
   fruns : fault_run array;
@@ -357,46 +405,15 @@ let explore_faults ?pool ?trace_dir ?(check_replay = false) g ~targets
   let per = nd * nf in
   let results = Array.make (nt * per) None in
   let split i = (i / per, i mod per / nf, i mod nf) in
-  let run_one ti di fi =
-    let t = targets.(ti) and d = delays.(di) and f = faults.(fi) in
-    let denom = float_of_int (max 1 clean.(ti).Measures.comm) in
-    match t.fexecute g (d.make ()) (f.fmake ()) with
-    | Ok m ->
-      {
-        frun_target = t.fname;
-        fdelay = d.label;
-        fschedule = f.flabel;
-        fok = true;
-        fviolation = None;
-        fmeasures = m;
-        foverhead = float_of_int m.Measures.comm /. denom;
-      }
-    | Error e ->
-      {
-        frun_target = t.fname;
-        fdelay = d.label;
-        fschedule = f.flabel;
-        fok = false;
-        fviolation = Some e;
-        fmeasures = Measures.zero;
-        foverhead = 0.0;
-      }
-    | exception e ->
-      {
-        frun_target = t.fname;
-        fdelay = d.label;
-        fschedule = f.flabel;
-        fok = false;
-        fviolation = Some (Printexc.to_string e);
-        fmeasures = Measures.zero;
-        foverhead = 0.0;
-      }
-  in
   if nt > 0 && per > 0 then begin
     let pool = match pool with Some p -> p | None -> Csap_pool.default () in
     Csap_pool.run pool ~tasks:(nt * per) (fun ~worker:_ i ->
         let ti, di, fi = split i in
-        results.(i) <- Some (run_one ti di fi))
+        results.(i) <-
+          Some
+            (run_fault_cell g
+               ~clean_comm:clean.(ti).Measures.comm
+               (targets.(ti), delays.(di), faults.(fi))))
   end;
   (* Replay audit (sequential: trace collectors are domain-local): record
      each passing run's trace, re-run it under [Trace.recorded] with the

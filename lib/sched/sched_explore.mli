@@ -84,6 +84,24 @@ type run_result = {
   measures : Csap.Measures.t;  (** zero when the run failed *)
 }
 
+(** {2 Enumerable sweep cells}
+
+    A sweep is a grid; these expose it as a flat list of independent
+    cells so external executors (the bench farm, a job server) can run
+    the {e same} work the in-process sweep runs — one cell at a time,
+    in any order, with checkpointing between cells. [explore] itself
+    runs over this enumeration, so both paths share one code path. *)
+
+(** [sweep_cells ~targets ~schedules] is the (target, schedule) grid in
+    [explore]'s order: target-major, schedule-minor. *)
+val sweep_cells :
+  targets:target list -> schedules:schedule list -> (target * schedule) list
+
+(** [run_cell g (t, s)] executes one cell: [t] under a fresh delay model
+    from [s]. Never raises — an exception becomes a failed
+    {!run_result}. *)
+val run_cell : Csap_graph.Graph.t -> target * schedule -> run_result
+
 (** Per-target aggregate over all schedules. *)
 type summary = {
   target_name : string;
@@ -183,6 +201,24 @@ type fault_run = {
       (** weighted comm of this run / the target's clean comm; [0] when
           the run failed *)
 }
+
+(** [fault_sweep_cells ~targets ~delays ~faults] is the (target, delay,
+    fault) grid in [explore_faults]'s order: target-major, delay-next,
+    fault-minor. *)
+val fault_sweep_cells :
+  targets:fault_target list ->
+  delays:schedule list ->
+  faults:fault_schedule list ->
+  (fault_target * schedule * fault_schedule) list
+
+(** [run_fault_cell g ~clean_comm (t, d, f)] executes one fault cell;
+    [clean_comm] is the target's fault-free weighted communication (the
+    overhead denominator, [t.fclean g]). Never raises. *)
+val run_fault_cell :
+  Csap_graph.Graph.t ->
+  clean_comm:int ->
+  fault_target * schedule * fault_schedule ->
+  fault_run
 
 (** Per-target aggregate over all (delay, fault) pairs. *)
 type fault_summary = {

@@ -78,6 +78,86 @@ let test_boxed_oracle_allocates () =
     true
     (words > 2.0 *. float_of_int n)
 
+(* ---- retention audit ---------------------------------------------------- *)
+(* Popped/cleared payload and closure slots must be nulled: a trial loop
+   reusing one engine must not keep the previous trial's closures (and
+   anything they capture) live. The probe is a large array reachable
+   ONLY through queue-internal references — a timer closure and a
+   delivery payload — watched through a [Weak] pointer while the engine
+   itself stays reachable. This held for the packed SOA queue
+   ([Event_queue.drop_min]/[clear] null their slots) and was a real leak
+   in the boxed oracle's [Heap], whose [pop_min] left popped events —
+   closures included — in the backing array. *)
+
+let retention_probe queue =
+  let g = Gen.path 2 ~w:2 in
+  let eng : float array E.t = E.create ~event_queue:queue g in
+  E.set_handler eng 0 (fun ~src:_ (_ : float array) -> ());
+  E.set_handler eng 1 (fun ~src:_ (_ : float array) -> ());
+  let w = Weak.create 1 in
+  (* Inner scope so no stack slot of this frame keeps [big] alive. *)
+  (let big = Array.make 4096 0.0 in
+   Weak.set w 0 (Some big);
+   (* The timer closure captures [big]; the delivery carries it as its
+      payload. Both end up in queue slots and are popped by [run]. *)
+   E.schedule eng ~delay:0.0 (fun () ->
+       big.(0) <- 1.0;
+       E.send eng ~src:0 ~dst:1 big));
+  ignore (E.run eng);
+  (eng, w)
+
+let check_collected ~what w =
+  Gc.full_major ();
+  Gc.full_major ();
+  Alcotest.(check bool) (what ^ " collectable") false (Weak.check w 0)
+
+let test_packed_queue_releases_popped () =
+  let eng, w = retention_probe E.Packed in
+  (* No reset: popped slots alone must not retain the trial's data. *)
+  check_collected ~what:"packed popped closure+payload" w;
+  ignore (Sys.opaque_identity eng)
+
+let test_boxed_queue_releases_popped () =
+  let eng, w = retention_probe E.Boxed in
+  check_collected ~what:"boxed popped closure+payload" w;
+  ignore (Sys.opaque_identity eng)
+
+let test_reset_releases_pending () =
+  (* Events still queued (not popped) at [reset] time: [clear] must null
+     them too. [~until:0.5] stops before the 1.0-delayed timer fires. *)
+  List.iter
+    (fun queue ->
+      let g = Gen.path 2 ~w:2 in
+      let eng : float array E.t = E.create ~event_queue:queue g in
+      E.set_handler eng 0 (fun ~src:_ (_ : float array) -> ());
+      E.set_handler eng 1 (fun ~src:_ (_ : float array) -> ());
+      let w = Weak.create 1 in
+      (let big = Array.make 4096 0.0 in
+       Weak.set w 0 (Some big);
+       E.schedule eng ~delay:1.0 (fun () -> big.(0) <- 1.0));
+      ignore (E.run ~until:0.5 eng);
+      E.reset eng;
+      check_collected ~what:"pending closure after reset" w;
+      ignore (Sys.opaque_identity eng))
+    [ E.Packed; E.Boxed ]
+
+let test_heap_pop_releases () =
+  (* The raw generic heap: popped elements must leave no reference in
+     the backing array (and growth must not pin an element as filler). *)
+  let module H = Csap_graph.Heap in
+  let h = H.create ~cmp:(fun (a, _) (b, _) -> Int.compare a b) in
+  let w = Weak.create 1 in
+  (let big = Array.make 4096 0.0 in
+   Weak.set w 0 (Some big);
+   for i = 0 to 20 do
+     H.add h (i, fun () -> ignore big.(0))
+   done);
+  for _ = 0 to 20 do
+    ignore (H.pop_min h)
+  done;
+  check_collected ~what:"popped heap elements" w;
+  ignore (Sys.opaque_identity h)
+
 let test_metrics_alloc_snapshot () =
   (* [run] records its own GC footprint into the metrics. *)
   let g = Gen.path 2 ~w:1 in
@@ -174,6 +254,14 @@ let suite =
       `Quick test_packed_send_path_alloc_free;
     Alcotest.test_case "boxed oracle allocates (detector sanity)" `Quick
       test_boxed_oracle_allocates;
+    Alcotest.test_case "packed queue releases popped slots" `Quick
+      test_packed_queue_releases_popped;
+    Alcotest.test_case "boxed queue releases popped slots" `Quick
+      test_boxed_queue_releases_popped;
+    Alcotest.test_case "reset releases still-queued closures" `Quick
+      test_reset_releases_pending;
+    Alcotest.test_case "heap pop releases elements" `Quick
+      test_heap_pop_releases;
     Alcotest.test_case "run records GC footprint in metrics" `Quick
       test_metrics_alloc_snapshot;
     QCheck_alcotest.to_alcotest prop_packed_equals_boxed;

@@ -1,3 +1,11 @@
+(* Hidden re-exec hook for the farm crash-resume test: the crash child
+   must be a fresh process (Unix.fork is unavailable once domains have
+   been spawned), so the test re-runs this binary with this flag. *)
+let () =
+  match Sys.argv with
+  | [| _; "--farm-crash-child"; dir |] -> Test_farm.crash_child ~dir
+  | _ -> ()
+
 let () =
   Alcotest.run "csap"
     [
@@ -47,4 +55,5 @@ let () =
       ("classical", Test_classical.suite);
       ("sync-runner", Test_sync_runner.suite);
       ("protocol", Test_protocol.suite);
+      ("farm", Test_farm.suite);
     ]

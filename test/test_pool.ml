@@ -79,6 +79,79 @@ let test_validation_and_edge_cases () =
   Alcotest.(check bool) "default pool is shared" true
     (Pool.default () == Pool.default ())
 
+(* ------------------------------------------------------------------ *)
+(* Bqueue: the bounded blocking queue under the farm's worker domains. *)
+
+let test_bqueue_fifo_and_bounds () =
+  let q = Pool.Bqueue.create ~capacity:3 () in
+  Alcotest.(check int) "capacity" 3 (Pool.Bqueue.capacity q);
+  Alcotest.(check bool) "push 1" true (Pool.Bqueue.try_push q 1);
+  Alcotest.(check bool) "push 2" true (Pool.Bqueue.try_push q 2);
+  Alcotest.(check bool) "push 3" true (Pool.Bqueue.try_push q 3);
+  (* Full: the backpressure signal. *)
+  Alcotest.(check bool) "push on full rejected" false
+    (Pool.Bqueue.try_push q 4);
+  Alcotest.(check int) "length" 3 (Pool.Bqueue.length q);
+  Alcotest.(check (option int)) "fifo 1" (Some 1) (Pool.Bqueue.pop q);
+  Alcotest.(check bool) "room again" true (Pool.Bqueue.try_push q 4);
+  Alcotest.(check (option int)) "fifo 2" (Some 2) (Pool.Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 3" (Some 3) (Pool.Bqueue.pop q);
+  Alcotest.(check (option int)) "fifo 4" (Some 4) (Pool.Bqueue.pop q)
+
+let test_bqueue_close_drains () =
+  let q = Pool.Bqueue.create ~capacity:4 () in
+  Pool.Bqueue.push q 1;
+  Pool.Bqueue.push q 2;
+  Pool.Bqueue.close q;
+  Pool.Bqueue.close q;  (* idempotent *)
+  Alcotest.(check bool) "closed" true (Pool.Bqueue.is_closed q);
+  Alcotest.(check bool) "no pushes after close" false
+    (Pool.Bqueue.try_push q 3);
+  Alcotest.check_raises "blocking push after close raises"
+    (Invalid_argument "Bqueue.push: closed") (fun () ->
+      Pool.Bqueue.push q 3);
+  (* Queued elements still drain; then pops signal shutdown. *)
+  Alcotest.(check (option int)) "drain 1" (Some 1) (Pool.Bqueue.pop q);
+  Alcotest.(check (option int)) "drain 2" (Some 2) (Pool.Bqueue.pop q);
+  Alcotest.(check (option int)) "drained" None (Pool.Bqueue.pop q);
+  Alcotest.(check (option int)) "still drained" None (Pool.Bqueue.pop q)
+
+let test_bqueue_cross_domain () =
+  (* One producer pushing a tight stream through a tiny queue into two
+     consumer domains: every element arrives exactly once, and the
+     bound forces the producer to block (backpressure) rather than
+     grow a backlog. *)
+  let total = 200 in
+  let q = Pool.Bqueue.create ~capacity:2 () in
+  let seen = Array.make total (Atomic.make 0) in
+  Array.iteri (fun i _ -> seen.(i) <- Atomic.make 0) seen;
+  let consumer () =
+    let rec loop () =
+      match Pool.Bqueue.pop q with
+      | None -> ()
+      | Some i ->
+        Atomic.incr seen.(i);
+        loop ()
+    in
+    loop ()
+  in
+  let d1 = Domain.spawn consumer and d2 = Domain.spawn consumer in
+  for i = 0 to total - 1 do
+    Pool.Bqueue.push q i
+  done;
+  Pool.Bqueue.close q;
+  Domain.join d1;
+  Domain.join d2;
+  Array.iteri
+    (fun i c ->
+      Alcotest.(check int)
+        (Printf.sprintf "element %d delivered once" i)
+        1 (Atomic.get c))
+    seen;
+  Alcotest.check_raises "capacity < 1"
+    (Invalid_argument "Bqueue.create: capacity < 1") (fun () ->
+      ignore (Pool.Bqueue.create ~capacity:0 ()))
+
 let suite =
   [
     Alcotest.test_case "every task runs exactly once" `Quick
@@ -93,4 +166,10 @@ let suite =
       test_inline_from_worker_domain;
     Alcotest.test_case "validation and edge cases" `Quick
       test_validation_and_edge_cases;
+    Alcotest.test_case "bqueue FIFO, bounds and backpressure signal" `Quick
+      test_bqueue_fifo_and_bounds;
+    Alcotest.test_case "bqueue close drains then signals shutdown" `Quick
+      test_bqueue_close_drains;
+    Alcotest.test_case "bqueue delivers once across domains" `Quick
+      test_bqueue_cross_domain;
   ]

@@ -19,8 +19,72 @@ let test_jsonl_roundtrip () =
   let t' = T.of_jsonl (T.to_jsonl t) in
   Alcotest.(check bool) "round-trips exactly" true (T.equal t t');
   Alcotest.check_raises "malformed line rejected"
-    (Invalid_argument "Trace.of_jsonl: unparsable line \"{oops}\"") (fun () ->
-      ignore (T.of_jsonl "{oops}"))
+    (Invalid_argument "Trace.of_jsonl: line 1: unparsable line \"{oops}\"")
+    (fun () -> ignore (T.of_jsonl "{oops}"))
+
+let test_jsonl_error_context () =
+  (* A corrupted line in the middle of an otherwise valid stream is
+     reported by its 1-based line number; checkpoint resume depends on
+     being able to point at the truncation point of a half-written
+     file. *)
+  let t = T.create () in
+  for i = 0 to 3 do
+    T.add t (ev ~time:(float_of_int i) ~seq:i ())
+  done;
+  let good = T.to_jsonl t in
+  let lines = String.split_on_char '\n' good in
+  let truncated =
+    (* Keep two good lines, then a half-written third (a crash mid
+       append), then a trailing good one. *)
+    String.concat "\n"
+      [
+        List.nth lines 0; List.nth lines 1;
+        String.sub (List.nth lines 2) 0 17; List.nth lines 3;
+      ]
+  in
+  (match T.of_jsonl truncated with
+  | exception Invalid_argument msg ->
+    Alcotest.(check bool)
+      (Printf.sprintf "line number in %S" msg)
+      true
+      (let sub = "line 3:" in
+       let rec find i =
+         i + String.length sub <= String.length msg
+         && (String.sub msg i (String.length sub) = sub || find (i + 1))
+       in
+       find 0)
+  | _ -> Alcotest.fail "truncated line must be rejected");
+  (* Unknown kind keeps its specific message, now with line context. *)
+  (match
+     T.of_jsonl
+       ((List.nth lines 0 ^ "\n")
+       ^ "{\"kind\":\"warp\",\"time\":0,\"seq\":9,\"edge\":0,\"dir\":0,\"nth\":0,\"src\":0,\"dst\":1,\"delay\":1}")
+   with
+  | exception Invalid_argument msg ->
+    Alcotest.(check string) "unknown kind named with line"
+      "Trace.of_jsonl: line 2: unknown kind \"warp\"" msg
+  | _ -> Alcotest.fail "unknown kind must be rejected")
+
+let test_jsonl_file_error_names_file () =
+  let t = T.create () in
+  T.add t (ev ());
+  let path = Filename.temp_file "csap-trace-bad" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let oc = open_out path in
+      output_string oc (T.to_jsonl t);
+      output_string oc "{\"kind\":\"send\",\"ti";
+      close_out oc;
+      match T.load_jsonl path with
+      | exception Invalid_argument msg ->
+        let expect = Printf.sprintf "Trace.of_jsonl: %s: line 2:" path in
+        Alcotest.(check bool)
+          (Printf.sprintf "file and line in %S" msg)
+          true
+          (String.length msg >= String.length expect
+          && String.sub msg 0 (String.length expect) = expect)
+      | _ -> Alcotest.fail "truncated file must be rejected")
 
 let test_jsonl_file_roundtrip () =
   let t = T.create () in
@@ -193,6 +257,10 @@ let suite =
     Alcotest.test_case "JSONL round-trip" `Quick test_jsonl_roundtrip;
     Alcotest.test_case "JSONL file round-trip" `Quick
       test_jsonl_file_roundtrip;
+    Alcotest.test_case "JSONL parse errors carry line numbers" `Quick
+      test_jsonl_error_context;
+    Alcotest.test_case "JSONL file parse errors name the file" `Quick
+      test_jsonl_file_error_names_file;
     Alcotest.test_case "ring keeps the newest events" `Quick
       test_ring_drops_oldest;
     Alcotest.test_case "collector scopes are nested and isolated" `Quick
