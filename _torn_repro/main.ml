@@ -1,0 +1,29 @@
+module Manifest = Csap_farm.Manifest
+module Cell = Csap_farm.Cell
+
+let () =
+  let dir = Filename.temp_file "torn" "" in
+  Sys.remove dir; Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "MANIFEST.jsonl" in
+  let m = Manifest.create path in
+  let e = Manifest.add m (Cell.make ~family:"grid" ~n:9 "flood") in
+  Manifest.set_state m e Manifest.Running;
+  Manifest.close m;
+  (* simulate a crash mid-append: torn final line, no newline *)
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc {|{"kind":"state","id":0,"st|};
+  close_out oc;
+  (* resume: writable load, then record a new transition *)
+  let m' = Manifest.load path in
+  Printf.printf "torn=%b\n" (Manifest.torn m');
+  let e' = match Manifest.find m' 0 with Some e -> e | None -> assert false in
+  Manifest.set_state m' e' Manifest.Done;
+  Manifest.close m';
+  (* now try to load again, as `status` or a second resume would *)
+  (match Manifest.load ~readonly:true path with
+   | _ -> print_endline "second load: OK"
+   | exception Invalid_argument msg -> Printf.printf "second load FAILED: %s\n" msg);
+  let ic = open_in_bin path in
+  let body = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  print_string "--- file ---\n"; print_string body
