@@ -1,0 +1,74 @@
+(* Bench BD: machine-checked cost claims.
+
+   One job per registry entry: sweep the entry's graph family
+   (Bound_check's deterministic tiers), fit measured comm/time against
+   every claimed bound expression, and report the fitted log-log slope
+   per claim. The headline is the [fail] column: a claim whose measured
+   curve grows faster than its expression (slope > 1 + tol) prints
+   FAIL, and CI asserts the count is zero — the paper's tables as
+   regression tests rather than eyeballed curves. *)
+
+module P = Csap.Protocol
+module BC = Csap.Bound_check
+module B = Csap.Bound
+
+let verdict_rows (r : BC.report) =
+  List.map
+    (fun (cv : BC.claim_verdict) ->
+      let v = cv.BC.verdict in
+      [
+        Report.Str r.BC.name;
+        Report.Str r.BC.family;
+        Report.Str (P.Claim.metric_name cv.BC.claim.P.Claim.metric);
+        Report.Str (B.to_string cv.BC.claim.P.Claim.bound);
+        Report.Float v.B.slope;
+        Report.Float v.B.r2;
+        Report.Float v.B.ratio_max;
+        Report.Int v.B.points;
+        Report.Str (if v.B.within then "ok" else "FAIL");
+        Report.Str (Option.value v.B.note ~default:"");
+      ])
+    r.BC.claims
+
+let entry_job entry =
+  let (module M : P.S) = entry in
+  {
+    Report.label = M.name;
+    run = (fun () -> verdict_rows (BC.check_entry entry));
+  }
+
+let bd () =
+  {
+    Report.id = "BD";
+    title = "symbolic bound check: measured growth vs claimed expressions";
+    jobs = List.map entry_job P.registry;
+    render =
+      (fun results ->
+        let rows = Report.all_rows results in
+        let fails =
+          List.length
+            (List.filter
+               (fun row ->
+                 match List.nth row 8 with
+                 | Report.Str "FAIL" -> true
+                 | _ -> false)
+               rows)
+        in
+        Format.printf
+          "every registry claim fitted over its family sweep; slope is \
+           the log-log growth of measured against bound (within = slope \
+           <= %.2f, or flat bound + flat measurement)@."
+          (1.0 +. B.default_slope_tol);
+        Report.table
+          ~columns:
+            [
+              "protocol"; "family"; "metric"; "claimed"; "slope"; "r2";
+              "ratio_max"; "pts"; "fit"; "note";
+            ]
+          rows;
+        Format.printf
+          "shape check: fit failures = %d — %s@." fails
+          (if fails = 0 then
+             "every measured curve stays within its claimed expression"
+           else "MEASURED GROWTH EXCEEDS A CLAIMED BOUND"));
+  }

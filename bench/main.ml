@@ -35,6 +35,7 @@ let benches =
     ("rg", Bench_registry.rg);
     ("px", Bench_pengine.px);
     ("fm", Bench_farm.fm);
+    ("bd", Bench_bound.bd);
   ]
 
 type options = {

@@ -278,6 +278,49 @@ let cancel_farm dir id =
   Format.printf "cancel requested for cell %d@." id;
   0
 
+(* ---- bounds ------------------------------------------------------------ *)
+
+let show_bounds name_opt names_only check =
+  let entries =
+    match name_opt with
+    | None -> Ok P.registry
+    | Some name -> (
+      match P.find name with Some e -> Ok [ e ] | None -> Error name)
+  in
+  match entries with
+  | Error name ->
+    Format.eprintf "unknown protocol %S; try `csap_cli list`@." name;
+    2
+  | Ok entries ->
+    if names_only then begin
+      List.iter (fun (module M : P.S) -> print_endline M.name) entries;
+      0
+    end
+    else if not check then begin
+      List.iter
+        (fun (module M : P.S) ->
+          List.iter
+            (fun c -> Format.printf "%-14s %s@." M.name (P.Claim.to_string c))
+            M.claimed)
+        entries;
+      0
+    end
+    else begin
+      let failed =
+        List.fold_left
+          (fun acc entry ->
+            let r = Csap.Bound_check.check_entry entry in
+            Format.printf "%a@." Csap.Bound_check.pp_report r;
+            acc + List.length (Csap.Bound_check.failures r))
+          0 entries
+      in
+      if failed = 0 then 0
+      else begin
+        Format.eprintf "%d claim(s) measured over their bound@." failed;
+        1
+      end
+    end
+
 (* ---- cmdliner ---------------------------------------------------------- *)
 
 open Cmdliner
@@ -564,13 +607,43 @@ let params_cmd =
        ~doc:"Print the weighted parameters of a generated graph.")
     Term.(const show_params $ family $ n $ w $ seed $ domains)
 
+let bounds_cmd =
+  let name_opt =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:"Restrict to one protocol (default: the whole registry).")
+  in
+  let names_only =
+    Arg.(
+      value & flag
+      & info [ "names" ]
+          ~doc:"Print the bare names of claim-carrying protocols.")
+  in
+  let check_fits =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Sweep each protocol over its bound-check family and fit the \
+             measured costs against every claim; exit 1 if any measured \
+             curve grows over its claimed expression.")
+  in
+  Cmd.v
+    (Cmd.info "bounds" ~exits
+       ~doc:
+         "List (or, with $(b,--check), verify) the registry's symbolic \
+          cost claims.")
+    Term.(const show_bounds $ name_opt $ names_only $ check_fits)
+
 let cmd =
   let doc = "cost-sensitive communication protocols (Awerbuch-Baratz-Peleg)" in
   Cmd.group
     (Cmd.info "csap_cli" ~doc)
     [
-      list_cmd; run_cmd; params_cmd; serve_cmd; sweep_cmd; submit_cmd;
-      status_cmd; cancel_cmd;
+      list_cmd; run_cmd; params_cmd; bounds_cmd; serve_cmd; sweep_cmd;
+      submit_cmd; status_cmd; cancel_cmd;
     ]
 
 let () = exit (Cmd.eval' cmd)

@@ -1,0 +1,567 @@
+module P = Csap_graph.Params
+
+type var = N | LogN | E | V | D | Dnbr | W
+
+let var_name = function
+  | N -> "n"
+  | LogN -> "logn"
+  | E -> "E"
+  | V -> "V"
+  | D -> "D"
+  | Dnbr -> "d"
+  | W -> "W"
+
+let all_vars = [ N; LogN; E; V; D; Dnbr; W ]
+
+let var_index = function
+  | N -> 0
+  | LogN -> 1
+  | E -> 2
+  | V -> 3
+  | D -> 4
+  | Dnbr -> 5
+  | W -> 6
+
+type expr =
+  | Num of float
+  | Var of var
+  | Add of expr list
+  | Mul of expr list
+  | Max of expr list
+  | Min of expr list
+  | Pow of expr * float
+
+(* ------------------------------------------------------------------ *)
+(* Total order (for canonical sorting).                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec compare_expr a b =
+  match (a, b) with
+  | Num x, Num y -> Float.compare x y
+  | Num _, _ -> -1
+  | _, Num _ -> 1
+  | Var x, Var y -> Int.compare (var_index x) (var_index y)
+  | Var _, _ -> -1
+  | _, Var _ -> 1
+  | Pow (b1, k1), Pow (b2, k2) -> (
+    match compare_expr b1 b2 with
+    | 0 -> Float.compare k1 k2
+    | c -> c)
+  | Pow _, _ -> -1
+  | _, Pow _ -> 1
+  | Mul xs, Mul ys -> compare_list xs ys
+  | Mul _, _ -> -1
+  | _, Mul _ -> 1
+  | Add xs, Add ys -> compare_list xs ys
+  | Add _, _ -> -1
+  | _, Add _ -> 1
+  | Max xs, Max ys -> compare_list xs ys
+  | Max _, _ -> -1
+  | _, Max _ -> 1
+  | Min xs, Min ys -> compare_list xs ys
+
+and compare_list xs ys =
+  match (xs, ys) with
+  | [], [] -> 0
+  | [], _ -> -1
+  | _, [] -> 1
+  | x :: xs, y :: ys -> (
+    match compare_expr x y with 0 -> compare_list xs ys | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Canonical form.                                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* A product factor as (base, exponent). *)
+let factor_parts = function Pow (b, k) -> (b, k) | e -> (e, 1.0)
+
+(* An additive term as (coefficient, base-factors). The base is the
+   factor list of the term's product with the constant stripped, so
+   [2 * E * V] and [E * V] merge. *)
+let term_parts = function
+  | Num c -> (c, [])
+  | Mul (Num c :: rest) -> (c, rest)
+  | Mul fs -> (1.0, fs)
+  | e -> (1.0, [ e ])
+
+let rebuild_term (c, fs) =
+  match fs with
+  | [] -> Num c
+  | [ f ] when c = 1.0 -> f
+  | fs when c = 1.0 -> Mul fs
+  | fs -> Mul (Num c :: fs)
+
+(* Merge an association list keyed by canonical expressions, combining
+   values with [add]; preserves nothing about order (callers sort). *)
+let merge_assoc add pairs =
+  let rec insert acc (k, v) =
+    match acc with
+    | [] -> [ (k, v) ]
+    | (k', v') :: rest ->
+      if compare_expr k k' = 0 then (k', add v v') :: rest
+      else (k', v') :: insert rest (k, v)
+  in
+  List.fold_left insert [] pairs
+
+let rec canon e =
+  match e with
+  | Num _ | Var _ -> e
+  | Pow (b, k) -> canon_pow (canon b) k
+  | Add xs -> canon_add (List.map canon xs)
+  | Mul xs -> canon_mul (List.map canon xs)
+  | Max xs -> canon_choice true (List.map canon xs)
+  | Min xs -> canon_choice false (List.map canon xs)
+
+and canon_pow b k =
+  if k = 0.0 then Num 1.0
+  else if k = 1.0 then b
+  else
+    match b with
+    | Num x -> Num (Float.pow x k)
+    | Pow (b', k') -> canon_pow b' (k *. k')
+    | Mul fs -> canon_mul (List.map (fun f -> canon_pow f k) fs)
+    | _ -> Pow (b, k)
+
+and canon_mul xs =
+  (* Flatten nested products, peel the constant, merge like bases. *)
+  let xs =
+    List.concat_map (function Mul ys -> ys | y -> [ y ]) xs
+  in
+  let coeff, factors =
+    List.fold_left
+      (fun (c, fs) x ->
+        match x with Num v -> (c *. v, fs) | x -> (c, factor_parts x :: fs))
+      (1.0, []) xs
+  in
+  if coeff = 0.0 then Num 0.0
+  else
+    let factors =
+      merge_assoc ( +. ) (List.rev factors)
+      |> List.filter (fun (_, k) -> k <> 0.0)
+      |> List.map (fun (b, k) -> canon_pow b k)
+      |> List.sort compare_expr
+    in
+    rebuild_term (coeff, factors)
+
+and canon_add xs =
+  let xs =
+    List.concat_map (function Add ys -> ys | y -> [ y ]) xs
+  in
+  let const, terms =
+    List.fold_left
+      (fun (c, ts) x ->
+        match term_parts x with
+        | v, [] -> (c +. v, ts)
+        | coeff, fs -> (c, (Mul fs, coeff) :: ts))
+      (0.0, []) xs
+  in
+  let terms =
+    merge_assoc ( +. ) (List.rev terms)
+    |> List.filter (fun (_, c) -> c <> 0.0)
+    |> List.map (fun (base, coeff) ->
+        let fs = match base with Mul fs -> fs | e -> [ e ] in
+        canon_mul (Num coeff :: fs))
+    |> List.sort compare_expr
+  in
+  let parts = (if const = 0.0 then [] else [ Num const ]) @ terms in
+  match parts with
+  | [] -> Num 0.0
+  | [ p ] -> p
+  | parts -> Add parts
+
+and canon_choice is_max xs =
+  let same = if is_max then function Max ys -> Some ys | _ -> None
+    else function Min ys -> Some ys | _ -> None
+  in
+  let xs =
+    List.concat_map (fun x -> match same x with Some ys -> ys | None -> [ x ]) xs
+  in
+  let pick = if is_max then Float.max else Float.min in
+  let consts, rest =
+    List.partition_map
+      (function Num v -> Left v | e -> Right e)
+      xs
+  in
+  let rest = List.sort_uniq compare_expr rest in
+  let parts =
+    (match consts with
+    | [] -> []
+    | c :: cs -> [ Num (List.fold_left pick c cs) ])
+    @ rest
+  in
+  match parts with
+  | [] -> invalid_arg "Bound.canon: empty max/min"
+  | [ p ] -> p
+  | parts -> if is_max then Max parts else Min parts
+
+let equal a b = compare_expr (canon a) (canon b) = 0
+
+let vars e =
+  let rec go acc = function
+    | Num _ -> acc
+    | Var v -> v :: acc
+    | Add xs | Mul xs | Max xs | Min xs -> List.fold_left go acc xs
+    | Pow (b, _) -> go acc b
+  in
+  go [] e
+  |> List.sort_uniq (fun a b -> Int.compare (var_index a) (var_index b))
+
+(* ------------------------------------------------------------------ *)
+(* Printing.                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec pr_add e =
+  match e with
+  | Add xs -> String.concat " + " (List.map pr_mul xs)
+  | _ -> pr_mul e
+
+and pr_mul e =
+  match e with
+  | Mul xs -> String.concat " * " (List.map pr_pow xs)
+  | _ -> pr_pow e
+
+and pr_pow e =
+  match e with
+  | Pow (b, k) -> pr_atom b ^ "^" ^ float_str k
+  | _ -> pr_atom e
+
+and pr_atom e =
+  match e with
+  | Num f -> float_str f
+  | Var v -> var_name v
+  | Max xs -> "max(" ^ String.concat ", " (List.map pr_add xs) ^ ")"
+  | Min xs -> "min(" ^ String.concat ", " (List.map pr_add xs) ^ ")"
+  | _ -> "(" ^ pr_add e ^ ")"
+
+let to_string e = pr_add (canon e)
+
+let pp ppf e = Format.pp_print_string ppf (to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Parsing.                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type token =
+  | Tnum of float
+  | Tident of string
+  | Tplus
+  | Tstar
+  | Tcaret
+  | Tlpar
+  | Trpar
+  | Tcomma
+
+let tokenize s =
+  let n = String.length s in
+  let toks = ref [] in
+  let i = ref 0 in
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  let result = ref None in
+  while !result = None && !i < n do
+    let c = s.[!i] in
+    if c = ' ' || c = '\t' || c = '\n' || c = '\r' then incr i
+    else if c = '+' then (toks := Tplus :: !toks; incr i)
+    else if c = '*' then (toks := Tstar :: !toks; incr i)
+    else if c = '^' then (toks := Tcaret :: !toks; incr i)
+    else if c = '(' then (toks := Tlpar :: !toks; incr i)
+    else if c = ')' then (toks := Trpar :: !toks; incr i)
+    else if c = ',' then (toks := Tcomma :: !toks; incr i)
+    else if (c >= '0' && c <= '9') || c = '.' || c = '-' then begin
+      let start = !i in
+      if c = '-' then incr i;
+      let prev_exp () =
+        !i > start && (s.[!i - 1] = 'e' || s.[!i - 1] = 'E')
+      in
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = s.[!i] in
+        if (c >= '0' && c <= '9') || c = '.' || c = 'e' || c = 'E'
+           || ((c = '+' || c = '-') && prev_exp ())
+        then incr i
+        else continue := false
+      done;
+      let lit = String.sub s start (!i - start) in
+      match float_of_string_opt lit with
+      | Some f -> toks := Tnum f :: !toks
+      | None -> result := Some (err "bad number %S at offset %d" lit start)
+    end
+    else if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+    then begin
+      let start = !i in
+      let continue = ref true in
+      while !continue && !i < n do
+        let c = s.[!i] in
+        if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+           || (c >= '0' && c <= '9') || c = '_'
+        then incr i
+        else continue := false
+      done;
+      toks := Tident (String.sub s start (!i - start)) :: !toks
+    end
+    else result := Some (err "unexpected character %C at offset %d" c !i)
+  done;
+  match !result with Some e -> e | None -> Ok (List.rev !toks)
+
+let var_of_name = function
+  | "n" -> Some N
+  | "logn" -> Some LogN
+  | "E" -> Some E
+  | "V" -> Some V
+  | "D" -> Some D
+  | "d" -> Some Dnbr
+  | "W" -> Some W
+  | _ -> None
+
+exception Parse_error of string
+
+let of_string s =
+  match tokenize s with
+  | Error e -> Error e
+  | Ok toks -> (
+    let toks = ref toks in
+    let peek () = match !toks with [] -> None | t :: _ -> Some t in
+    let advance () = match !toks with [] -> () | _ :: r -> toks := r in
+    let expect t what =
+      match peek () with
+      | Some t' when t' = t -> advance ()
+      | _ -> raise (Parse_error (Printf.sprintf "expected %s" what))
+    in
+    let rec parse_add () =
+      let t = parse_mul () in
+      let rec more acc =
+        match peek () with
+        | Some Tplus ->
+          advance ();
+          more (parse_mul () :: acc)
+        | _ -> acc
+      in
+      match more [ t ] with [ x ] -> x | xs -> Add (List.rev xs)
+    and parse_mul () =
+      let f = parse_pow () in
+      let rec more acc =
+        match peek () with
+        | Some Tstar ->
+          advance ();
+          more (parse_pow () :: acc)
+        | _ -> acc
+      in
+      match more [ f ] with [ x ] -> x | xs -> Mul (List.rev xs)
+    and parse_pow () =
+      let a = parse_atom () in
+      match peek () with
+      | Some Tcaret -> (
+        advance ();
+        match peek () with
+        | Some (Tnum k) ->
+          advance ();
+          Pow (a, k)
+        | _ -> raise (Parse_error "exponent must be a numeric literal"))
+      | _ -> a
+    and parse_atom () =
+      match peek () with
+      | Some (Tnum f) ->
+        advance ();
+        Num f
+      | Some (Tident id) -> (
+        advance ();
+        match id with
+        | "max" | "min" -> (
+          expect Tlpar (Printf.sprintf "'(' after %s" id);
+          let args = parse_args [ parse_add () ] in
+          expect Trpar "')'";
+          match args with
+          | [ _ ] ->
+            raise
+              (Parse_error (Printf.sprintf "%s needs at least two arguments" id))
+          | args -> if id = "max" then Max args else Min args)
+        | _ -> (
+          match var_of_name id with
+          | Some v -> Var v
+          | None ->
+            raise
+              (Parse_error
+                 (Printf.sprintf
+                    "unknown parameter %S (know: n logn E V D d W)" id))))
+      | Some Tlpar ->
+        advance ();
+        let e = parse_add () in
+        expect Trpar "')'";
+        e
+      | _ -> raise (Parse_error "expected a number, parameter or '('")
+    and parse_args acc =
+      match peek () with
+      | Some Tcomma ->
+        advance ();
+        parse_args (parse_add () :: acc)
+      | _ -> List.rev acc
+    in
+    match parse_add () with
+    | e ->
+      if !toks <> [] then Error "trailing tokens after expression"
+      else Ok (canon e)
+    | exception Parse_error m -> Error m)
+
+let of_string_exn s =
+  match of_string s with
+  | Ok e -> e
+  | Error m -> invalid_arg (Printf.sprintf "Bound.of_string: %s: %s" s m)
+
+(* ------------------------------------------------------------------ *)
+(* Evaluation.                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let log2 x = Float.log x /. Float.log 2.0
+
+let var_value (p : P.t) = function
+  | N -> float_of_int p.P.n
+  | LogN -> log2 (float_of_int (max 2 p.P.n))
+  | E -> float_of_int p.P.script_e
+  | V -> float_of_int p.P.script_v
+  | D -> float_of_int p.P.script_d
+  | Dnbr -> float_of_int p.P.d
+  | W -> float_of_int p.P.w_max
+
+let rec eval e p =
+  match e with
+  | Num f -> f
+  | Var v -> var_value p v
+  | Add xs -> List.fold_left (fun acc x -> acc +. eval x p) 0.0 xs
+  | Mul xs -> List.fold_left (fun acc x -> acc *. eval x p) 1.0 xs
+  | Max xs ->
+    List.fold_left (fun acc x -> Float.max acc (eval x p)) neg_infinity xs
+  | Min xs ->
+    List.fold_left (fun acc x -> Float.min acc (eval x p)) infinity xs
+  | Pow (b, k) -> Float.pow (eval b p) k
+
+(* ------------------------------------------------------------------ *)
+(* Log-log regression.                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  points : int;
+}
+
+let positive (x, y) =
+  x > 0.0 && y > 0.0 && Float.is_finite x && Float.is_finite y
+
+let loglog_fit samples =
+  let pts =
+    List.filter_map
+      (fun (x, y) ->
+        if positive (x, y) then Some (log2 x, log2 y) else None)
+      samples
+  in
+  let n = List.length pts in
+  if n < 2 then None
+  else begin
+    let nf = float_of_int n in
+    let sx = List.fold_left (fun a (x, _) -> a +. x) 0.0 pts /. nf in
+    let sy = List.fold_left (fun a (_, y) -> a +. y) 0.0 pts /. nf in
+    let sxx =
+      List.fold_left (fun a (x, _) -> a +. ((x -. sx) *. (x -. sx))) 0.0 pts
+    in
+    let syy =
+      List.fold_left (fun a (_, y) -> a +. ((y -. sy) *. (y -. sy))) 0.0 pts
+    in
+    let sxy =
+      List.fold_left (fun a (x, y) -> a +. ((x -. sx) *. (y -. sy))) 0.0 pts
+    in
+    if sxx < 1e-12 then None
+    else
+      let slope = sxy /. sxx in
+      let intercept = sy -. (slope *. sx) in
+      let r2 = if syy < 1e-12 then 1.0 else sxy *. sxy /. (sxx *. syy) in
+      Some { slope; intercept; r2; points = n }
+  end
+
+type verdict = {
+  within : bool;
+  slope : float;
+  intercept : float;
+  r2 : float;
+  ratio_max : float;
+  points : int;
+  note : string option;
+}
+
+let default_slope_tol = 0.25
+
+let unfittable note points =
+  {
+    within = false;
+    slope = nan;
+    intercept = nan;
+    r2 = nan;
+    ratio_max = nan;
+    points;
+    note = Some note;
+  }
+
+let check_points ?(slope_tol = default_slope_tol) samples =
+  let pts = List.filter positive samples in
+  let points = List.length pts in
+  if points < 3 then
+    unfittable
+      (Printf.sprintf "needs >= 3 positive samples, have %d" points)
+      points
+  else begin
+    let ratio_max =
+      List.fold_left (fun a (x, y) -> Float.max a (y /. x)) 0.0 pts
+    in
+    let fold f init get = List.fold_left (fun a p -> f a (get p)) init pts in
+    let xmin = fold Float.min infinity fst
+    and xmax = fold Float.max 0.0 fst
+    and ymin = fold Float.min infinity snd
+    and ymax = fold Float.max 0.0 snd in
+    if xmax /. xmin < 1.5 then begin
+      (* The claimed bound barely moves over this sweep; a growth
+         exponent cannot be estimated. Fall back to demanding the
+         measurement be flat as well. *)
+      let flat = ymax /. ymin <= 2.0 in
+      {
+        within = flat;
+        slope = nan;
+        intercept = nan;
+        r2 = nan;
+        ratio_max;
+        points;
+        note =
+          Some
+            (Printf.sprintf "flat-bound fallback (bound spread %.2fx, \
+                             measured spread %.2fx)"
+               (xmax /. xmin) (ymax /. ymin));
+      }
+    end
+    else
+      match loglog_fit pts with
+      | None -> unfittable "degenerate regression" points
+      | Some f ->
+        {
+          within = f.slope <= 1.0 +. slope_tol;
+          slope = f.slope;
+          intercept = f.intercept;
+          r2 = f.r2;
+          ratio_max;
+          points;
+          note = None;
+        }
+  end
+
+let check ?slope_tol claim samples =
+  check_points ?slope_tol
+    (List.map (fun (p, y) -> (eval claim p, y)) samples)
+
+let pp_verdict ppf v =
+  Format.fprintf ppf "%s slope=%.3f r2=%.3f ratio_max=%.2f pts=%d%s"
+    (if v.within then "within" else "OVER")
+    v.slope v.r2 v.ratio_max v.points
+    (match v.note with None -> "" | Some n -> " (" ^ n ^ ")")

@@ -1,0 +1,140 @@
+(** Symbolic cost bounds (the expressions of Figures 1–4).
+
+    The paper states every protocol's communication and time complexity
+    as an expression over the weighted network parameters of Section 1.3
+    — [script-E], [script-V], [script-D], the neighbour distance [d],
+    the maximal weight [W], plus [n] and [log n]. This module makes
+    those expressions first-class data: a small AST with a canonical
+    form, a parser/printer (so registry entries declare bounds as
+    strings, not code), an evaluator against a measured
+    {!Csap_graph.Params.t}, and a log-log regression fitter that
+    classifies a measured curve as within or over its claimed
+    expression across a family-size sweep.
+
+    The checker tests {e growth}, not constants: a claim [E] passes a
+    measured curve [2·E] (slope 1) and fails a measured curve [n·E]
+    (slope drifts above 1). Constants are still reported — the fitted
+    intercept is the log of the hidden constant and [ratio_max] is the
+    worst measured/bound quotient over the sweep. *)
+
+(** The paper's parameters. [Dnbr] is the paper's [d] (the largest
+    weighted distance between two neighbours); [W] is the maximal edge
+    weight. [LogN] is [log2 n]. *)
+type var = N | LogN | E | V | D | Dnbr | W
+
+val var_name : var -> string
+(** [n], [logn], [E], [V], [D], [d], [W] — the concrete syntax. *)
+
+val all_vars : var list
+
+(** Expression AST. Exponents are numeric literals ([E^1.5]), matching
+    the paper's vocabulary; there is no subtraction or division — cost
+    bounds are monotone. *)
+type expr =
+  | Num of float
+  | Var of var
+  | Add of expr list
+  | Mul of expr list
+  | Max of expr list
+  | Min of expr list
+  | Pow of expr * float
+
+(** {2 Canonical form} *)
+
+val canon : expr -> expr
+(** Flatten nested [Add]/[Mul]/[Max]/[Min], fold constants, merge like
+    terms ([E + 2·E] = [3·E]) and like factors ([E·E] = [E^2]), drop
+    units ([+0], [·1], [^1]), deduplicate [Max]/[Min] arms, and sort
+    operands under a total order — so two expressions denote the same
+    function of the parameters iff (up to the usual caveats of
+    commutative float arithmetic) their canonical forms are equal.
+    Idempotent: [canon (canon e) = canon e]. *)
+
+val compare_expr : expr -> expr -> int
+(** Structural total order (used by {!canon}'s sorting; [Num]s compare
+    by value). *)
+
+val equal : expr -> expr -> bool
+(** Equality of canonical forms: [equal a b = (compare_expr (canon a)
+    (canon b) = 0)]. *)
+
+val vars : expr -> var list
+(** The parameters an expression mentions, sorted, without
+    duplicates. *)
+
+(** {2 Concrete syntax}
+
+    Grammar: [+] over [*] over [^]; [max(e, e, ...)] and [min(...)]
+    are function forms; numeric literals may be floats; parentheses as
+    usual. Example: ["E + D * n * logn"], ["min(E, n * V)"],
+    ["E^1.5"]. *)
+
+val to_string : expr -> string
+(** Prints the {e canonical} form; [of_string (to_string e)] succeeds
+    and is {!equal} to [e]. *)
+
+val of_string : string -> (expr, string) result
+
+val of_string_exn : string -> expr
+(** Raises [Invalid_argument] with the parse error. *)
+
+val pp : Format.formatter -> expr -> unit
+
+(** {2 Evaluation} *)
+
+val var_value : Csap_graph.Params.t -> var -> float
+(** [LogN] evaluates to [log2 (max 2 n)] so it is never zero. *)
+
+val eval : expr -> Csap_graph.Params.t -> float
+
+(** {2 Log-log fitting} *)
+
+(** Ordinary least squares of [log y] on [log x]: [slope] is the
+    fitted growth exponent of the measurement against the bound,
+    [intercept] the log2 of the hidden constant, [r2] the fraction of
+    variance explained, over [points] positive samples. *)
+type fit = {
+  slope : float;
+  intercept : float;
+  r2 : float;
+  points : int;
+}
+
+val loglog_fit : (float * float) list -> fit option
+(** [None] when fewer than two positive finite samples remain, or when
+    the [x]s have no spread to regress against. *)
+
+(** The claim checker's verdict over a sweep. [within] is the headline:
+    the measured curve grows no faster than the claimed expression
+    (fitted slope at most [1 + slope_tol]). When the bound barely
+    varies across the sweep (spread under 1.5x) the slope is
+    meaningless; the checker falls back to requiring the measurement to
+    be flat too (spread at most 2x), and says so in [note]. *)
+type verdict = {
+  within : bool;
+  slope : float;  (** [nan] when unfittable *)
+  intercept : float;
+  r2 : float;
+  ratio_max : float;  (** worst measured/bound over the sweep *)
+  points : int;
+  note : string option;
+}
+
+val default_slope_tol : float
+(** [0.25]: lower-order terms and sweep noise move a matched curve's
+    fitted slope by well under this; a wrong growth class (one extra
+    [n] or [E] factor) moves it by far more. *)
+
+val check_points :
+  ?slope_tol:float -> (float * float) list -> verdict
+(** [check_points samples] with [(bound_value, measured)] pairs. *)
+
+val check :
+  ?slope_tol:float ->
+  expr ->
+  (Csap_graph.Params.t * float) list ->
+  verdict
+(** [check claim samples] evaluates [claim] on each sample's parameters
+    and fits the measured values against it. *)
+
+val pp_verdict : Format.formatter -> verdict -> unit

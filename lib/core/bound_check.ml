@@ -1,0 +1,125 @@
+module G = Csap_graph.Graph
+module Gen = Csap_graph.Generators
+module Params = Csap_graph.Params
+
+type sample = {
+  label : string;
+  params : Params.t;
+  measures : Measures.t;
+}
+
+type claim_verdict = {
+  claim : Protocol.Claim.t;
+  verdict : Bound.verdict;
+}
+
+type report = {
+  name : string;
+  family : string;
+  samples : sample list;
+  claims : claim_verdict list;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps.                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let grid_w = 3
+
+let grids sizes =
+  List.map
+    (fun (r, c) ->
+      (Printf.sprintf "grid %dx%d" r c, Gen.grid r c ~w:grid_w))
+    sizes
+
+(* Three cost tiers: quadratic-and-worse protocols sweep small grids,
+   the near-linear ones go wider so the fit sees a decade of growth. *)
+let small = [ (3, 4); (4, 4); (4, 5); (5, 5); (6, 6) ]
+let mid = [ (4, 4); (5, 5); (6, 6); (7, 7); (8, 8) ]
+let large = [ (4, 4); (5, 6); (7, 7); (8, 9); (10, 10); (11, 12) ]
+
+(* The G_n sweep: the run rebuilds the family from the carrier graph's
+   size parameters (n vertices, max weight x), so a weight-x path is
+   the canonical carrier. *)
+let gn_x = 4
+
+let gn_carriers =
+  List.map
+    (fun n -> (Printf.sprintf "G_%d x=%d" n gn_x, Gen.path n ~w:gn_x))
+    [ 8; 12; 16; 24; 32; 48; 64; 96; 128 ]
+
+let sweep (module P : Protocol.S) =
+  if P.caps.Protocol.fixed_family then ("lower-bound G_n", gn_carriers)
+  else
+    let tier =
+      match P.name with
+      | "flood" | "dfs-token" | "spt-async" | "global-sum" | "clock-alpha"
+      | "clock-beta" | "clock-gamma" ->
+        large
+      | "mst-ghs" | "mst-fast" | "spt-synch" | "spt-recur" | "spt-hybrid" ->
+        mid
+      | _ -> small
+    in
+    ("grid", grids tier)
+
+(* ------------------------------------------------------------------ *)
+(* Measuring and fitting.                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* The graph whose parameters the claims range over: normally the one
+   we ran on, but a [fixed_family] entry rebuilt its own family from
+   the carrier's size parameters — mirror that rebuild. *)
+let measured_graph (module P : Protocol.S) g =
+  if P.caps.Protocol.fixed_family then
+    Gen.lower_bound_gn (max 4 (G.n g)) ~x:(max 2 (G.max_weight g))
+  else g
+
+let measure ((module P : Protocol.S) as entry) g =
+  let cfg = Protocol.Run.make g in
+  let o = Protocol.execute entry cfg in
+  {
+    label = "";
+    params = Params.compute (measured_graph (module P) g);
+    measures = o.Protocol.Outcome.measures;
+  }
+
+let metric_value (m : Measures.t) = function
+  | Protocol.Claim.Comm -> float_of_int m.Measures.comm
+  | Protocol.Claim.Time -> m.Measures.time
+
+let check_entry ?slope_tol ((module P : Protocol.S) as entry) =
+  let family, instances = sweep (module P) in
+  let samples =
+    List.map
+      (fun (label, g) -> { (measure entry g) with label })
+      instances
+  in
+  let claims =
+    List.map
+      (fun (claim : Protocol.Claim.t) ->
+        let pts =
+          List.map
+            (fun s -> (s.params, metric_value s.measures claim.metric))
+            samples
+        in
+        { claim; verdict = Bound.check ?slope_tol claim.bound pts })
+      P.claimed
+  in
+  { name = P.name; family; samples; claims }
+
+let check_all ?slope_tol () =
+  List.map (check_entry ?slope_tol) Protocol.registry
+
+let failures r =
+  List.filter (fun cv -> not cv.verdict.Bound.within) r.claims
+
+let pp_report ppf r =
+  Format.fprintf ppf "@[<v>%s (%s, %d samples):" r.name r.family
+    (List.length r.samples);
+  List.iter
+    (fun cv ->
+      Format.fprintf ppf "@,  %-40s %a"
+        (Protocol.Claim.to_string cv.claim)
+        Bound.pp_verdict cv.verdict)
+    r.claims;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,50 @@
+(** The bound checker's sweep harness (figure BD, [csap_cli bounds]).
+
+    For every registry entry this module fixes a deterministic graph
+    family sweep, runs the protocol once per instance (clean run,
+    exact delays), and fits the measured communication and time
+    against each of the entry's {!Protocol.Claim.t} expressions with
+    {!Bound.check}. Bench figure BD, the [bounds] CLI subcommand and
+    the test suite all go through the same [measure]/[check_entry]
+    path, so their reported measures are bit-identical. *)
+
+(** One sweep instance: the graph's measured parameters and the
+    protocol's measured costs on it. *)
+type sample = {
+  label : string;  (** family instance, e.g. ["grid 6x6"] *)
+  params : Csap_graph.Params.t;
+  measures : Measures.t;
+}
+
+type claim_verdict = {
+  claim : Protocol.Claim.t;
+  verdict : Bound.verdict;
+}
+
+type report = {
+  name : string;  (** protocol name *)
+  family : string;
+  samples : sample list;
+  claims : claim_verdict list;
+}
+
+val sweep : Protocol.entry -> string * (string * Csap_graph.Graph.t) list
+(** The family label and the labelled instances figure BD sweeps this
+    entry over — deterministic, sized to the entry's own cost. *)
+
+val measure : Protocol.entry -> Csap_graph.Graph.t -> sample
+(** One clean {!Protocol.execute} run with default knobs; the sample's
+    parameters are those of the graph the protocol actually measured
+    (for [fixed_family] entries, the rebuilt family, not the size
+    carrier passed in). *)
+
+val check_entry : ?slope_tol:float -> Protocol.entry -> report
+(** Sweep, measure, and fit every declared claim. *)
+
+val check_all : ?slope_tol:float -> unit -> report list
+(** {!check_entry} over the whole registry, in registry order. *)
+
+val failures : report -> claim_verdict list
+(** The claims whose verdict is not [within]. *)
+
+val pp_report : Format.formatter -> report -> unit

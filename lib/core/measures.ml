@@ -22,7 +22,11 @@ let add a b =
     messages = a.messages + b.messages;
   }
 
-let ratio ~measured ~bound = if bound = 0.0 then nan else measured /. bound
+(* A quotient against a degenerate bound (zero, negative, NaN) carries
+   no information; report NaN rather than a signed infinity the table
+   aggregators would propagate. *)
+let ratio ~measured ~bound =
+  if not (bound > 0.0) then nan else measured /. bound
 
 let pp ppf t =
   Format.fprintf ppf "comm=%d time=%.1f msgs=%d" t.comm t.time t.messages

@@ -18,8 +18,9 @@ val of_metrics : Csap_dsim.Metrics.t -> t
 (** Pointwise sum (for protocols composed of stages). *)
 val add : t -> t -> t
 
-(** [ratio ~measured ~bound] is measured/bound, with 0 bounds mapped to
-    [nan]. Used by the benchmark tables. *)
+(** [ratio ~measured ~bound] is measured/bound, with degenerate bounds
+    (zero, negative or NaN) mapped to [nan]. Used by the benchmark
+    tables. *)
 val ratio : measured:float -> bound:float -> float
 
 val pp : Format.formatter -> t -> unit

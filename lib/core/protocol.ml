@@ -105,11 +105,53 @@ let default_caps =
     supports_domains = false;
   }
 
+(* Which of the paper's parameters a claim in each category may
+   mention. Connectivity through Global are graph protocols whose
+   bounds are stated over the global parameters; clock synchronizers
+   and synchronizers additionally use the neighbour distance [d]; the
+   lower-bound family is stated purely over [E], [n], [V]. *)
+let allowed_vars = function
+  | Connectivity | Mst | Spt | Slt | Global ->
+    Bound.[ N; LogN; E; V; D; W ]
+  | Clock | Synchronizer -> Bound.all_vars
+  | Bound -> Bound.[ N; E; V ]
+
+module Claim = struct
+  type metric = Comm | Time
+
+  let metric_name = function Comm -> "comm" | Time -> "time"
+
+  type t = {
+    metric : metric;
+    bound : Bound.expr;  (** canonical *)
+    regime : string option;
+        (** the capability regime the claim holds in, when narrower
+            than "any clean run" *)
+  }
+
+  let make ?regime metric s =
+    { metric; bound = Bound.of_string_exn s; regime }
+
+  let comm ?regime s = make ?regime Comm s
+  let time ?regime s = make ?regime Time s
+
+  let to_string c =
+    Printf.sprintf "%s = O(%s)%s" (metric_name c.metric)
+      (Bound.to_string c.bound)
+      (match c.regime with None -> "" | Some r -> "  [" ^ r ^ "]")
+end
+
 module type S = sig
   val name : string
   val summary : string
   val category : category
   val caps : caps
+
+  (** The paper's claimed cost bounds for this protocol, as symbolic
+      expressions over the measured parameters (checked by figure BD
+      and [csap_cli bounds]). At least a communication claim; a time
+      claim unless the protocol reports no meaningful time. *)
+  val claimed : Claim.t list
 
   (** Build a reusable engine handle for multi-trial loops on the same
       graph; [None] when the protocol has no reusable state. *)
@@ -198,6 +240,12 @@ module Flood_p = struct
   let category = Connectivity
   let caps = { default_caps with reuses_engine = true; supports_domains = true }
 
+  let claimed =
+    [
+      Claim.comm "2 * E";
+      Claim.time ~regime:"clean run, delays bounded by weights" "D";
+    ]
+
   let make_engine ?delay g = Some (Flood_engine (Flood.make_engine ?delay g))
 
   let run cfg =
@@ -277,6 +325,7 @@ module Dfs_p = struct
   let summary = "token DFS with root/centre cost estimates (Section 6.2)"
   let category = Connectivity
   let caps = default_caps
+  let claimed = [ Claim.comm "4 * E"; Claim.time "4 * E" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -313,6 +362,10 @@ module Con_hybrid_p = struct
   let summary = "CON_hybrid: DFS raced against MST_centr (Section 7.2)"
   let category = Connectivity
   let caps = default_caps
+
+  let claimed =
+    [ Claim.comm "min(E, n * V)"; Claim.time "min(E, n * V)" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -353,6 +406,7 @@ module Mst_centr_p = struct
   let summary = "MST_centr: full-information distributed Prim (Section 6.3)"
   let category = Mst
   let caps = default_caps
+  let claimed = [ Claim.comm "n * V"; Claim.time "n * V" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -373,6 +427,10 @@ module Mst_ghs_p = struct
   let summary = "GHS minimum spanning tree (the Section 8 baseline)"
   let category = Mst
   let caps = { default_caps with needs_root = false }
+
+  let claimed =
+    [ Claim.comm "E + V * logn"; Claim.time "E + V * logn" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -408,6 +466,10 @@ module Mst_fast_p = struct
   let summary = "MST_fast: guess doubling + parallel scans (Section 8.2)"
   let category = Mst
   let caps = { default_caps with needs_root = false }
+
+  let claimed =
+    [ Claim.comm "E * logn^2"; Claim.time "E * logn^2" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -433,6 +495,12 @@ module Mst_hybrid_p = struct
 
   let caps =
     { default_caps with supports_faults = false; supports_reliable = false }
+
+  let claimed =
+    [
+      Claim.comm "min(E + V * logn, n * V)";
+      Claim.time "min(E + V * logn, n * V)";
+    ]
 
   let make_engine = no_engine
 
@@ -471,6 +539,9 @@ module Spt_centr_p = struct
 
   let category = Spt
   let caps = default_caps
+
+  (* w(SPT) <= n * D, so n * w(SPT) is claimed as n^2 * D. *)
+  let claimed = [ Claim.comm "n^2 * D"; Claim.time "n^2 * D" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -491,6 +562,13 @@ module Spt_synch_p = struct
   let summary = "SPT_synch under the gamma_w synchronizer (Section 9.1)"
   let category = Spt
   let caps = default_caps
+
+  let claimed =
+    [
+      Claim.comm "E + D * n * logn";
+      Claim.time "D * n * logn";
+    ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -517,6 +595,7 @@ module Spt_recur_p = struct
   let summary = "SPT_recur: strip-synchronised relaxation (Section 9.2)"
   let category = Spt
   let caps = default_caps
+  let claimed = [ Claim.comm "E^1.5"; Claim.time "E^1.5" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -548,6 +627,13 @@ module Spt_hybrid_p = struct
   let summary = "SPT_hybrid: budgeted dovetail of synch/recur (Section 9.3)"
   let category = Spt
   let caps = default_caps
+
+  let claimed =
+    [
+      Claim.comm "min(E^1.5, E + D * n * logn)";
+      Claim.time "min(E^1.5, D * n * logn)";
+    ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -587,6 +673,12 @@ module Spt_async_p = struct
       supports_domains = true;
     }
 
+  let claimed =
+    [
+      Claim.comm "n * E";
+      Claim.time ~regime:"clean run, delays bounded by weights" "D";
+    ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -616,6 +708,7 @@ module Slt_dist_p = struct
   let summary = "distributed shallow-light tree (Theorem 2.7)"
   let category = Slt
   let caps = default_caps
+  let claimed = [ Claim.comm "n^2 * V"; Claim.time "n^2 * D" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -676,6 +769,10 @@ module Global_sum_p = struct
   let summary = "global sum on a shallow-light tree (Corollary 2.3)"
   let category = Global
   let caps = default_caps
+
+  (* Convergecast + broadcast over a locally built SLT: the tree
+     weight is O(V) and its depth O(D). *)
+  let claimed = [ Claim.comm "8 * V + 8 * D"; Claim.time "4 * D" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -729,6 +826,13 @@ module Clock_alpha_p = struct
   let summary = "clock synchronizer alpha*: direct exchange (Section 3)"
   let category = Clock
   let caps = { default_caps with needs_root = false }
+
+  (* Fixed pulse count: the per-pulse costs of Section 3 with the
+     pulse count absorbed into the constant. *)
+  let claimed =
+    [ Claim.comm ~regime:"per fixed pulse count" "E";
+      Claim.time ~regime:"per fixed pulse count" "D + d" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -744,6 +848,11 @@ module Clock_beta_p = struct
   let summary = "clock synchronizer beta*: one global tree (Section 3)"
   let category = Clock
   let caps = { default_caps with needs_root = false }
+
+  let claimed =
+    [ Claim.comm ~regime:"per fixed pulse count" "E + V";
+      Claim.time ~regime:"per fixed pulse count" "D" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -759,6 +868,11 @@ module Clock_gamma_p = struct
   let summary = "clock synchronizer gamma*: tree edge-cover (Section 3)"
   let category = Clock
   let caps = { default_caps with needs_root = false }
+
+  let claimed =
+    [ Claim.comm ~regime:"per fixed pulse count" "E + V * logn";
+      Claim.time ~regime:"per fixed pulse count" "D + d * logn^2" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -826,6 +940,10 @@ module Sync_alpha_p = struct
   let summary = "synchronizer alpha_w running the SPT wave (Section 4)"
   let category = Synchronizer
   let caps = { default_caps with synchronous_only = true }
+
+  (* The wave runs for O(D) pulses; alpha_w pays O(E) per pulse and
+     O(d) time per pulse. *)
+  let claimed = [ Claim.comm "D * E"; Claim.time "D * d" ]
   let make_engine = no_engine
 
   let run cfg =
@@ -844,6 +962,10 @@ module Sync_beta_p = struct
   let summary = "synchronizer beta_w running the SPT wave (Section 4)"
   let category = Synchronizer
   let caps = { default_caps with synchronous_only = true }
+
+  let claimed =
+    [ Claim.comm "E + D * V"; Claim.time "D^2" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -864,6 +986,10 @@ module Sync_gamma_p = struct
 
   let category = Synchronizer
   let caps = { default_caps with synchronous_only = true }
+
+  let claimed =
+    [ Claim.comm "E + D * n * logn"; Claim.time "D^2 * logn" ]
+
   let make_engine = no_engine
 
   let run cfg =
@@ -921,6 +1047,14 @@ module Lower_bound_p = struct
       supports_reliable = false;
       fixed_family = true;
     }
+
+  (* The hybrid's communication on G_n: it spends at most twice the
+     cheaper branch, whose own constants differ (DFS ~ 4E, MST_centr
+     ~ nV) — so the min's arms carry their constants, or the fit sees
+     a phantom slope through the crossover. The run reports no
+     meaningful completion time, so no time claim. *)
+  let claimed =
+    [ Claim.comm ~regime:"the G_n(x) family" "min(8 * E, 2 * n * V)" ]
 
   let make_engine = no_engine
 

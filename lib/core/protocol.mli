@@ -121,12 +121,47 @@ type caps = {
 val default_caps : caps
 (** root required; faults and reliable supported; nothing else set *)
 
+val allowed_vars : category -> Bound.var list
+(** The parameters a claim in this category may mention: the global
+    graph parameters for Connectivity–Global, additionally the
+    neighbour distance [d] for Clock/Synchronizer, and only
+    [n], [E], [V] for the lower-bound family. *)
+
+(** A machine-checked cost claim: the paper's bound for one metric as
+    a symbolic {!Bound.expr}, checked against measured sweeps by the
+    BD bench figure and [csap_cli bounds --check]. *)
+module Claim : sig
+  type metric = Comm | Time
+
+  val metric_name : metric -> string
+
+  type t = {
+    metric : metric;
+    bound : Bound.expr;  (** canonical *)
+    regime : string option;
+        (** the capability regime the claim holds in, when narrower
+            than "any clean run" *)
+  }
+
+  (** Parse the bound from {!Bound.of_string} syntax; raises
+      [Invalid_argument] on a malformed expression. *)
+  val comm : ?regime:string -> string -> t
+
+  val time : ?regime:string -> string -> t
+  val to_string : t -> string
+end
+
 (** One registered protocol. *)
 module type S = sig
   val name : string
   val summary : string
   val category : category
   val caps : caps
+
+  (** The paper's claimed cost bounds, as symbolic expressions over the
+      measured parameters. Never empty: at least a communication claim;
+      a time claim unless the protocol reports no meaningful time. *)
+  val claimed : Claim.t list
 
   (** Build a reusable engine handle for multi-trial loops on the same
       graph; [None] when the protocol has no reusable state. *)

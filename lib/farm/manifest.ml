@@ -184,18 +184,34 @@ let load ?(readonly = false) path =
       (0, -1) lines
     |> snd
   in
+  let torn_at = ref None in
+  let offset = ref 0 in
   List.iteri
     (fun i raw ->
+      let start = !offset in
+      offset := start + String.length raw + 1;
       let line = String.trim raw in
       if line <> "" then
         try replay_line t path (i + 1) line
         with Invalid_argument _ as e ->
           (* Only the final non-empty line may be torn: a crash can
              truncate at most the one append in flight. *)
-          if i = last_nonempty then t.torn <- true else raise e)
+          if i = last_nonempty then begin
+            t.torn <- true;
+            torn_at := Some start
+          end
+          else raise e)
     lines;
-  if not readonly then
-    t.oc <- Some (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path);
+  if not readonly then begin
+    (* Drop the torn partial line before reopening for append:
+       appending after it would concatenate the next record onto the
+       torn bytes, turning a tolerated torn *tail* into interior
+       corruption on the following load. *)
+    (match !torn_at with
+    | Some at -> Unix.truncate path at
+    | None -> ());
+    t.oc <- Some (open_out_gen [ Open_wronly; Open_creat; Open_append ] 0o644 path)
+  end;
   t
 
 (* ------------------------------------------------------------------ *)

@@ -57,7 +57,10 @@ val create : string -> t
 val load : ?readonly:bool -> string -> t
 (** Reload an existing manifest, replaying every transition. With
     [readonly] (default [false]) the file is not reopened for append —
-    for status inspection while a server owns the file. Raises
+    for status inspection while a server owns the file. A writable load
+    that found a torn trailing line truncates it off the file before
+    reopening, so subsequent appends start on a clean line boundary
+    (readonly loads leave the file untouched). Raises
     [Invalid_argument] (with file and line) on interior corruption,
     [Sys_error] if the file does not exist. *)
 

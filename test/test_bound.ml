@@ -1,0 +1,274 @@
+(* The symbolic bound layer: parser/printer round trips on random
+   expression trees, canonicalisation is idempotent and evaluation-
+   preserving, the log-log fitter recovers known growth exponents from
+   noisy synthetic a * n^k * log^j n data, and — the point of the whole
+   exercise — a deliberately wrong claim is rejected. *)
+
+module B = Csap.Bound
+module Params = Csap_graph.Params
+
+let qcheck = QCheck_alcotest.to_alcotest
+
+(* Synthetic parameter vectors: consistent enough for evaluation (the
+   evaluator reads fields, it never checks the paper's relations). *)
+let params_of_n n =
+  let root = int_of_float (Float.sqrt (float_of_int n)) in
+  {
+    Params.n;
+    m = 2 * n;
+    script_e = 6 * n;
+    script_v = 3 * (n - 1);
+    script_d = 3 * (max 2 (2 * root));
+    d = 3;
+    w_max = 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Random expression trees                                             *)
+
+let expr_gen =
+  let open QCheck.Gen in
+  let leaf =
+    oneof
+      [
+        map (fun v -> B.Var v) (oneofl B.all_vars);
+        map (fun c -> B.Num (float_of_int (1 + c))) (int_bound 7);
+      ]
+  in
+  let exponent = oneofl [ 0.5; 1.0; 1.5; 2.0; 3.0 ] in
+  sized_size (int_bound 5)
+    (fix (fun self size ->
+         if size <= 0 then leaf
+         else
+           let sub = self (size / 2) in
+           oneof
+             [
+               leaf;
+               map (fun xs -> B.Add xs) (list_size (int_range 1 3) sub);
+               map (fun xs -> B.Mul xs) (list_size (int_range 1 3) sub);
+               map (fun xs -> B.Max xs) (list_size (int_range 1 3) sub);
+               map (fun xs -> B.Min xs) (list_size (int_range 1 3) sub);
+               map2 (fun b k -> B.Pow (b, k)) sub exponent;
+             ]))
+
+let arbitrary_expr =
+  QCheck.make ~print:(fun e -> B.to_string e) expr_gen
+
+let close a b =
+  a = b
+  || Float.abs (a -. b)
+     <= 1e-6 *. Float.max 1.0 (Float.max (Float.abs a) (Float.abs b))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"of_string (to_string e) = canon e" ~count:500
+    arbitrary_expr (fun e ->
+      match B.of_string (B.to_string e) with
+      | Ok e' -> B.compare_expr e' (B.canon e) = 0
+      | Error m ->
+        QCheck.Test.fail_reportf "reparse of %S failed: %s" (B.to_string e) m)
+
+let prop_canon_idempotent =
+  QCheck.Test.make ~name:"canon is idempotent" ~count:500 arbitrary_expr
+    (fun e ->
+      let c = B.canon e in
+      B.compare_expr c (B.canon c) = 0)
+
+let prop_canon_preserves_eval =
+  QCheck.Test.make ~name:"canonicalisation preserves evaluation" ~count:500
+    QCheck.(pair arbitrary_expr (int_range 4 200))
+    (fun (e, n) ->
+      let p = params_of_n n in
+      close (B.eval e p) (B.eval (B.canon e) p))
+
+let prop_commutative =
+  QCheck.Test.make ~name:"a + b = b + a, a * b = b * a (canonically)"
+    ~count:300
+    QCheck.(pair arbitrary_expr arbitrary_expr)
+    (fun (a, b) ->
+      B.equal (B.Add [ a; b ]) (B.Add [ b; a ])
+      && B.equal (B.Mul [ a; b ]) (B.Mul [ b; a ]))
+
+(* ------------------------------------------------------------------ *)
+(* Concrete syntax                                                     *)
+
+let test_parser_cases () =
+  let ok s expected =
+    match B.of_string s with
+    | Ok e -> Alcotest.(check string) s expected (B.to_string e)
+    | Error m -> Alcotest.failf "%S rejected: %s" s m
+  in
+  ok "E + D * n * logn" "E + n * logn * D";
+  ok "min(E, n * V)" "min(E, n * V)";
+  ok "E^1.5" "E^1.5";
+  ok "E + 2 * E" "3 * E";
+  ok "E * E" "E^2";
+  ok "max(E, E)" "E";
+  ok "min(E, 5, 3)" "min(3, E)";
+  ok "(E^2)^0.5" "E";
+  ok "2 * 3 * n" "6 * n";
+  ok "E + 0 * V" "E";
+  ok "d * W" "d * W";
+  let rejected s =
+    match B.of_string s with
+    | Error _ -> ()
+    | Ok e -> Alcotest.failf "%S accepted as %s" s (B.to_string e)
+  in
+  rejected "E +";
+  rejected "foo";
+  rejected "max(E)";
+  rejected "E ^ V";
+  rejected "E } V";
+  rejected "E V";
+  rejected "min(E, )"
+
+let test_eval_values () =
+  let p = params_of_n 16 in
+  let eval s = B.eval (B.of_string_exn s) p in
+  Alcotest.(check (float 1e-9)) "logn = log2 n" 4.0 (eval "logn");
+  Alcotest.(check (float 1e-9)) "E" 96.0 (eval "E");
+  Alcotest.(check (float 1e-9)) "min picks the smaller" 45.0
+    (eval "min(E, V)");
+  Alcotest.(check (float 1e-9)) "max picks the larger" 96.0
+    (eval "max(E, V)");
+  Alcotest.(check (float 1e-9)) "E^1.5" (96.0 ** 1.5) (eval "E^1.5");
+  (* logn never degenerates to 0 on tiny graphs. *)
+  Alcotest.(check (float 1e-9)) "logn on n=1 is log2 2" 1.0
+    (B.var_value { p with Params.n = 1 } B.LogN)
+
+let test_vars () =
+  let vars s = List.map B.var_name (B.vars (B.of_string_exn s)) in
+  Alcotest.(check (list string)) "vars sorted, deduped"
+    [ "n"; "logn"; "E"; "D" ]
+    (vars "E + D * n * logn + E * n");
+  Alcotest.(check (list string)) "constants have no vars" [] (vars "42")
+
+(* ------------------------------------------------------------------ *)
+(* The fitter                                                          *)
+
+let synthetic ~a ~k ~j ~noise_seed =
+  let rng = Csap_graph.Rng.create noise_seed in
+  List.map
+    (fun n ->
+      let x = float_of_int n in
+      let log2x = Float.log x /. Float.log 2.0 in
+      let noise = 0.9 +. (0.2 *. Csap_graph.Rng.float rng) in
+      (x, a *. (x ** k) *. (log2x ** float_of_int j) *. noise))
+    [ 8; 16; 32; 64; 128; 256 ]
+
+let prop_fitter_recovers_slope =
+  QCheck.Test.make ~name:"fitter recovers k from a * n^k * log^j n + noise"
+    ~count:200
+    QCheck.(
+      quad (int_range 1 8) (oneofl [ 0.5; 1.0; 1.5; 2.0 ]) (int_bound 1)
+        (int_bound 1_000_000))
+    (fun (a2, k, j, seed) ->
+      let a = float_of_int a2 /. 2.0 in
+      match B.loglog_fit (synthetic ~a ~k ~j ~noise_seed:seed) with
+      | None -> QCheck.Test.fail_report "fit unexpectedly degenerate"
+      | Some f ->
+        (* A log factor over n = 8..256 adds ~0.28 to the fitted
+           exponent; +-10% noise moves it by at most ~0.08. *)
+        if j = 0 then Float.abs (f.B.slope -. k) <= 0.1
+        else f.B.slope -. k >= 0.15 && f.B.slope -. k <= 0.4)
+
+let test_fit_exact_power () =
+  let pts = List.map (fun n -> (float_of_int n, 3.0 *. (float_of_int n ** 2.0)))
+      [ 4; 8; 16; 32; 64 ]
+  in
+  match B.loglog_fit pts with
+  | None -> Alcotest.fail "degenerate fit"
+  | Some f ->
+    Alcotest.(check (float 1e-9)) "slope = 2" 2.0 f.B.slope;
+    Alcotest.(check (float 1e-9)) "intercept = log2 3"
+      (Float.log 3.0 /. Float.log 2.0)
+      f.B.intercept;
+    Alcotest.(check (float 1e-9)) "r2 = 1" 1.0 f.B.r2
+
+(* ------------------------------------------------------------------ *)
+(* The checker                                                         *)
+
+let sweep_samples ~growth =
+  List.map
+    (fun n -> (params_of_n n, growth (float_of_int n)))
+    [ 8; 16; 32; 64; 128 ]
+
+let test_check_accepts_matching_claim () =
+  let claim = B.of_string_exn "n^2" in
+  let v = B.check claim (sweep_samples ~growth:(fun x -> 3.0 *. (x ** 2.0))) in
+  Alcotest.(check bool) "within" true v.B.within;
+  Alcotest.(check (float 0.05)) "slope ~ 1" 1.0 v.B.slope
+
+let test_check_rejects_wrong_claim () =
+  (* The deliberately wrong claim: a linear bound against genuinely
+     quadratic measurements must be rejected. *)
+  let claim = B.of_string_exn "n" in
+  let v = B.check claim (sweep_samples ~growth:(fun x -> x ** 2.0)) in
+  Alcotest.(check bool) "over bound" false v.B.within;
+  Alcotest.(check (float 0.1)) "slope ~ 2" 2.0 v.B.slope
+
+let prop_wrong_exponent_rejected =
+  QCheck.Test.make
+    ~name:"claim n^kc vs measured n^km: within iff kc close enough to km"
+    ~count:100
+    QCheck.(
+      triple (oneofl [ 1.0; 1.5; 2.0 ]) (oneofl [ 0.5; 1.0; 1.5; 2.0; 2.5 ])
+        (int_bound 1_000_000))
+    (fun (kc, km, seed) ->
+      let claim = B.Pow (B.Var B.N, kc) in
+      let rng = Csap_graph.Rng.create seed in
+      let samples =
+        List.map
+          (fun n ->
+            let noise = 0.95 +. (0.1 *. Csap_graph.Rng.float rng) in
+            (params_of_n n, (float_of_int n ** km) *. noise))
+          [ 8; 16; 32; 64; 128; 256 ]
+      in
+      let v = B.check claim samples in
+      (* The fitted slope is km/kc up to noise; stay away from the
+         tolerance boundary to keep the property crisp. *)
+      let ratio = km /. kc in
+      if ratio <= 1.15 then v.B.within
+      else if ratio >= 1.35 then not v.B.within
+      else true)
+
+let test_check_flat_bound_fallback () =
+  let flat = B.of_string_exn "7" in
+  let ok = B.check flat (sweep_samples ~growth:(fun _ -> 5.0)) in
+  Alcotest.(check bool) "flat bound + flat measurement passes" true
+    ok.B.within;
+  Alcotest.(check bool) "notes the fallback" true (ok.B.note <> None);
+  let bad = B.check flat (sweep_samples ~growth:(fun x -> x)) in
+  Alcotest.(check bool) "flat bound + growing measurement fails" false
+    bad.B.within
+
+let test_check_too_few_points () =
+  let v = B.check_points [ (1.0, 1.0); (2.0, 2.0) ] in
+  Alcotest.(check bool) "unfittable is not within" false v.B.within;
+  Alcotest.(check bool) "explains itself" true (v.B.note <> None);
+  (* Non-positive samples are discarded, not fitted. *)
+  let v' =
+    B.check_points
+      [ (1.0, 1.0); (2.0, 0.0); (4.0, -3.0); (8.0, Float.nan) ]
+  in
+  Alcotest.(check bool) "degenerate samples dropped" false v'.B.within
+
+let suite =
+  [
+    qcheck prop_roundtrip;
+    qcheck prop_canon_idempotent;
+    qcheck prop_canon_preserves_eval;
+    qcheck prop_commutative;
+    Alcotest.test_case "parser cases" `Quick test_parser_cases;
+    Alcotest.test_case "evaluator values" `Quick test_eval_values;
+    Alcotest.test_case "vars" `Quick test_vars;
+    qcheck prop_fitter_recovers_slope;
+    Alcotest.test_case "fit of exact power data" `Quick test_fit_exact_power;
+    Alcotest.test_case "matching claim accepted" `Quick
+      test_check_accepts_matching_claim;
+    Alcotest.test_case "wrong claim rejected" `Quick
+      test_check_rejects_wrong_claim;
+    qcheck prop_wrong_exponent_rejected;
+    Alcotest.test_case "flat-bound fallback" `Quick
+      test_check_flat_bound_fallback;
+    Alcotest.test_case "unfittable inputs" `Quick test_check_too_few_points;
+  ]

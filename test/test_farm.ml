@@ -201,6 +201,88 @@ let test_manifest_torn_tail_and_corruption () =
       (contains ~needle:": line 4:" msg)
   | _ -> Alcotest.fail "interior corruption was not rejected"
 
+(* Regression: a *writable* load after a torn tail must truncate the
+   partial line before appending. Without that, the next append is
+   glued onto the torn bytes; the glued line is then itself the torn
+   tail, so the appended transition silently vanishes on the next
+   load — and anything appended after it becomes interior corruption. *)
+let test_manifest_writable_load_truncates_torn () =
+  let dir = tmp_dir "torn-trunc" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "MANIFEST.jsonl" in
+  let m = Manifest.create path in
+  let e = Manifest.add m (Cell.make ~family:"grid" ~n:9 "flood") in
+  Manifest.set_state m e Manifest.Running;
+  Manifest.close m;
+  let read_file () =
+    let ic = open_in_bin path in
+    let s = really_input_string ic (in_channel_length ic) in
+    close_in ic;
+    s
+  in
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc {|{"kind":"state","id":0,"st|};
+  close_out oc;
+  let torn_body = read_file () in
+  (* Readonly loads must not rewrite the file under a live server. *)
+  Manifest.close (Manifest.load ~readonly:true path);
+  Alcotest.(check string) "readonly load leaves the file untouched"
+    torn_body (read_file ());
+  (* A writable load drops the partial line, then appends cleanly. *)
+  let m' = Manifest.load path in
+  Alcotest.(check bool) "torn tail reported" true (Manifest.torn m');
+  let e' = List.hd (Manifest.entries m') in
+  Manifest.set_state m' e'
+    ~result:
+      {
+        Manifest.comm = 12;
+        time = 3.5;
+        messages = 6;
+        retransmissions = 0;
+        restarts = 0;
+        wall_ms = 1.0;
+      }
+    Manifest.Done;
+  ignore (Manifest.add m' (Cell.make ~family:"path" ~n:4 "dfs-token"));
+  Manifest.close m';
+  (* The reload sees every post-crash append; nothing was glued onto
+     the torn bytes or lost. *)
+  let m'' = Manifest.load ~readonly:true path in
+  Alcotest.(check bool) "clean after recovery" false (Manifest.torn m'');
+  (match Manifest.entries m'' with
+  | [ a; _ ] ->
+    Alcotest.(check bool) "transition survived" true
+      (a.Manifest.state = Manifest.Done);
+    Alcotest.(check bool) "result survived" true (a.Manifest.result <> None)
+  | es -> Alcotest.failf "expected 2 entries, got %d" (List.length es));
+  Manifest.close m''
+
+(* Torn-manifest reproductions must live under the farm's own directory
+   (tmp_dir here), never as debris in the working directory — a previous
+   repro left a stray [_torn_repro/] at the repo root. *)
+let test_torn_repro_confined_to_farm_dir () =
+  let cwd = Sys.getcwd () in
+  let before = Array.to_list (Sys.readdir cwd) in
+  let dir = tmp_dir "torn-confined" in
+  Unix.mkdir dir 0o755;
+  let path = Filename.concat dir "MANIFEST.jsonl" in
+  let m = Manifest.create path in
+  ignore (Manifest.add m (Cell.make ~family:"grid" ~n:9 "flood"));
+  Manifest.close m;
+  let oc = open_out_gen [ Open_wronly; Open_append ] 0o644 path in
+  output_string oc {|{"kind":"cell","id":1,"dig|};
+  close_out oc;
+  let m' = Manifest.load path in
+  Alcotest.(check bool) "repro reproduces the torn tail" true
+    (Manifest.torn m');
+  Manifest.close m';
+  Alcotest.(check bool) "manifest lives under the farm dir" true
+    (String.length path > String.length dir
+    && String.sub path 0 (String.length dir) = dir);
+  Alcotest.(check (list string))
+    "no artifacts leaked into the working directory" before
+    (Array.to_list (Sys.readdir cwd))
+
 (* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)
 
@@ -394,6 +476,10 @@ let suite =
       test_manifest_roundtrip;
     Alcotest.test_case "manifest torn tail tolerated, corruption named"
       `Quick test_manifest_torn_tail_and_corruption;
+    Alcotest.test_case "writable load truncates a torn tail" `Quick
+      test_manifest_writable_load_truncates_torn;
+    Alcotest.test_case "torn repro confined to the farm dir" `Quick
+      test_torn_repro_confined_to_farm_dir;
     Alcotest.test_case "sweep completes and resume skips" `Quick
       test_sweep_runs_and_resume_skips;
     Alcotest.test_case "cancellation short-circuits a queued cell" `Quick

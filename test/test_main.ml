@@ -54,6 +54,8 @@ let () =
       ("extra", Test_extra.suite);
       ("classical", Test_classical.suite);
       ("sync-runner", Test_sync_runner.suite);
+      ("bound", Test_bound.suite);
+      ("measures", Test_measures.suite);
       ("protocol", Test_protocol.suite);
       ("farm", Test_farm.suite);
     ]

@@ -1,0 +1,81 @@
+(* The measures layer: ratio edge cases, the last-delivery-vs-completion
+   split in [of_metrics], and bit-identity between the measures the
+   bound-check sweep (figure BD) reports and a direct
+   [Protocol.execute] run of the same instance. *)
+
+module M = Csap.Measures
+module Metrics = Csap_dsim.Metrics
+module P = Csap.Protocol
+module BC = Csap.Bound_check
+
+let test_ratio_edge_cases () =
+  Alcotest.(check (float 1e-9)) "plain quotient" 2.0
+    (M.ratio ~measured:6.0 ~bound:3.0);
+  Alcotest.(check bool) "zero bound -> nan" true
+    (Float.is_nan (M.ratio ~measured:6.0 ~bound:0.0));
+  Alcotest.(check bool) "negative bound -> nan" true
+    (Float.is_nan (M.ratio ~measured:6.0 ~bound:(-3.0)));
+  Alcotest.(check bool) "nan bound -> nan" true
+    (Float.is_nan (M.ratio ~measured:6.0 ~bound:Float.nan));
+  Alcotest.(check bool) "nan measured propagates" true
+    (Float.is_nan (M.ratio ~measured:Float.nan ~bound:3.0));
+  Alcotest.(check (float 1e-9)) "zero measured is fine" 0.0
+    (M.ratio ~measured:0.0 ~bound:3.0)
+
+(* The paper's time measure is the last message *delivery*: a local
+   timer scheduled past it (completion_time) must not be charged. *)
+let test_of_metrics_split () =
+  let m = Metrics.create () in
+  m.Metrics.weighted_comm <- 7;
+  m.Metrics.messages <- 3;
+  m.Metrics.last_delivery_time <- 5.0;
+  m.Metrics.completion_time <- 9.0;
+  let ms = M.of_metrics m in
+  Alcotest.(check int) "comm" 7 ms.M.comm;
+  Alcotest.(check int) "messages" 3 ms.M.messages;
+  Alcotest.(check (float 1e-9)) "time is last delivery, not completion" 5.0
+    ms.M.time
+
+let test_add () =
+  let a = { M.comm = 2; time = 1.5; messages = 4 }
+  and b = { M.comm = 3; time = 2.5; messages = 1 } in
+  let s = M.add a b in
+  Alcotest.(check int) "comm" 5 s.M.comm;
+  Alcotest.(check (float 1e-9)) "time" 4.0 s.M.time;
+  Alcotest.(check int) "messages" 5 s.M.messages;
+  Alcotest.(check int) "zero is neutral" a.M.comm (M.add a M.zero).M.comm
+
+(* Figure BD and a direct registry run must agree bit-for-bit: the
+   sweep harness goes through the same [Protocol.execute] with the same
+   default configuration. *)
+let test_bd_measures_bit_identical () =
+  List.iter
+    (fun name ->
+      let entry = P.find_exn name in
+      let _, instances = BC.sweep entry in
+      let label, g = List.hd instances in
+      let bd = BC.measure entry g in
+      let direct = (P.execute entry (P.Run.make g)).P.Outcome.measures in
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s comm" name label)
+        direct.M.comm bd.BC.measures.M.comm;
+      Alcotest.(check bool)
+        (Printf.sprintf "%s %s time bit-identical" name label)
+        true
+        (Int64.equal
+           (Int64.bits_of_float direct.M.time)
+           (Int64.bits_of_float bd.BC.measures.M.time));
+      Alcotest.(check int)
+        (Printf.sprintf "%s %s messages" name label)
+        direct.M.messages bd.BC.measures.M.messages)
+    [ "flood"; "mst-ghs"; "global-sum"; "sync-alpha"; "lower-bound-gn" ]
+
+let suite =
+  [
+    Alcotest.test_case "ratio edge cases" `Quick test_ratio_edge_cases;
+    Alcotest.test_case "of_metrics last-delivery split" `Quick
+      test_of_metrics_split;
+    Alcotest.test_case "add / zero" `Quick test_add;
+    Alcotest.test_case "BD measures = direct execute (bit identity)" `Quick
+      test_bd_measures_bit_identical;
+  ]

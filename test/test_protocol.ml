@@ -198,9 +198,62 @@ let test_trace_dump () =
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) dumped;
   Sys.rmdir dir
 
+(* Every entry declares machine-checkable cost claims, and those claims
+   speak only in the variables its category is allowed to mention (a
+   clock claim may use d and W; an MST claim may not). *)
+let test_claims_complete () =
+  List.iter
+    (fun entry ->
+      let (module M : P.S) = entry in
+      Alcotest.(check bool)
+        (M.name ^ ": has at least one claim")
+        true (M.claimed <> []);
+      Alcotest.(check bool)
+        (M.name ^ ": claims a communication bound")
+        true
+        (List.exists (fun c -> c.P.Claim.metric = P.Claim.Comm) M.claimed);
+      let allowed = P.allowed_vars M.category in
+      List.iter
+        (fun c ->
+          let b = c.P.Claim.bound in
+          List.iter
+            (fun v ->
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: %s uses allowed var %s" M.name
+                   (P.Claim.to_string c) (Csap.Bound.var_name v))
+                true (List.mem v allowed))
+            (Csap.Bound.vars b);
+          (* Claims are stored canonically and survive a print/parse
+             round trip, so tables and the CLI show exactly what is
+             checked. *)
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: %s is canonical" M.name (P.Claim.to_string c))
+            true
+            (Csap.Bound.equal b (Csap.Bound.canon b)
+            && Csap.Bound.equal b
+                 (Csap.Bound.of_string_exn (Csap.Bound.to_string b))))
+        M.claimed)
+    P.registry
+
+(* The [bounds] listing is the registry: same names, same order. The CI
+   job diffs the actual CLI output; this pins the library-side source
+   both draw from. *)
+let test_bounds_names_match_registry () =
+  Alcotest.(check (list string))
+    "claim-bearing names = registry names" expected_names
+    (List.filter_map
+       (fun entry ->
+         let (module M : P.S) = entry in
+         if M.claimed <> [] then Some M.name else None)
+       P.registry)
+
 let suite =
   [
     Alcotest.test_case "registry is complete" `Quick test_completeness;
+    Alcotest.test_case "every entry has checkable claims" `Quick
+      test_claims_complete;
+    Alcotest.test_case "bounds listing matches registry" `Quick
+      test_bounds_names_match_registry;
     Alcotest.test_case "all entries pass on K4" `Quick test_smoke_k4;
     Alcotest.test_case "all entries pass on a random family" `Quick
       test_smoke_random;
