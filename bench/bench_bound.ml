@@ -19,6 +19,7 @@ let verdict_rows (r : BC.report) =
       [
         Report.Str r.BC.name;
         Report.Str r.BC.family;
+        Report.Str (BC.regime_name r.BC.regime);
         Report.Str (P.Claim.metric_name cv.BC.claim.P.Claim.metric);
         Report.Str (B.to_string cv.BC.claim.P.Claim.bound);
         Report.Float v.B.slope;
@@ -37,38 +38,68 @@ let entry_job entry =
     run = (fun () -> verdict_rows (BC.check_entry entry));
   }
 
+(* Worst-case regimes for the explorer roster: the same claims fitted
+   against per-instance maxima over an adversary battery. Informational
+   — the batteries under-approximate the true sup, so an exceedance is
+   a lead, not a regression. *)
+let regime_job regime entry =
+  let (module M : P.S) = entry in
+  {
+    Report.label =
+      Printf.sprintf "%s/%s" M.name (BC.regime_name regime);
+    run = (fun () -> verdict_rows (BC.check_entry_regime ~regime entry));
+  }
+
 let bd () =
   {
     Report.id = "BD";
     title = "symbolic bound check: measured growth vs claimed expressions";
-    jobs = List.map entry_job P.registry;
+    jobs =
+      List.map entry_job P.registry
+      @ List.concat_map
+          (fun regime -> List.map (regime_job regime) (BC.regime_roster ()))
+          [ BC.Sched_worst; BC.Adaptive_worst ];
     render =
       (fun results ->
         let rows = Report.all_rows results in
-        let fails =
+        let is_clean row =
+          match List.nth row 2 with
+          | Report.Str "clean" -> true
+          | _ -> false
+        in
+        let count_fails rows =
           List.length
             (List.filter
                (fun row ->
-                 match List.nth row 8 with
+                 match List.nth row 9 with
                  | Report.Str "FAIL" -> true
                  | _ -> false)
                rows)
         in
+        let clean_rows, regime_rows = List.partition is_clean rows in
+        let fails = count_fails clean_rows in
+        let regime_fails = count_fails regime_rows in
         Format.printf
           "every registry claim fitted over its family sweep; slope is \
            the log-log growth of measured against bound (within = slope \
-           <= %.2f, or flat bound + flat measurement)@."
+           <= %.2f, or flat bound + flat measurement); sched-worst / \
+           adaptive-worst rows fit per-instance battery maxima@."
           (1.0 +. B.default_slope_tol);
         Report.table
           ~columns:
             [
-              "protocol"; "family"; "metric"; "claimed"; "slope"; "r2";
-              "ratio_max"; "pts"; "fit"; "note";
+              "protocol"; "family"; "regime"; "metric"; "claimed"; "slope";
+              "r2"; "ratio_max"; "pts"; "fit"; "note";
             ]
           rows;
         Format.printf
-          "shape check: fit failures = %d — %s@." fails
+          "shape check: clean fit failures = %d — %s@." fails
           (if fails = 0 then
              "every measured curve stays within its claimed expression"
-           else "MEASURED GROWTH EXCEEDS A CLAIMED BOUND"));
+           else "MEASURED GROWTH EXCEEDS A CLAIMED BOUND");
+        Format.printf
+          "worst-case regimes: %d slope exceedance(s) over %d fits \
+           (informational, not gated: the batteries under-approximate \
+           the sup over schedules)@."
+          regime_fails (List.length regime_rows));
   }

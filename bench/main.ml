@@ -31,6 +31,7 @@ let benches =
     ("sy", Bench_sync.sy);
     ("ct", Bench_ctrl.ct);
     ("sx", Bench_sched.sx);
+    ("ax", Bench_adversary.ax);
     ("fx", Bench_fault.fx);
     ("rg", Bench_registry.rg);
     ("px", Bench_pengine.px);

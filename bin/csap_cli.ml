@@ -35,16 +35,17 @@ let list_protocols names_only =
   if names_only then
     List.iter print_endline (P.names ())
   else begin
-    Format.printf "%-14s %-13s %-6s %-4s %-4s %s@." "name" "category"
-      "faults" "rel" "dom" "summary";
+    Format.printf "%-14s %-13s %-6s %-4s %-4s %-4s %s@." "name" "category"
+      "faults" "rel" "dom" "adv" "summary";
     List.iter
       (fun entry ->
         let (module M : P.S) = entry in
-        Format.printf "%-14s %-13s %-6s %-4s %-4s %s@." M.name
+        Format.printf "%-14s %-13s %-6s %-4s %-4s %-4s %s@." M.name
           (P.category_name M.category)
           (if M.caps.P.supports_faults then "yes" else "no")
           (if M.caps.P.supports_reliable then "yes" else "no")
           (if M.caps.P.supports_domains then "yes" else "no")
+          (if M.caps.P.supports_adaptive then "yes" else "no")
           M.summary)
       P.registry
   end;
@@ -52,11 +53,11 @@ let list_protocols names_only =
 
 (* ---- run --------------------------------------------------------------- *)
 
-let run_protocol name family n w seed root delay loss dup fault_seed reliable
-    pulses strip k q domains trace check gc_stats =
+let run_protocol name family n w seed root delay adversary loss dup fault_seed
+    reliable pulses strip k q domains trace check gc_stats =
   let cell =
-    Cell.make ~family ~n ~w ~seed ~root ?delay ~loss ~dup ~fault_seed
-      ~reliable ?pulses ?strip ?k ?q ?domains ~check name
+    Cell.make ~family ~n ~w ~seed ~root ?delay ?adversary ~loss ~dup
+      ~fault_seed ~reliable ?pulses ?strip ?k ?q ?domains ~check name
   in
   match P.find name with
   | None ->
@@ -169,7 +170,7 @@ let split_commas s =
   |> List.filter (fun x -> x <> "")
 
 let sweep_farm dir workers queue_cap resume quiet cells_file protocols delays
-    family n w seed root loss dup fault_seed reliable no_check =
+    adversaries family n w seed root loss dup fault_seed reliable no_check =
   let check = not no_check in
   let cells =
     match cells_file with
@@ -201,7 +202,12 @@ let sweep_farm dir workers queue_cap resume quiet cells_file protocols delays
                  (fun d ->
                    Cell.make ~family ~n ~w ~seed ~root ~delay:d ~loss ~dup
                      ~fault_seed ~reliable ~check p)
-                 (split_commas (Option.value ~default:"exact" delays)))
+                 (split_commas (Option.value ~default:"exact" delays))
+               @ List.map
+                   (fun a ->
+                     Cell.make ~family ~n ~w ~seed ~root ~adversary:a ~loss
+                       ~dup ~fault_seed ~reliable ~check p)
+                   (split_commas (Option.value ~default:"" adversaries)))
              (split_commas ps)))
   in
   match cells with
@@ -218,8 +224,8 @@ let sweep_farm dir workers queue_cap resume quiet cells_file protocols delays
       3
     | s -> summary_exit s)
 
-let submit_cell name dir family n w seed root delay loss dup fault_seed
-    reliable pulses strip k q domains check =
+let submit_cell name dir family n w seed root delay adversary loss dup
+    fault_seed reliable pulses strip k q domains trace check =
   match P.find name with
   | None ->
     Format.eprintf "unknown protocol %S; try `csap_cli list`@." name;
@@ -231,20 +237,24 @@ let submit_cell name dir family n w seed root delay loss dup fault_seed
     in
     match Option.map Cell.delay_of_spec delay with
     | Some (Error msg) -> bad_spec msg
-    | None | Some (Ok _) ->
-      if loss < 0.0 || loss >= 1.0 then
-        bad_spec "loss must be a probability in [0, 1)"
-      else if dup < 0.0 || dup >= 1.0 then
-        bad_spec "dup must be a probability in [0, 1)"
-      else begin
-        let cell =
-          Cell.make ~family ~n ~w ~seed ~root ?delay ~loss ~dup ~fault_seed
-            ~reliable ?pulses ?strip ?k ?q ?domains ~check name
-        in
-        let file = Farm.submit ~dir cell in
-        Format.printf "submitted %s (digest %s)@." file (Cell.digest cell);
-        0
-      end)
+    | None | Some (Ok _) -> (
+      match Option.map Csap_dsim.Adversary.of_spec adversary with
+      | Some (Error msg) -> bad_spec msg
+      | None | Some (Ok _) ->
+        if loss < 0.0 || loss >= 1.0 then
+          bad_spec "loss must be a probability in [0, 1)"
+        else if dup < 0.0 || dup >= 1.0 then
+          bad_spec "dup must be a probability in [0, 1)"
+        else begin
+          let cell =
+            Cell.make ~family ~n ~w ~seed ~root ?delay ?adversary ~loss ~dup
+              ~fault_seed ~reliable ?pulses ?strip ?k ?q ?domains ?trace
+              ~check name
+          in
+          let file = Farm.submit ~dir cell in
+          Format.printf "submitted %s (digest %s)@." file (Cell.digest cell);
+          0
+        end))
 
 let status_farm dir assert_done =
   let path = Farm.manifest_path ~dir in
@@ -359,6 +369,17 @@ let delay =
         ~doc:
           "Delay oracle: exact, near-zero, race, scaled:C, seeded:N, \
            slow-edge:ID. Default: exact.")
+
+let adversary =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "adversary" ] ~docv:"SPEC"
+        ~doc:
+          "Adaptive adversary observing the execution: greedy (pins \
+           delivery on the busiest edge), stretch (serialises the \
+           critical path). Conflicts with --delay; protocols without \
+           the `adv' capability reject it.")
 
 let loss =
   Arg.(
@@ -484,9 +505,9 @@ let run_cmd =
     (Cmd.info "run" ~exits
        ~doc:"Run one registered protocol on a generated graph.")
     Term.(
-      const run_protocol $ pname $ family $ n $ w $ seed $ root $ delay $ loss
-      $ dup $ fault_seed $ reliable $ pulses $ strip $ k_arg $ q_arg $ domains
-      $ trace $ check $ gc_stats)
+      const run_protocol $ pname $ family $ n $ w $ seed $ root $ delay
+      $ adversary $ loss $ dup $ fault_seed $ reliable $ pulses $ strip
+      $ k_arg $ q_arg $ domains $ trace $ check $ gc_stats)
 
 let serve_cmd =
   let poll =
@@ -540,6 +561,15 @@ let sweep_cmd =
       & info [ "delays" ] ~docv:"SPECS"
           ~doc:"Comma-separated delay specs (default: exact).")
   in
+  let adversaries =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "adversaries" ] ~docv:"SPECS"
+          ~doc:
+            "Comma-separated adaptive adversary specs; each adds one \
+             cell per protocol alongside the --delays cells.")
+  in
   let no_check =
     Arg.(
       value & flag
@@ -552,17 +582,26 @@ let sweep_cmd =
           path and checkpoint manifest as `serve').")
     Term.(
       const sweep_farm $ farm_dir $ workers $ queue_cap $ resume $ quiet
-      $ cells_file $ protocols $ delays $ family $ n $ w $ seed $ root $ loss
-      $ dup $ fault_seed $ reliable $ no_check)
+      $ cells_file $ protocols $ delays $ adversaries $ family $ n $ w $ seed
+      $ root $ loss $ dup $ fault_seed $ reliable $ no_check)
 
 let submit_cmd =
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"PREFIX"
+          ~doc:
+            "Bake a trace-dump prefix into the cell: the worker that \
+             runs it dumps replayable JSONL as PREFIX--<name>--<i>.jsonl.")
+  in
   Cmd.v
     (Cmd.info "submit" ~exits
        ~doc:"Spool one cell into a farm directory for a running server.")
     Term.(
       const submit_cell $ pname $ farm_dir $ family $ n $ w $ seed $ root
-      $ delay $ loss $ dup $ fault_seed $ reliable $ pulses $ strip $ k_arg
-      $ q_arg $ domains $ check)
+      $ delay $ adversary $ loss $ dup $ fault_seed $ reliable $ pulses
+      $ strip $ k_arg $ q_arg $ domains $ trace $ check)
 
 let status_cmd =
   let assert_done =

@@ -21,9 +21,22 @@ type claim_verdict = {
   verdict : Bound.verdict;
 }
 
+(** The adversary regime the measures were taken under. [Clean] is one
+    exact-delay run per instance — the gating fit. The worst-case
+    regimes take per-metric maxima over a battery ([Sched_worst]: the
+    oblivious schedule battery; [Adaptive_worst]: the adaptive
+    built-ins, {!Csap_dsim.Adversary}) — the sharper check of the
+    paper's worst-case claims, reported but not gated because the
+    batteries are heuristic under-approximations of the true sup. *)
+type regime = Clean | Sched_worst | Adaptive_worst
+
+val regime_name : regime -> string
+(** ["clean"], ["sched-worst"], ["adaptive-worst"]. *)
+
 type report = {
   name : string;  (** protocol name *)
   family : string;
+  regime : regime;
   samples : sample list;
   claims : claim_verdict list;
 }
@@ -39,10 +52,25 @@ val measure : Protocol.entry -> Csap_graph.Graph.t -> sample
     carrier passed in). *)
 
 val check_entry : ?slope_tol:float -> Protocol.entry -> report
-(** Sweep, measure, and fit every declared claim. *)
+(** Sweep, measure, and fit every declared claim ([Clean] regime). *)
+
+val check_entry_regime :
+  ?slope_tol:float -> regime:regime -> Protocol.entry -> report
+(** Like {!check_entry} but measuring under the regime's adversary
+    battery, taking per-metric maxima per instance. Worst-case regimes
+    sweep the small grid tier (the battery multiplies per-instance
+    cost). *)
 
 val check_all : ?slope_tol:float -> unit -> report list
 (** {!check_entry} over the whole registry, in registry order. *)
+
+val regime_roster : unit -> Protocol.entry list
+(** The worst-case roster: one cheap registry target per trade-off
+    family (flood, GHS, both SPT constructions, synchronizer alpha). *)
+
+val check_regimes : ?slope_tol:float -> unit -> report list
+(** [Sched_worst] and [Adaptive_worst] reports for every roster entry —
+    the non-gating rows of figure BD. *)
 
 val failures : report -> claim_verdict list
 (** The claims whose verdict is not [within]. *)

@@ -10,6 +10,7 @@ module Run = struct
     graph : G.t;
     root : int;
     delay : Delay.t option;
+    adversary : Csap_dsim.Adversary.t option;
     faults : Csap_dsim.Fault.plan option;
     reliable : bool;
     trace : string option;
@@ -21,10 +22,10 @@ module Run = struct
     domains : int option;
   }
 
-  let make ?(root = 0) ?delay ?faults ?(reliable = false) ?trace ?engine
-      ?pulses ?strip ?k ?q ?domains graph =
-    { graph; root; delay; faults; reliable; trace; engine; pulses; strip;
-      k; q; domains }
+  let make ?(root = 0) ?delay ?adversary ?faults ?(reliable = false) ?trace
+      ?engine ?pulses ?strip ?k ?q ?domains graph =
+    { graph; root; delay; adversary; faults; reliable; trace; engine; pulses;
+      strip; k; q; domains }
 
   let delay cfg = Option.value cfg.delay ~default:Delay.Exact
 end
@@ -92,6 +93,7 @@ type caps = {
   reuses_engine : bool;
   fixed_family : bool;
   supports_domains : bool;
+  supports_adaptive : bool;
 }
 
 let default_caps =
@@ -103,6 +105,7 @@ let default_caps =
     reuses_engine = false;
     fixed_family = false;
     supports_domains = false;
+    supports_adaptive = true;
   }
 
 (* Which of the paper's parameters a claim in each category may
@@ -176,8 +179,12 @@ let stats_of (s : Net.stats) =
 
 let clean cfg = cfg.Run.faults = None && not cfg.Run.reliable
 
+(* True when the run's schedule is the deterministic exact-delay default.
+   An adversary — even an oblivious one still sitting unfolded in the
+   cfg — means the schedule is something else. *)
 let exact_delay cfg =
-  match cfg.Run.delay with None | Some Delay.Exact -> true | _ -> false
+  cfg.Run.adversary = None
+  && match cfg.Run.delay with None | Some Delay.Exact -> true | _ -> false
 
 let check_spanning g tree =
   if Tree.is_spanning_tree_of g tree then Ok ()
@@ -1039,6 +1046,9 @@ module Lower_bound_p = struct
   let summary = "executable Omega(min{E, nV}) witness on G_n (Section 7.1)"
   let category = Bound
 
+  (* The run ignores cfg.delay entirely (the hybrid's comm bound is
+     schedule-free), so an adaptive adversary would never be consulted:
+     reject it rather than silently ignore it. *)
   let caps =
     {
       default_caps with
@@ -1046,6 +1056,7 @@ module Lower_bound_p = struct
       supports_faults = false;
       supports_reliable = false;
       fixed_family = true;
+      supports_adaptive = false;
     }
 
   (* The hybrid's communication on G_n: it spends at most twice the
@@ -1147,6 +1158,17 @@ let find_exn name =
     invalid_arg
       (Printf.sprintf "Protocol.find_exn: unknown protocol %S" name)
 
+(* Capability rejections name the offending knob — "<name>: <knob>:
+   <reason>" — uniformly, so a farm cell or CLI user can map the error
+   straight back to the flag that caused it. *)
+let reject_knob name ~knob reason =
+  invalid_arg (Printf.sprintf "%s: %s: %s" name knob reason)
+
+let adaptive_of cfg =
+  match cfg.Run.adversary with
+  | Some (Csap_dsim.Adversary.Adaptive _) -> true
+  | Some (Csap_dsim.Adversary.Oblivious _) | None -> false
+
 let validate (module P : S) cfg =
   let n = G.n cfg.Run.graph in
   if P.caps.needs_root && (cfg.Run.root < 0 || cfg.Run.root >= n) then
@@ -1158,6 +1180,15 @@ let validate (module P : S) cfg =
   if cfg.Run.reliable && not P.caps.supports_reliable then
     invalid_arg
       (Printf.sprintf "%s: reliable transport not supported" P.name);
+  (match cfg.Run.adversary with
+  | None -> ()
+  | Some adv ->
+    if cfg.Run.delay <> None then
+      reject_knob P.name ~knob:"adversary"
+        "conflicts with an explicit delay model";
+    if Csap_dsim.Adversary.is_adaptive adv && not P.caps.supports_adaptive
+    then
+      reject_knob P.name ~knob:"adversary" "adaptive adversaries not supported");
   match cfg.Run.domains with
   | None -> ()
   | Some d ->
@@ -1165,44 +1196,57 @@ let validate (module P : S) cfg =
       invalid_arg (Printf.sprintf "%s: domains %d < 1" P.name d);
     if d > 1 then begin
       if not P.caps.supports_domains then
-        invalid_arg
-          (Printf.sprintf "%s: partitioned execution not supported" P.name);
+        reject_knob P.name ~knob:"domains"
+          "partitioned execution not supported";
       if cfg.Run.faults <> None || cfg.Run.reliable then
-        invalid_arg
-          (Printf.sprintf
-             "%s: partitioned execution excludes faults/reliable transport"
-             P.name);
+        reject_knob P.name ~knob:"domains"
+          "partitioned execution excludes faults/reliable transport";
       if cfg.Run.trace <> None then
-        invalid_arg
-          (Printf.sprintf "%s: partitioned execution cannot record traces"
-             P.name);
+        reject_knob P.name ~knob:"domains"
+          "partitioned execution cannot record traces";
+      if adaptive_of cfg then
+        reject_knob P.name ~knob:"adversary"
+          "partitioned execution requires an oblivious (order-independent) \
+           adversary";
       match cfg.Run.delay with
       | Some dl when not (Delay.order_independent dl) ->
-        invalid_arg
-          (Printf.sprintf
-             "%s: partitioned execution requires an order-independent delay \
-              model"
-             P.name)
+        reject_knob P.name ~knob:"domains"
+          "partitioned execution requires an order-independent delay model"
       | _ -> ()
     end
 
 let execute ((module P : S) as entry) cfg =
   validate entry cfg;
-  match cfg.Run.trace with
-  | None -> P.run cfg
-  | Some prefix ->
-    let o, traces =
-      Csap_dsim.Trace.with_collector (fun () -> P.run cfg)
-    in
-    List.iteri
-      (fun i tr ->
-        Csap_dsim.Trace.save_jsonl tr
-          (Printf.sprintf "%s--%s--%d.jsonl" prefix P.name i))
-      traces;
-    o
+  (* An oblivious adversary is just a delay model: fold it into
+     [cfg.delay] (validation guaranteed the slot is free). An adaptive
+     one is installed as the ambient adversary for the scope of the run,
+     so engines the protocol builds internally pick it up — the same
+     mechanism as the ambient trace collector. *)
+  let cfg, in_scope =
+    match cfg.Run.adversary with
+    | None -> (cfg, fun f -> f ())
+    | Some (Csap_dsim.Adversary.Oblivious d) ->
+      ({ cfg with Run.delay = Some d; adversary = None }, fun f -> f ())
+    | Some (Csap_dsim.Adversary.Adaptive a) ->
+      (cfg, fun f -> Csap_dsim.Adversary.with_ambient a f)
+  in
+  in_scope (fun () ->
+      match cfg.Run.trace with
+      | None -> P.run cfg
+      | Some prefix ->
+        let o, traces =
+          Csap_dsim.Trace.with_collector (fun () -> P.run cfg)
+        in
+        List.iteri
+          (fun i tr ->
+            Csap_dsim.Trace.save_jsonl tr
+              (Printf.sprintf "%s--%s--%d.jsonl" prefix P.name i))
+          traces;
+        o)
 
-let run ?root ?delay ?faults ?reliable ?trace ?engine ?pulses ?strip ?k ?q
-    ?domains entry graph =
+let run ?root ?delay ?adversary ?faults ?reliable ?trace ?engine ?pulses
+    ?strip ?k ?q ?domains entry graph =
   execute entry
-    (Run.make ?root ?delay ?faults ?reliable ?trace ?engine ?pulses ?strip
+    (Run.make ?root ?delay ?adversary ?faults ?reliable ?trace ?engine
+       ?pulses ?strip
        ?k ?q ?domains graph)

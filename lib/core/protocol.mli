@@ -23,6 +23,10 @@ module Run : sig
     graph : Csap_graph.Graph.t;
     root : int;  (** source / root vertex; ignored when not needed *)
     delay : Csap_dsim.Delay.t option;  (** [None] = {!Csap_dsim.Delay.Exact} *)
+    adversary : Csap_dsim.Adversary.t option;
+        (** schedule adversary; an oblivious one replaces [delay] (the
+            two knobs conflict), an adaptive one is installed ambiently
+            around the run (requires {!caps.supports_adaptive}) *)
     faults : Csap_dsim.Fault.plan option;
     reliable : bool;  (** route through the {!Csap_dsim.Reliable} shim *)
     trace : string option;
@@ -43,6 +47,7 @@ module Run : sig
   val make :
     ?root:int ->
     ?delay:Csap_dsim.Delay.t ->
+    ?adversary:Csap_dsim.Adversary.t ->
     ?faults:Csap_dsim.Fault.plan ->
     ?reliable:bool ->
     ?trace:string ->
@@ -116,10 +121,15 @@ type caps = {
   fixed_family : bool;  (** builds its own graph from size parameters *)
   supports_domains : bool;
       (** runs on the partitioned engine when [cfg.domains > 1] *)
+  supports_adaptive : bool;
+      (** accepts an adaptive {!Csap_dsim.Adversary.t} (true for every
+          protocol that actually consults its delay model; the
+          lower-bound family ignores schedules and rejects it) *)
 }
 
 val default_caps : caps
-(** root required; faults and reliable supported; nothing else set *)
+(** root required; faults, reliable and adaptive adversaries supported;
+    nothing else set *)
 
 val allowed_vars : category -> Bound.var list
 (** The parameters a claim in this category may mention: the global
@@ -190,19 +200,29 @@ val find : string -> entry option
 val find_exn : string -> entry
 
 (** Uniform validation: root range ([Invalid_argument] with
-    ["<name>: root <r> out of range [0, <n>)"]), fault/reliable/domains
-    support against {!caps}; [domains > 1] additionally excludes faults,
-    the reliable shim, traces and order-dependent delay models. *)
+    ["<name>: root <r> out of range [0, <n>)"]), fault/reliable/domains/
+    adversary support against {!caps}. Capability rejections involving a
+    knob name it uniformly — ["<name>: <knob>: <reason>"] for the
+    [domains] and [adversary] knobs. [domains > 1] additionally excludes
+    faults, the reliable shim, traces, order-dependent delay models and
+    adaptive adversaries (order-dependent by construction); [adversary]
+    conflicts with an explicit [delay]. *)
 val validate : entry -> Run.cfg -> unit
 
 (** [execute entry cfg] validates, runs, and (when [cfg.trace] is set)
-    collects and dumps engine traces. *)
+    collects and dumps engine traces. An oblivious [cfg.adversary] is
+    folded into the delay model; an adaptive one is installed via
+    {!Csap_dsim.Adversary.with_ambient} for the scope of the run, so the
+    protocol's internally built engines consult it — and, with
+    [cfg.trace] set, the dumped traces carry its replayable
+    {!Csap_dsim.Trace.Decision} records. *)
 val execute : entry -> Run.cfg -> Outcome.t
 
 (** [run entry graph] — {!execute} with an inline {!Run.make}. *)
 val run :
   ?root:int ->
   ?delay:Csap_dsim.Delay.t ->
+  ?adversary:Csap_dsim.Adversary.t ->
   ?faults:Csap_dsim.Fault.plan ->
   ?reliable:bool ->
   ?trace:string ->

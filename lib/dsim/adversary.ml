@@ -1,0 +1,142 @@
+(* See adversary.mli. The Obs view deliberately holds the engine's own
+   arrays (clock slot, in-flight counters, send ordinals): observing is
+   an array read, never a copy, so consulting an adaptive adversary adds
+   O(1) per send on top of the decision procedure itself. *)
+
+module Obs = struct
+  type t = {
+    m : int;
+    clock : float array;  (* engine's one-slot clock *)
+    inflight : int array;  (* per directed edge: 2*id + dir *)
+    sent : int array;  (* engine's send ordinals, same indexing *)
+    counts : int array;  (* slot 0: delivered-to-handler total *)
+    queue_size : unit -> int;
+    queue_min : unit -> float;
+    sent_total : unit -> int;
+  }
+
+  let make ~m ~clock ~inflight ~sent ~counts ~queue_size ~queue_min
+      ~sent_total =
+    { m; clock; inflight; sent; counts; queue_size; queue_min; sent_total }
+
+  let now t = t.clock.(0)
+  let edges t = t.m
+  let pending_on t ~edge_id ~dir = t.inflight.((2 * edge_id) + dir)
+
+  let pending_edge t ~edge_id =
+    t.inflight.(2 * edge_id) + t.inflight.((2 * edge_id) + 1)
+
+  let busiest_edge t =
+    let best = ref (-1) and best_load = ref 0 in
+    for id = 0 to t.m - 1 do
+      let load = t.inflight.(2 * id) + t.inflight.((2 * id) + 1) in
+      if load > !best_load then begin
+        best := id;
+        best_load := load
+      end
+    done;
+    !best
+
+  let sent_on t ~edge_id ~dir = t.sent.((2 * edge_id) + dir)
+  let sent_total t = t.sent_total ()
+  let delivered_total t = t.counts.(0)
+  let queue_size t = t.queue_size ()
+  let queue_min_time t = t.queue_min ()
+end
+
+type adaptive = {
+  name : string;
+  next_delay : Obs.t -> edge_id:int -> dir:int -> nth:int -> w:int -> float;
+  next_disposition :
+    (Obs.t -> edge_id:int -> dir:int -> nth:int -> now:float ->
+     Fault.disposition)
+    option;
+}
+
+type t =
+  | Oblivious of Delay.t
+  | Adaptive of adaptive
+
+let of_delay d = Oblivious d
+
+let name = function
+  | Oblivious d -> Format.asprintf "%a" Delay.pp d
+  | Adaptive a -> a.name
+
+let is_adaptive = function Oblivious _ -> false | Adaptive _ -> true
+
+(* Matches Delay.epsilon: the "rush" delay of the structured oblivious
+   adversaries, small enough to land first, positive so the schedule
+   stays admissible. *)
+let eps = 1e-6
+
+let greedy_commax () =
+  Adaptive
+    {
+      name = "greedy-commax";
+      next_delay =
+        (fun obs ~edge_id ~dir:_ ~nth:_ ~w ->
+          (* Stall where the work already is — in-flight copies pile up
+             behind the FIFO stamp — and rush everything else, so
+             contention concentrates on one edge at a time. A send on an
+             idle network stalls its own edge (it is about to be the
+             busiest). *)
+          let busiest = Obs.busiest_edge obs in
+          if busiest < 0 || busiest = edge_id then float_of_int w else eps);
+      next_disposition = None;
+    }
+
+let time_stretcher () =
+  (* One-slot frontier (a float array, not a ref: unboxed store) — the
+     latest arrival time this adversary has committed to so far. *)
+  let frontier = [| 0.0 |] in
+  Adaptive
+    {
+      name = "time-stretcher";
+      next_delay =
+        (fun obs ~edge_id:_ ~dir:_ ~nth:_ ~w ->
+          let full = Obs.now obs +. float_of_int w in
+          if full >= frontier.(0) then begin
+            (* This send can push the completion frontier: take the whole
+               admissible window. *)
+            frontier.(0) <- full;
+            float_of_int w
+          end
+          else
+            (* Already overtaken — rushing it cannot shorten the run. *)
+            eps);
+      next_disposition = None;
+    }
+
+let builtin_specs = [ "greedy"; "stretch" ]
+
+let of_spec = function
+  | "greedy" -> Ok (greedy_commax ())
+  | "stretch" -> Ok (time_stretcher ())
+  | s ->
+    Error
+      (Printf.sprintf
+         "unknown adversary spec %S (expected one of: %s)" s
+         (String.concat ", " builtin_specs))
+
+(* ---- ambient adversary ------------------------------------------------ *)
+
+(* Same shape as Trace's ambient collector: a domain-local slot, saved
+   and restored around the scope so scopes nest and pool workers on
+   other domains never see it. *)
+let ambient_key : adaptive option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let ambient () = !(Domain.DLS.get ambient_key)
+
+let with_ambient a f =
+  let slot = Domain.DLS.get ambient_key in
+  let prev = !slot in
+  slot := Some a;
+  match f () with
+  | r ->
+    slot := prev;
+    r
+  | exception e ->
+    slot := prev;
+    raise e

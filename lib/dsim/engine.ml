@@ -63,6 +63,19 @@ type 'msg t = {
   down : bool array;
   epoch : int array;
   restart_handlers : (unit -> unit) option array;
+  (* Adaptive adversary layer. [adaptive = None] (the oblivious case)
+     keeps the send path exactly on the historical zero-allocation
+     route: the observation state below is then never read and only the
+     [inflight]/[obs_counts] maintenance sites — each a one-word match
+     on [t.adaptive] — are crossed. *)
+  mutable adaptive : Adversary.adaptive option;
+  obs : Adversary.Obs.t;
+  (* Deliveries currently queued per directed edge (2 * id + dir);
+     maintained only while an adaptive adversary is attached. *)
+  inflight : int array;
+  (* Slot 0: messages delivered to handlers (drops excluded); same
+     maintenance discipline as [inflight]. *)
+  obs_counts : int array;
 }
 
 (* Explicit monomorphic compares: polymorphic [compare] on a float walks
@@ -111,36 +124,77 @@ let install_faults t = function
             | None -> ()))
       plan.Fault.crashes
 
-let create ?(delay = Delay.Exact) ?faults ?(edge_lookup = Indexed)
+(* An explicit [?adversary] wins; otherwise an ambient adaptive
+   adversary (see [Adversary.with_ambient]) is picked up exactly like
+   the ambient trace collector. An oblivious adversary is just a delay
+   model — it replaces [delay] and leaves the hot path untouched. *)
+let resolve_adversary ~delay adversary =
+  match adversary with
+  | Some (Adversary.Oblivious d) -> (d, None)
+  | Some (Adversary.Adaptive a) -> (delay, Some a)
+  | None -> (delay, Adversary.ambient ())
+
+let create ?(delay = Delay.Exact) ?adversary ?faults ?(edge_lookup = Indexed)
     ?(event_queue = Packed) g =
   let m = Csap_graph.Graph.m g in
+  let queue =
+    match event_queue with
+    | Packed ->
+      (* Pre-sized from the edge count (capped — growth is geometric
+         and amortised-free anyway) so steady-state floods never
+         grow the heap mid-run. *)
+      Q_packed (Event_queue.create ~capacity:(max 16 (min (2 * m) 65536)) ())
+    | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events)
+  in
+  let metrics = Metrics.create () in
+  let clock = Array.make 1 0.0 in
+  let send_counts = Array.make (2 * m) 0 in
+  let inflight = Array.make (2 * m) 0 in
+  let obs_counts = Array.make 1 0 in
+  let queue_size () =
+    match queue with
+    | Q_packed q -> Event_queue.size q
+    | Q_boxed q -> Csap_graph.Heap.size q
+  in
+  let queue_min () =
+    match queue with
+    | Q_packed q ->
+      if Event_queue.is_empty q then Float.nan else (Event_queue.times q).(0)
+    | Q_boxed q -> (
+      match Csap_graph.Heap.peek_min q with
+      | Some e -> e.time
+      | None -> Float.nan)
+  in
+  let obs =
+    Adversary.Obs.make ~m ~clock ~inflight ~sent:send_counts
+      ~counts:obs_counts ~queue_size ~queue_min
+      ~sent_total:(fun () -> metrics.Metrics.messages)
+  in
+  let delay, adaptive = resolve_adversary ~delay adversary in
   let t =
     {
       g;
       delay;
       lookup = edge_lookup;
-      queue =
-        (match event_queue with
-        | Packed ->
-          (* Pre-sized from the edge count (capped — growth is geometric
-             and amortised-free anyway) so steady-state floods never
-             grow the heap mid-run. *)
-          Q_packed (Event_queue.create ~capacity:(max 16 (min (2 * m) 65536)) ())
-        | Boxed -> Q_boxed (Csap_graph.Heap.create ~cmp:compare_events));
+      queue;
       handlers = Array.make (Csap_graph.Graph.n g) None;
-      metrics = Metrics.create ();
+      metrics;
       traffic = Array.make m 0;
       last_delivery = Array.make (2 * m) 0.0;
-      send_counts = Array.make (2 * m) 0;
+      send_counts;
       deliver_counts = Array.make (2 * m) 0;
       trace = Trace.register ();
-      clock = Array.make 1 0.0;
+      clock;
       fscratch = Array.make 1 0.0;
       seq = 0;
       faults;
       down = Array.make (Csap_graph.Graph.n g) false;
       epoch = Array.make (Csap_graph.Graph.n g) 0;
       restart_handlers = Array.make (Csap_graph.Graph.n g) None;
+      adaptive;
+      obs;
+      inflight;
+      obs_counts;
     }
   in
   install_faults t faults;
@@ -151,8 +205,16 @@ let create ?(delay = Delay.Exact) ?faults ?(edge_lookup = Indexed)
    or shedding the event queue's grown capacity — multi-seed trial loops
    reuse one engine per instance instead of rebuilding O(n + m) state
    per trial. *)
-let reset ?delay ?faults t =
+let reset ?delay ?adversary ?faults t =
   (match delay with Some d -> t.delay <- d | None -> ());
+  (* Mirrors [create]: an explicit adversary or an ambient adaptive one
+     is installed; otherwise the engine comes back oblivious (adversary
+     state never leaks between trials). *)
+  let delay', adaptive = resolve_adversary ~delay:t.delay adversary in
+  t.delay <- delay';
+  t.adaptive <- adaptive;
+  Array.fill t.inflight 0 (Array.length t.inflight) 0;
+  t.obs_counts.(0) <- 0;
   (match t.queue with
   | Q_packed q -> Event_queue.clear q
   | Q_boxed q -> Csap_graph.Heap.clear q);
@@ -179,6 +241,7 @@ let now t = t.clock.(0)
 
 let set_trace t trace = t.trace <- trace
 let trace t = t.trace
+let adaptive_adversary t = t.adaptive
 
 let set_handler t v f = t.handlers.(v) <- Some f
 
@@ -251,6 +314,34 @@ let push_deliver_any t ~time ~src ~dst payload =
       });
   t.seq <- t.seq + 1
 
+(* Adaptive consult, out of line: the decision procedure reads the
+   shared Obs view and its float return is boxed on the way back into
+   the scratch slot — the price of adaptivity, paid only when
+   [t.adaptive] is [Some]. *)
+let[@inline never] adaptive_sample t a ~id ~dir ~nth ~w =
+  t.fscratch.(0) <- a.Adversary.next_delay t.obs ~edge_id:id ~dir ~nth ~w
+
+(* Observation upkeep at the delivery-enqueue site; only under an
+   adaptive adversary (the counters are dead weight otherwise). *)
+let[@inline never] note_enqueue t ~slot =
+  t.inflight.(slot) <- t.inflight.(slot) + 1
+
+(* Observation upkeep at the delivery-pop site: the in-flight counter
+   comes down (even for crash-dropped deliveries — they left the queue)
+   and the delivered total advances for real deliveries. Runs before the
+   handler, so the handler's own sends observe up-to-date state. *)
+let[@inline never] note_delivery t ~dropped ~src ~dst =
+  let id =
+    match t.lookup with
+    | Indexed -> Csap_graph.Graph.edge_id_between t.g src dst
+    | Scan -> Csap_graph.Graph.edge_id_between_scan t.g src dst
+  in
+  let e = Csap_graph.Graph.edge t.g id in
+  let dir = if src = e.Csap_graph.Graph.u then 0 else 1 in
+  let slot = (2 * id) + dir in
+  t.inflight.(slot) <- t.inflight.(slot) - 1;
+  if not dropped then t.obs_counts.(0) <- t.obs_counts.(0) + 1
+
 let send t ~src ~dst payload =
   (* The per-message hot path: an O(1)-amortised indexed lookup (no
      allocation) instead of scanning the adjacency list of [src]. *)
@@ -270,7 +361,14 @@ let send t ~src ~dst payload =
   t.send_counts.(slot) <- nth + 1;
   let disp =
     match t.faults with
-    | None -> Fault.Pass
+    | None -> (
+      (* No plan: an adaptive adversary with a disposition procedure may
+         still drop/duplicate (a fault plan, when attached, owns the
+         disposition — the adversary then only schedules). *)
+      match t.adaptive with
+      | Some { Adversary.next_disposition = Some nd; _ } ->
+        nd t.obs ~edge_id:id ~dir ~nth ~now:t.clock.(0)
+      | _ -> Fault.Pass)
     | Some plan ->
       (* A down sender executes nothing, so a send reaching here (a stale
          timer closure) transmits nothing and pays nothing. *)
@@ -289,12 +387,19 @@ let send t ~src ~dst payload =
   | Fault.Pass | Fault.Duplicate _ -> (
     Metrics.add_send t.metrics ~w;
     t.traffic.(id) <- t.traffic.(id) + 1;
-    Delay.sample_into t.delay ~edge_id:id ~dir ~nth ~w t.fscratch;
+    (match t.adaptive with
+    | None -> Delay.sample_into t.delay ~edge_id:id ~dir ~nth ~w t.fscratch
+    | Some a -> adaptive_sample t a ~id ~dir ~nth ~w);
     let d = Array.unsafe_get t.fscratch 0 in
     (* Validate the sample once, at the send site: NaN fails every
        comparison (it would corrupt the heap's strict (<) order), infinities
        stall the clock, negatives run time backwards. *)
     if not (d >= 0.0 && d < infinity) then invalid_sample t id;
+    (* The adaptive decision is recorded before its Send twin: the
+       decision records alone form a replayable oblivious schedule. *)
+    (match t.adaptive with
+    | None -> ()
+    | Some _ -> trace_send_scratch t Trace.Decision ~id ~dir ~nth ~src ~dst);
     trace_send_scratch t Trace.Send ~id ~dir ~nth ~src ~dst;
     let arrival =
       fmax (Array.unsafe_get t.clock 0 +. d) (Array.unsafe_get t.last_delivery slot)
@@ -318,6 +423,9 @@ let send t ~src ~dst payload =
           action = Deliver { src; dst; payload; epoch = t.epoch.(dst) };
         });
     t.seq <- t.seq + 1;
+    (match t.adaptive with
+    | None -> ()
+    | Some _ -> note_enqueue t ~slot);
     match disp with
     | Fault.Duplicate u ->
       (* The network's extra copy: same identity, its own delay (the
@@ -333,7 +441,10 @@ let send t ~src ~dst payload =
       trace_send_kind t Trace.Dup ~id ~dir ~nth ~src ~dst ~delay:d2;
       let arrival2 = Float.max (t.clock.(0) +. d2) t.last_delivery.(slot) in
       t.last_delivery.(slot) <- arrival2;
-      push_deliver_any t ~time:arrival2 ~src ~dst payload
+      push_deliver_any t ~time:arrival2 ~src ~dst payload;
+      (match t.adaptive with
+      | None -> ()
+      | Some _ -> note_enqueue t ~slot)
     | _ -> ())
 
 let schedule t ~delay f =
@@ -444,6 +555,9 @@ let run_boxed ~until ~max_events ~comm_budget t q =
         ignore (Csap_graph.Heap.pop_min q);
         t.clock.(0) <- Float.max t.clock.(0) ev.time;
         let dropped = delivery_dropped t ev.action in
+        (match (t.adaptive, ev.action) with
+        | Some _, Deliver { src; dst; _ } -> note_delivery t ~dropped ~src ~dst
+        | _ -> ());
         (match t.trace with
         | Some tr -> record_dispatch t tr ev.seq ~dropped ev.action
         | None -> ());
@@ -535,6 +649,9 @@ let run_packed ~until ~max_events ~comm_budget t q =
                Array.unsafe_get t.down dst
                || epoch <> Array.unsafe_get t.epoch dst
              in
+             (match t.adaptive with
+             | None -> ()
+             | Some _ -> note_delivery t ~dropped ~src ~dst);
              (match t.trace with
              | Some tr -> trace_deliver t tr seq ~dropped ~src ~dst
              | None -> ());

@@ -43,9 +43,18 @@ type event_queue =
     assigned a disposition (pass / drop / duplicate) by the plan, and the
     plan's crash events are scheduled (see {2:faults Faults} below).
     Without a plan — or under {!Fault.none} — behaviour is bit-identical
-    to the historical reliable network. *)
+    to the historical reliable network.
+
+    [?adversary] installs an {!Adversary.t}: an oblivious one is folded
+    into the delay model (replacing [?delay]) and costs nothing; an
+    adaptive one is consulted at every send with the engine's {!Adversary.Obs}
+    view (see {2:adversaries Adversaries} below). Without the argument,
+    an ambient adaptive adversary installed by
+    {!Adversary.with_ambient} is picked up, exactly like the ambient
+    trace collector. *)
 val create :
   ?delay:Delay.t ->
+  ?adversary:Adversary.t ->
   ?faults:Fault.plan ->
   ?edge_lookup:edge_lookup ->
   ?event_queue:event_queue ->
@@ -64,9 +73,14 @@ val create :
     each trial. Fault state is never carried across trials: the previous
     plan, down flags, crash epochs, pending crash events and restart
     handlers are all cleared, and [?faults] (absent by default — a reset
-    engine is clean) installs a fresh plan. A run after [reset] is
-    indistinguishable from a run on a freshly created engine. *)
-val reset : ?delay:Delay.t -> ?faults:Fault.plan -> 'msg t -> unit
+    engine is clean) installs a fresh plan. Adversary state follows the
+    same discipline: observation counters are zeroed and the adaptive
+    adversary is dropped unless [?adversary] (or an ambient
+    {!Adversary.with_ambient} scope) installs one. A run after [reset]
+    is indistinguishable from a run on a freshly created engine. *)
+val reset :
+  ?delay:Delay.t -> ?adversary:Adversary.t -> ?faults:Fault.plan ->
+  'msg t -> unit
 
 val graph : 'msg t -> Csap_graph.Graph.t
 
@@ -165,3 +179,21 @@ val set_trace : 'msg t -> Trace.t option -> unit
 
 (** The currently attached trace, if any. *)
 val trace : 'msg t -> Trace.t option
+
+(** {2:adversaries Adversaries}
+
+    With an adaptive {!Adversary.adaptive} attached the engine consults
+    it instead of the delay model at every send, handing it a read-only
+    {!Adversary.Obs} view (clock, per-edge in-flight counts, totals,
+    queue head) that shares the engine's own state — observing allocates
+    nothing. Each decision is recorded in an attached trace as a
+    {!Trace.Decision} event immediately before its [Send] twin, so
+    {!Trace.recorded} replays the adaptive schedule obliviously and
+    reproduces the run event for event. When no fault plan is attached,
+    an adversary's [next_disposition] may also drop or duplicate sends.
+    Oblivious adversaries take the historical zero-allocation send path
+    unchanged. *)
+
+(** The attached adaptive adversary, if any ([None] on oblivious
+    engines). *)
+val adaptive_adversary : 'msg t -> Adversary.adaptive option

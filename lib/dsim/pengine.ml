@@ -352,9 +352,25 @@ let check_delay delay =
        order; partitioned execution requires an order-independent model \
        (Exact, Scaled, Near_zero or a pure Oracle)"
 
+(* Defense in depth behind Protocol.validate: an adaptive adversary's
+   decisions depend on the global event order, which the partitioned
+   loop does not preserve inside a window — so an ambient adversary
+   scope must never silently leak into a Pengine run. *)
+let check_no_adaptive what =
+  match Adversary.ambient () with
+  | None -> ()
+  | Some a ->
+    invalid_arg
+      (Printf.sprintf
+         "Pengine.%s: adaptive adversary %S is order-dependent; partitioned \
+          execution requires an oblivious schedule (replay its decision \
+          trace instead)"
+         what a.Adversary.name)
+
 let create ?(delay = Delay.Exact) ?partition ~domains g =
   if domains < 1 then invalid_arg "Pengine.create: domains >= 1 required";
   check_delay delay;
+  check_no_adaptive "create";
   let part =
     match partition with
     | Some p ->
@@ -785,6 +801,7 @@ let run t =
 
 let reset ?delay t =
   if t.running then invalid_arg "Pengine.reset: run in progress";
+  check_no_adaptive "reset";
   (match delay with
   | Some d ->
     check_delay d;

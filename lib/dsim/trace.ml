@@ -4,6 +4,7 @@ type kind =
   | Local
   | Dropped
   | Dup
+  | Decision
 
 type event = {
   kind : kind;
@@ -90,6 +91,22 @@ let events t =
 
 let equal a b = a.len = b.len && events a = events b
 
+(* An adaptive run's trace interleaves Decision records with the events
+   proper; its oblivious replay emits none, so replay comparisons strip
+   them first. Unbounded result: a stripped trace is a replay artifact,
+   not a live ring. *)
+let without_decisions t =
+  let r = create () in
+  Array.iter
+    (fun ev -> match ev.kind with Decision -> () | _ -> add r ev)
+    (events t);
+  r.dropped <- t.dropped;
+  r
+
+let decisions t =
+  Array.of_seq
+    (Seq.filter (fun ev -> ev.kind = Decision) (Array.to_seq (events t)))
+
 (* ---- JSONL ------------------------------------------------------------ *)
 
 let kind_to_string = function
@@ -98,6 +115,7 @@ let kind_to_string = function
   | Local -> "local"
   | Dropped -> "dropped"
   | Dup -> "dup"
+  | Decision -> "decision"
 
 let kind_of_string = function
   | "send" -> Send
@@ -105,6 +123,7 @@ let kind_of_string = function
   | "local" -> Local
   | "dropped" -> Dropped
   | "dup" -> Dup
+  | "decision" -> Decision
   | s -> invalid_arg (Printf.sprintf "unknown kind %S" s)
 
 (* %.17g round-trips every finite double; the engine rejects non-finite
@@ -182,7 +201,12 @@ let recorded ?(name = "recorded") t =
   Array.iter
     (fun ev ->
       match ev.kind with
-      | Send -> Hashtbl.replace tbl ((2 * ev.edge) + ev.dir, ev.nth) ev.delay
+      (* Decision records (adaptive adversaries) carry the same delay as
+         the Send they precede, so a trace filtered down to decisions
+         alone still replays; on a full trace the Send overwrite is a
+         no-op. *)
+      | Send | Decision ->
+        Hashtbl.replace tbl ((2 * ev.edge) + ev.dir, ev.nth) ev.delay
       (* Dropped sends never sampled the delay model and Dup copies take
          their delay from the fault plan, so neither feeds the oracle:
          replaying under the same plan reproduces both without it. *)

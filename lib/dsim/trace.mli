@@ -22,6 +22,12 @@ type kind =
       (** the extra copy a {!Fault.Duplicate} disposition enqueued; its
           [delay] is the copy's sampled delay (from the fault plan, not
           the delay model) *)
+  | Decision
+      (** an adaptive {!Adversary} chose this send's delay; recorded
+          immediately before the matching [Send] with the same identity
+          and delay, so the decision trace alone replays the schedule
+          (see {!recorded}) while {!without_decisions} recovers the
+          event stream an oblivious replay produces *)
 
 type event = {
   kind : kind;
@@ -63,6 +69,15 @@ val events : t -> event array
 
 (** Event-for-event equality of the held events. *)
 val equal : t -> t -> bool
+
+(** [without_decisions t] is [t] with every [Decision] record removed —
+    the event stream an oblivious replay of [t]'s schedule produces.
+    The replay contract for adaptive runs is
+    [equal (without_decisions original) replayed]. *)
+val without_decisions : t -> t
+
+(** The [Decision] records of [t], oldest first. *)
+val decisions : t -> event array
 
 (** {2 JSONL}
 

@@ -8,6 +8,7 @@ type t = {
   seed : int;
   root : int;
   delay : string option;
+  adversary : string option;
   loss : float;
   dup : float;
   fault_seed : int;
@@ -17,12 +18,14 @@ type t = {
   k : int option;
   q : float option;
   domains : int option;
+  trace : string option;
   check : bool;
 }
 
 let make ?(family = "random") ?(n = 16) ?(w = 8) ?(seed = 1) ?(root = 0)
-    ?delay ?(loss = 0.0) ?(dup = 0.0) ?(fault_seed = 1) ?(reliable = false)
-    ?pulses ?strip ?k ?q ?domains ?(check = true) protocol =
+    ?delay ?adversary ?(loss = 0.0) ?(dup = 0.0) ?(fault_seed = 1)
+    ?(reliable = false) ?pulses ?strip ?k ?q ?domains ?trace ?(check = true)
+    protocol =
   {
     protocol;
     family;
@@ -31,6 +34,7 @@ let make ?(family = "random") ?(n = 16) ?(w = 8) ?(seed = 1) ?(root = 0)
     seed;
     root;
     delay;
+    adversary;
     loss;
     dup;
     fault_seed;
@@ -40,6 +44,7 @@ let make ?(family = "random") ?(n = 16) ?(w = 8) ?(seed = 1) ?(root = 0)
     k;
     q;
     domains;
+    trace;
     check;
   }
 
@@ -59,6 +64,9 @@ let to_json c =
     @ (match c.delay with
       | None -> []
       | Some d -> [ ("delay", Jsonx.Str d) ])
+    @ (match c.adversary with
+      | None -> []
+      | Some a -> [ ("adversary", Jsonx.Str a) ])
     @ [ ("loss", Jsonx.Float c.loss); ("dup", Jsonx.Float c.dup);
         ("fault_seed", Jsonx.Int c.fault_seed);
         ("reliable", Jsonx.Bool c.reliable) ]
@@ -68,7 +76,11 @@ let to_json c =
               ((match c.q with
                | None -> []
                | Some q -> [ ("q", Jsonx.Float q) ])
-              @ opt_int "domains" c.domains [ ("check", Jsonx.Bool c.check) ])))
+              @ opt_int "domains" c.domains
+                  ((match c.trace with
+                   | None -> []
+                   | Some t -> [ ("trace", Jsonx.Str t) ])
+                  @ [ ("check", Jsonx.Bool c.check) ]))))
   in
   Jsonx.to_string (Jsonx.Obj fields)
 
@@ -92,6 +104,7 @@ let of_json s =
           seed = int "seed" 1;
           root = int "root" 0;
           delay = Jsonx.to_str (m "delay");
+          adversary = Jsonx.to_str (m "adversary");
           loss = flt "loss" 0.0;
           dup = flt "dup" 0.0;
           fault_seed = int "fault_seed" 1;
@@ -101,6 +114,7 @@ let of_json s =
           k = Jsonx.to_int (m "k");
           q = Jsonx.to_float (m "q");
           domains = Jsonx.to_int (m "domains");
+          trace = Jsonx.to_str (m "trace");
           check = bool "check" true;
         })
   | Ok _ -> Error "cell: expected a JSON object"
@@ -198,6 +212,11 @@ let run ?graph:pre ?trace_prefix c =
   let finish result =
     { result; wall_ms = (Unix.gettimeofday () -. t0) *. 1000.0 }
   in
+  (* An explicit [trace_prefix] (the CLI's [--trace] on a direct run)
+     wins over the path baked into the cell. *)
+  let trace_prefix =
+    match trace_prefix with Some _ -> trace_prefix | None -> c.trace
+  in
   match P.find c.protocol with
   | None -> finish (Error (Unknown_protocol c.protocol))
   | Some entry -> (
@@ -211,9 +230,15 @@ let run ?graph:pre ?trace_prefix c =
         | None -> Ok None
         | Some spec -> Result.map Option.some (delay_of_spec spec)
     in
-    match spec with
-    | Error msg -> finish (Error (Bad_spec msg))
-    | Ok delay -> (
+    let adversary =
+      match c.adversary with
+      | None -> Ok None
+      | Some spec ->
+        Result.map Option.some (Csap_dsim.Adversary.of_spec spec)
+    in
+    match (spec, adversary) with
+    | Error msg, _ | _, Error msg -> finish (Error (Bad_spec msg))
+    | Ok delay, Ok adversary -> (
       match (match pre with Some g -> g | None -> graph c) with
       | exception Invalid_argument msg -> finish (Error (Bad_spec msg))
       | g -> (
@@ -223,9 +248,9 @@ let run ?graph:pre ?trace_prefix c =
           else None
         in
         let cfg =
-          P.Run.make ~root:c.root ?delay ?faults ~reliable:c.reliable
-            ?trace:trace_prefix ?pulses:c.pulses ?strip:c.strip ?k:c.k ?q:c.q
-            ?domains:c.domains g
+          P.Run.make ~root:c.root ?delay ?adversary ?faults
+            ~reliable:c.reliable ?trace:trace_prefix ?pulses:c.pulses
+            ?strip:c.strip ?k:c.k ?q:c.q ?domains:c.domains g
         in
         match P.execute entry cfg with
         (* [validate] rejects roots out of range and capability

@@ -17,6 +17,9 @@ type t = {
   seed : int;  (** graph-generator seed *)
   root : int;
   delay : string option;  (** delay spec string, as the CLI's [--delay] *)
+  adversary : string option;
+      (** adaptive adversary spec, as the CLI's [--adversary]; conflicts
+          with [delay] (rejected at run time by protocol validation) *)
   loss : float;
   dup : float;
   fault_seed : int;
@@ -26,6 +29,11 @@ type t = {
   k : int option;
   q : float option;
   domains : int option;
+  trace : string option;
+      (** trace-dump prefix baked into the cell, so farm workers dump
+          replayable JSONL for this cell; cells without it keep their
+          pre-existing digests ([None] fields are omitted from the
+          canonical JSON) *)
   check : bool;  (** run the sequential-oracle invariant *)
 }
 
@@ -36,6 +44,7 @@ val make :
   ?seed:int ->
   ?root:int ->
   ?delay:string ->
+  ?adversary:string ->
   ?loss:float ->
   ?dup:float ->
   ?fault_seed:int ->
@@ -45,6 +54,7 @@ val make :
   ?k:int ->
   ?q:float ->
   ?domains:int ->
+  ?trace:string ->
   ?check:bool ->
   string ->
   t
@@ -100,11 +110,12 @@ type outcome = {
 }
 
 val run : ?graph:Csap_graph.Graph.t -> ?trace_prefix:string -> t -> outcome
-(** Build the graph, resolve delay and faults, execute through the
-    registry and (when [t.check]) check the invariant. Never raises:
-    every failure is classified into [error]. [graph], when given, must
-    be [graph t] — callers that already built it (to print its
-    parameters) skip the rebuild. *)
+(** Build the graph, resolve delay, adversary and faults, execute
+    through the registry and (when [t.check]) check the invariant. Never
+    raises: every failure is classified into [error]. [graph], when
+    given, must be [graph t] — callers that already built it (to print
+    its parameters) skip the rebuild. [trace_prefix] overrides the
+    cell's own [trace] field; with neither, no traces are dumped. *)
 
 val measures_json : Csap.Protocol.Outcome.t -> wall_ms:float -> string
 (** The result summary recorded in manifests and result files:

@@ -5,22 +5,25 @@ module Mst = Csap_graph.Mst
 module Delay = Csap_dsim.Delay
 module Fault = Csap_dsim.Fault
 module Trace = Csap_dsim.Trace
+module Adversary = Csap_dsim.Adversary
 module Measures = Csap.Measures
 
 type schedule = {
   label : string;
-  make : unit -> Delay.t;
+  make : unit -> Adversary.t;
 }
+
+let oblivious label make_delay =
+  { label; make = (fun () -> Adversary.of_delay (make_delay ())) }
 
 let seeded_schedules k =
   if k < 0 then invalid_arg "Sched_explore.seeded_schedules: negative count";
   List.init k (fun i ->
-      {
-        label = Printf.sprintf "seeded-%d" i;
-        (* Seeds spaced by a large odd constant so adjacent schedules don't
-           share splitmix streams. *)
-        make = (fun () -> Delay.seeded (0x5eed + (i * 0x10001)));
-      })
+      (* Seeds spaced by a large odd constant so adjacent schedules don't
+         share splitmix streams. *)
+      oblivious
+        (Printf.sprintf "seeded-%d" i)
+        (fun () -> Delay.seeded (0x5eed + (i * 0x10001))))
 
 (* Heaviest edge, lowest id on ties — a deterministic pick of the link the
    slow-edge adversary stalls. *)
@@ -38,17 +41,28 @@ let heaviest_edge g =
 let adversarial_schedules g =
   let heavy = heaviest_edge g in
   [
+    oblivious
+      (Printf.sprintf "slow-edge-%d" heavy)
+      (fun () -> Delay.slow_edge heavy);
+    oblivious "race-crossing" (fun () -> Delay.race_crossing);
+    oblivious "near-zero" (fun () -> Delay.Near_zero);
+  ]
+
+(* The adaptive roster: adversaries that observe the engine and pick each
+   delay online (fresh state per run via [make]). Their decision traces
+   replay as oblivious schedules — [explore ~check_replay] asserts it. *)
+let adaptive_schedules () =
+  [
+    { label = "greedy-commax"; make = (fun () -> Adversary.greedy_commax ()) };
     {
-      label = Printf.sprintf "slow-edge-%d" heavy;
-      make = (fun () -> Delay.slow_edge heavy);
+      label = "time-stretcher";
+      make = (fun () -> Adversary.time_stretcher ());
     };
-    { label = "race-crossing"; make = (fun () -> Delay.race_crossing) };
-    { label = "near-zero"; make = (fun () -> Delay.Near_zero) };
   ]
 
 type target = {
   name : string;
-  execute : G.t -> Delay.t -> (Measures.t, string) result;
+  execute : G.t -> Adversary.t -> (Measures.t, string) result;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -71,9 +85,9 @@ let protocol_target ?root ?pulses ?strip ?k ?q entry =
     name = P.name ^ target_suffix ~needs_root:P.caps.Protocol.needs_root
              root strip;
     execute =
-      (fun g delay ->
+      (fun g adversary ->
         let cfg =
-          Protocol.Run.make ?root ~delay ?pulses ?strip ?k ?q g
+          Protocol.Run.make ?root ~adversary ?pulses ?strip ?k ?q g
         in
         let o = Protocol.execute entry cfg in
         match P.invariant cfg o with
@@ -156,7 +170,7 @@ let mkdir_p dir =
   if not (Sys.file_exists dir) then
     try Sys.mkdir dir 0o755 with Sys_error _ -> ()
 
-let explore ?pool ?trace_dir g ~targets ~schedules =
+let explore ?pool ?trace_dir ?(check_replay = false) g ~targets ~schedules =
   let targets = Array.of_list targets in
   let schedules = Array.of_list schedules in
   let nt = Array.length targets and ns = Array.length schedules in
@@ -167,6 +181,52 @@ let explore ?pool ?trace_dir g ~targets ~schedules =
         results.(i) <-
           Some (run_cell g (targets.(i / ns), schedules.(i mod ns))))
   end;
+  (* Replay audit (sequential: trace collectors are domain-local): record
+     each passing run's trace, re-run it as an oblivious schedule under
+     [Trace.recorded], and demand event-for-event equality modulo the
+     Decision records only the recorded (possibly adaptive) run emits.
+     This is what turns an adaptive worst case into a certificate: the
+     decision trace alone reproduces the cost. *)
+  if check_replay then
+    Array.iteri
+      (fun i r ->
+        match r with
+        | Some r when r.ok ->
+          let t = targets.(i / ns) and s = schedules.(i mod ns) in
+          let (), traces =
+            Trace.with_collector (fun () ->
+                ignore (t.execute g (s.make ())))
+          in
+          (match traces with
+          | [ tr ] ->
+            let (), traces2 =
+              Trace.with_collector (fun () ->
+                  ignore
+                    (t.execute g (Adversary.of_delay (Trace.recorded tr))))
+            in
+            let ok =
+              match traces2 with
+              | [ tr2 ] -> Trace.equal (Trace.without_decisions tr) tr2
+              | _ -> false
+            in
+            if not ok then
+              results.(i) <-
+                Some
+                  {
+                    r with
+                    ok = false;
+                    violation = Some "replay: re-run from trace diverged";
+                  }
+          | _ ->
+            results.(i) <-
+              Some
+                {
+                  r with
+                  ok = false;
+                  violation = Some "replay: expected exactly one engine trace";
+                })
+        | _ -> ())
+      results;
   (* Failures get their schedule dumped: re-run the same deterministic
      (target, schedule) pair under a collector and write every engine's
      trace, replayable via [Trace.recorded]. *)
@@ -287,7 +347,7 @@ let fault_schedules g k =
 
 type fault_target = {
   fname : string;
-  fexecute : G.t -> Delay.t -> Fault.plan -> (Measures.t, string) result;
+  fexecute : G.t -> Adversary.t -> Fault.plan -> (Measures.t, string) result;
   fclean : G.t -> Measures.t;
 }
 
@@ -301,10 +361,10 @@ let protocol_fault_target ?root ?pulses ?strip ?k ?q entry =
       "rel-" ^ P.name
       ^ target_suffix ~needs_root:P.caps.Protocol.needs_root root strip;
     fexecute =
-      (fun g delay plan ->
+      (fun g adversary plan ->
         let cfg =
-          Protocol.Run.make ?root ~delay ~faults:plan ~reliable:true ?pulses
-            ?strip ?k ?q g
+          Protocol.Run.make ?root ~adversary ~faults:plan ~reliable:true
+            ?pulses ?strip ?k ?q g
         in
         let o = Protocol.execute entry cfg in
         match P.invariant cfg o with
@@ -434,10 +494,15 @@ let explore_faults ?pool ?trace_dir ?(check_replay = false) g ~targets
           | [ tr ] ->
             let (), traces2 =
               Trace.with_collector (fun () ->
-                  ignore (t.fexecute g (Trace.recorded tr) (f.fmake ())))
+                  ignore
+                    (t.fexecute g
+                       (Adversary.of_delay (Trace.recorded tr))
+                       (f.fmake ())))
             in
             let ok =
-              match traces2 with [ tr2 ] -> Trace.equal tr tr2 | _ -> false
+              match traces2 with
+              | [ tr2 ] -> Trace.equal (Trace.without_decisions tr) tr2
+              | _ -> false
             in
             if not ok then
               results.(i) <-

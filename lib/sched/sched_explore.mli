@@ -5,10 +5,12 @@
     correctness must therefore be schedule-invariant, and its worst-case
     time/communication is a maximum over schedules. This harness runs
     protocol targets under a battery of schedules — seeded pseudo-random
-    ones plus structured adversaries (see {!Delay.slow_edge},
-    {!Delay.race_crossing}) — checks each run's output against a
-    sequential oracle (Kruskal/Dijkstra/the synchronous reference
-    executor), and reports the worst time and communication observed.
+    ones, structured oblivious adversaries (see {!Delay.slow_edge},
+    {!Delay.race_crossing}) and {e adaptive} adversaries that observe the
+    execution as it unfolds ({!Csap_dsim.Adversary}) — checks each run's
+    output against a sequential oracle (Kruskal/Dijkstra/the synchronous
+    reference executor), and reports the worst time and communication
+    observed.
 
     Runs are sharded over a {!Csap_pool.t}; each run gets a fresh delay
     model built by its schedule's [make], so the sweep is deterministic
@@ -18,12 +20,12 @@
     results — the artifact CI uploads, replayable with
     {!Trace.recorded}. *)
 
-(** A named way to build a delay model. [make] is called once per run so
-    stateful models ([Recorded]-style oracles, RNG-backed models) never
-    leak state between runs. *)
+(** A named way to build an adversary. [make] is called once per run so
+    stateful adversaries (adaptive built-ins, [Recorded]-style oracles,
+    RNG-backed models) never leak state between runs. *)
 type schedule = {
   label : string;
-  make : unit -> Csap_dsim.Delay.t;
+  make : unit -> Csap_dsim.Adversary.t;
 }
 
 (** [seeded_schedules k] is [k] per-message-seeded schedules (see
@@ -37,21 +39,29 @@ val seeded_schedules : int -> schedule list
     near-instantaneous schedule ({!Delay.Near_zero}). *)
 val adversarial_schedules : Csap_graph.Graph.t -> schedule list
 
-(** A protocol under test: [execute g delay] runs it on [g] under the
-    delay model, checks the schedule-invariant output against a
-    sequential oracle, and returns the run's measures — or a description
-    of the violated invariant. *)
+(** The adaptive roster: the built-in observing adversaries
+    ({!Csap_dsim.Adversary.greedy_commax},
+    {!Csap_dsim.Adversary.time_stretcher}), each constructed fresh per
+    run. Runs under these emit a replayable decision trace
+    ({!Csap_dsim.Trace.Decision}); pair with [explore]'s [check_replay]
+    to certify every adaptive worst case as an oblivious schedule. *)
+val adaptive_schedules : unit -> schedule list
+
+(** A protocol under test: [execute g adversary] runs it on [g] under
+    the adversary (oblivious or adaptive), checks the schedule-invariant
+    output against a sequential oracle, and returns the run's measures —
+    or a description of the violated invariant. *)
 type target = {
   name : string;
   execute :
     Csap_graph.Graph.t ->
-    Csap_dsim.Delay.t ->
+    Csap_dsim.Adversary.t ->
     (Csap.Measures.t, string) result;
 }
 
 (** [protocol_target entry] wraps a {!Csap.Protocol} registry entry as a
     sweep target: the run goes through {!Csap.Protocol.execute} with the
-    schedule's delay model, and the invariant is the entry's own oracle
+    schedule's adversary, and the invariant is the entry's own oracle
     check. Knobs ([root], [pulses], [strip], [k], [q]) are forwarded into
     the {!Csap.Protocol.Run.cfg}. *)
 val protocol_target :
@@ -97,7 +107,7 @@ type run_result = {
 val sweep_cells :
   targets:target list -> schedules:schedule list -> (target * schedule) list
 
-(** [run_cell g (t, s)] executes one cell: [t] under a fresh delay model
+(** [run_cell g (t, s)] executes one cell: [t] under a fresh adversary
     from [s]. Never raises — an exception becomes a failed
     {!run_result}. *)
 val run_cell : Csap_graph.Graph.t -> target * schedule -> run_result
@@ -111,16 +121,24 @@ type summary = {
   failures : int;
 }
 
-(** [explore ?pool ?trace_dir g ~targets ~schedules] runs every target
-    under every schedule, sharded over [pool] (default
+(** [explore ?pool ?trace_dir ?check_replay g ~targets ~schedules] runs
+    every target under every schedule, sharded over [pool] (default
     {!Csap_pool.default}), and returns one summary per target, in target
-    order. With [trace_dir], each failing run is re-executed under a
-    trace collector and its traces written to
+    order. With [check_replay] (default [false]), each passing run is
+    re-executed under a trace collector and then {e replayed} — re-run
+    under {!Csap_dsim.Trace.recorded} of its own trace as an oblivious
+    oracle — demanding event-for-event equality modulo the
+    {!Csap_dsim.Trace.Decision} records only the recorded run emits;
+    divergence marks the run failed. This is the certificate that an
+    adaptive worst case is reproducible as an oblivious schedule. With
+    [trace_dir], each failing run is re-executed under a trace collector
+    and its traces written to
     [trace_dir/<target>--<schedule>--<i>.jsonl] (the directory is
     created if missing). *)
 val explore :
   ?pool:Csap_pool.t ->
   ?trace_dir:string ->
+  ?check_replay:bool ->
   Csap_graph.Graph.t ->
   targets:target list ->
   schedules:schedule list ->
@@ -150,7 +168,7 @@ type fault_schedule = {
     the weighted diameter of [g] so they overlap any execution. *)
 val fault_schedules : Csap_graph.Graph.t -> int -> fault_schedule list
 
-(** A protocol under fault test: [fexecute g delay plan] runs the
+(** A protocol under fault test: [fexecute g adversary plan] runs the
     shim-wrapped protocol and checks the clean oracle; [fclean g] runs
     the unwrapped protocol on the fault-free network — the overhead
     denominator. *)
@@ -158,7 +176,7 @@ type fault_target = {
   fname : string;
   fexecute :
     Csap_graph.Graph.t ->
-    Csap_dsim.Delay.t ->
+    Csap_dsim.Adversary.t ->
     Csap_dsim.Fault.plan ->
     (Csap.Measures.t, string) result;
   fclean : Csap_graph.Graph.t -> Csap.Measures.t;

@@ -85,6 +85,18 @@ let test_cell_canonical () =
   (* Distinct cfgs get distinct digests. *)
   Alcotest.(check bool) "digest discriminates" false
     (Cell.digest c = Cell.digest { c with Cell.seed = 8 });
+  (* The new adversary/trace knobs are omitted when unset, so every
+     pre-existing cell keeps its digest (manifests resume across the
+     upgrade); setting them round-trips and changes the digest. *)
+  Alcotest.(check bool) "unset knobs leave the canonical JSON alone" false
+    (contains ~needle:"adversary" s || contains ~needle:"trace" s);
+  let ca = { c with Cell.adversary = Some "greedy"; trace = Some "/tmp/t" } in
+  (match Cell.of_json (Cell.to_json ca) with
+  | Ok ca' ->
+    Alcotest.(check bool) "adversary/trace round-trip" true (ca = ca');
+    Alcotest.(check bool) "adversary/trace feed the digest" false
+      (Cell.digest ca = Cell.digest c)
+  | Error e -> Alcotest.failf "of_json failed: %s" e);
   (* Hand-written minimal object: defaults fill in. *)
   (match Cell.of_json {|{"protocol":"flood","family":"path","n":4}|} with
   | Ok c ->
@@ -110,6 +122,10 @@ let test_cell_error_classification () =
     (classify (Cell.make "nosuch"));
   Alcotest.(check string) "bad delay spec" "3"
     (classify (Cell.make ~delay:"bogus" "flood"));
+  Alcotest.(check string) "bad adversary spec" "3"
+    (classify (Cell.make ~adversary:"bogus" "flood"));
+  Alcotest.(check string) "adversary/delay conflict" "3"
+    (classify (Cell.make ~adversary:"greedy" ~delay:"exact" "flood"));
   Alcotest.(check string) "bad family" "3"
     (classify (Cell.make ~family:"nope" "flood"));
   Alcotest.(check string) "bad loss" "3"
@@ -321,6 +337,41 @@ let test_sweep_runs_and_resume_skips () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "resumed with a mismatched cell list"
 
+(* Satellite of the adversary layer: a farm cell carrying both an
+   adaptive adversary and a trace prefix dumps replayable JSONL from
+   inside the farm worker — and the decision trace re-executes the run
+   bit-identically as an oblivious schedule. *)
+let test_cell_trace_replayable () =
+  let dir = tmp_dir "trace-cell" in
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755;
+  let prefix = Filename.concat dir "adv" in
+  let cell =
+    Cell.make ~family:"grid" ~n:9 ~w:4 ~adversary:"greedy" ~trace:prefix
+      ~check:true "flood"
+  in
+  let s = Farm.sweep (Farm.config ~workers:1 ~dir ()) [ cell ] in
+  Alcotest.(check int) "cell completed" 1 s.Farm.completed;
+  Alcotest.(check int) "cell passed its invariant" 0 s.Farm.failed;
+  let dumped = Printf.sprintf "%s--flood--0.jsonl" prefix in
+  Alcotest.(check bool) "worker honoured the cell's trace knob" true
+    (Sys.file_exists dumped);
+  let module T = Csap_dsim.Trace in
+  let tr = T.load_jsonl dumped in
+  Alcotest.(check bool) "decision records dumped" true
+    (Array.length (T.decisions tr) > 0);
+  (* Replay: the recorded decisions, run as an oblivious oracle through
+     the same registry entry, reproduce the trace modulo decisions. *)
+  let g = Cell.graph cell in
+  let module P = Csap.Protocol in
+  let _, traces =
+    T.with_collector (fun () ->
+        P.run
+          ~adversary:(Csap_dsim.Adversary.of_delay (T.recorded tr))
+          (P.find_exn "flood") g)
+  in
+  Alcotest.(check bool) "farm trace replays bit-identically" true
+    (T.equal (T.without_decisions tr) (List.hd traces))
+
 let test_sweep_cancellation () =
   let dir = tmp_dir "cancel" in
   (* Pre-placed cancel requests are honored at dequeue: the cell is
@@ -482,6 +533,8 @@ let suite =
       test_torn_repro_confined_to_farm_dir;
     Alcotest.test_case "sweep completes and resume skips" `Quick
       test_sweep_runs_and_resume_skips;
+    Alcotest.test_case "farm cell dumps a replayable adaptive trace" `Quick
+      test_cell_trace_replayable;
     Alcotest.test_case "cancellation short-circuits a queued cell" `Quick
       test_sweep_cancellation;
     Alcotest.test_case "failed cell recorded with reason" `Quick

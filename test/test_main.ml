@@ -30,6 +30,7 @@ let () =
       ("trace", Test_trace.suite);
       ("fault", Test_fault.suite);
       ("reliable", Test_reliable.suite);
+      ("adversary", Test_adversary.suite);
       ("sched-explore", Test_sched_explore.suite);
       ("cover", Test_cover.suite);
       ("tree-cover", Test_tree_cover.suite);

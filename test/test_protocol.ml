@@ -123,7 +123,36 @@ let test_validation () =
         Alcotest.check_raises
           (M.name ^ ": reliable rejected")
           (Invalid_argument (M.name ^ ": reliable transport not supported"))
-          (fun () -> ignore (P.run ~reliable:true entry g)))
+          (fun () -> ignore (P.run ~reliable:true entry g));
+      (* Adversary rejections name their knob uniformly, like domains. *)
+      if not M.caps.P.supports_adaptive then
+        Alcotest.check_raises
+          (M.name ^ ": adaptive rejected")
+          (Invalid_argument
+             (M.name ^ ": adversary: adaptive adversaries not supported"))
+          (fun () ->
+            ignore
+              (P.run ~adversary:(Csap_dsim.Adversary.greedy_commax ()) entry
+                 g));
+      Alcotest.check_raises
+        (M.name ^ ": adversary/delay conflict rejected")
+        (Invalid_argument
+           (M.name ^ ": adversary: conflicts with an explicit delay model"))
+        (fun () ->
+          ignore
+            (P.run ~delay:Csap_dsim.Delay.Exact
+               ~adversary:(Csap_dsim.Adversary.of_delay Csap_dsim.Delay.Exact)
+               entry g)))
+    P.registry;
+  (* Only the lower-bound family (which ignores its delay model) opts
+     out of adaptivity. *)
+  List.iter
+    (fun entry ->
+      let (module M : P.S) = entry in
+      Alcotest.(check bool)
+        (M.name ^ ": adv capability")
+        (M.name <> "lower-bound-gn")
+        M.caps.P.supports_adaptive)
     P.registry
 
 (* Every fault-capable entry survives seeded loss behind the shim and

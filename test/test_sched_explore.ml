@@ -3,7 +3,16 @@ module G = Csap_graph.Graph
 module Gen = Csap_graph.Generators
 module Tree = Csap_graph.Tree
 
-let schedules g = S.seeded_schedules 8 @ S.adversarial_schedules g
+module Adv = Csap_dsim.Adversary
+
+let schedules g =
+  S.seeded_schedules 8 @ S.adversarial_schedules g @ S.adaptive_schedules ()
+
+(* Unwrap for legacy targets exercising a raw [Csap.Flood.run]-style API
+   that only understands delay models. *)
+let oblivious_delay = function
+  | Adv.Oblivious d -> Ok d
+  | Adv.Adaptive a -> Error (a.Adv.name ^ ": oblivious-only target")
 
 (* The registry's clean-sweep roster: flood, GHS, SPT_synch, SPT_recur,
    sync-alpha — all built from Csap.Protocol entries. *)
@@ -66,11 +75,12 @@ let test_schedule_dependence_detected () =
     {
       S.name = "flood-tree-fixed";
       execute =
-        (fun g delay ->
-          let r = Csap.Flood.run ~delay g ~source:0 in
-          if Tree.edges r.Csap.Flood.tree = Tree.edges reference then
-            Ok r.Csap.Flood.measures
-          else Error "first-contact tree depends on the schedule");
+        (fun g adv ->
+          Result.bind (oblivious_delay adv) (fun delay ->
+              let r = Csap.Flood.run ~delay g ~source:0 in
+              if Tree.edges r.Csap.Flood.tree = Tree.edges reference then
+                Ok r.Csap.Flood.measures
+              else Error "first-contact tree depends on the schedule"));
     }
   in
   let dir =
@@ -78,9 +88,11 @@ let test_schedule_dependence_detected () =
       (Filename.get_temp_dir_name ())
       (Printf.sprintf "csap-sched-test-%d" (Unix.getpid ()))
   in
+  (* Oblivious schedules only: the bogus target rejects adaptive ones
+     before any engine runs, so they would fail without leaving a trace. *)
   let summaries =
     S.explore ~trace_dir:dir g ~targets:[ bogus ]
-      ~schedules:(schedules g)
+      ~schedules:(S.seeded_schedules 8 @ S.adversarial_schedules g)
   in
   let s = List.hd summaries in
   Alcotest.(check bool) "schedule dependence detected" true (s.S.failures > 0);
@@ -105,6 +117,22 @@ let test_schedule_dependence_detected () =
     dumped;
   Array.iter (fun f -> Sys.remove (Filename.concat dir f)) dumped;
   Sys.rmdir dir
+
+(* The adaptive roster passes the replay audit: every adaptive worst case
+   re-executes bit-identically as an oblivious schedule built from its
+   own decision trace. *)
+let test_adaptive_replay_certified () =
+  let g = Gen.grid 3 3 ~w:4 in
+  let summaries =
+    S.explore ~check_replay:true g ~targets:(targets g)
+      ~schedules:(S.adaptive_schedules ())
+  in
+  List.iter
+    (fun (s : S.summary) ->
+      Alcotest.(check int)
+        (Printf.sprintf "%s: adaptive runs replay cleanly" s.S.target_name)
+        0 s.S.failures)
+    summaries
 
 let test_deterministic () =
   (* The sweep is deterministic regardless of pool scheduling: two explores
@@ -174,11 +202,12 @@ let test_fault_failure_traced () =
     {
       S.fname = "mst-unshimmed";
       fexecute =
-        (fun g delay plan ->
-          let r = Csap.Mst_ghs.run ~delay ~faults:plan g in
-          if Csap_graph.Mst.is_mst g r.Csap.Mst_ghs.mst then
-            Ok r.Csap.Mst_ghs.measures
-          else Error "not an MST");
+        (fun g adv plan ->
+          Result.bind (oblivious_delay adv) (fun delay ->
+              let r = Csap.Mst_ghs.run ~delay ~faults:plan g in
+              if Csap_graph.Mst.is_mst g r.Csap.Mst_ghs.mst then
+                Ok r.Csap.Mst_ghs.measures
+              else Error "not an MST"));
       fclean =
         (fun g -> (Csap.Mst_ghs.run g).Csap.Mst_ghs.measures);
     }
@@ -221,6 +250,8 @@ let suite =
     Alcotest.test_case "schedule batteries" `Quick test_schedule_batteries;
     Alcotest.test_case "schedule dependence detected and traced" `Quick
       test_schedule_dependence_detected;
+    Alcotest.test_case "adaptive roster replays as oblivious schedules"
+      `Quick test_adaptive_replay_certified;
     Alcotest.test_case "sweep is deterministic" `Quick test_deterministic;
     Alcotest.test_case "fault sweep passes with replay checks" `Quick
       test_fault_sweep_passes;
